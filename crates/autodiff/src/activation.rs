@@ -1,0 +1,182 @@
+/// Smooth scalar activation functions with analytic derivatives up to
+/// third order.
+///
+/// Third-order derivatives are required because the trunk-net "jet"
+/// propagation materialises second spatial derivatives of the network, and
+/// reverse-mode differentiation of a `σ''` node needs `σ'''`.
+///
+/// The DeepOHeat paper uses **Swish** (`x · sigmoid(x)`, Ramachandran et
+/// al. 2017) and reports it outperforming `Tanh` and `Sine` for this
+/// problem family; all three are provided so the ablation benches can
+/// reproduce that comparison.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_autodiff::Activation;
+///
+/// let swish = Activation::Swish;
+/// assert_eq!(swish.eval(0, 0.0), 0.0);           // swish(0) = 0
+/// assert!((swish.eval(1, 0.0) - 0.5).abs() < 1e-15); // swish'(0) = 0.5
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Activation {
+    /// Swish / SiLU: `x * sigmoid(x)`.
+    Swish,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Sine (common in PINN trunk networks).
+    Sine,
+}
+
+impl Activation {
+    /// Evaluates the `order`-th derivative of the activation at `x`
+    /// (`order == 0` is the function value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > 3`; higher derivatives are never needed by the
+    /// second-order jet machinery.
+    pub fn eval(self, order: u8, x: f64) -> f64 {
+        match self {
+            Activation::Swish => swish(order, x),
+            Activation::Tanh => tanh(order, x),
+            Activation::Sine => sine(order, x),
+        }
+    }
+
+    /// Returns a short lowercase name, used in experiment logs and bench IDs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Swish => "swish",
+            Activation::Tanh => "tanh",
+            Activation::Sine => "sine",
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn swish(order: u8, x: f64) -> f64 {
+    let s = sigmoid(x);
+    let s1 = s * (1.0 - s); // σ'
+    let s2 = s1 * (1.0 - 2.0 * s); // σ''
+    let s3 = s2 * (1.0 - 2.0 * s) - 2.0 * s1 * s1; // σ'''
+    match order {
+        0 => x * s,
+        1 => s + x * s1,
+        2 => 2.0 * s1 + x * s2,
+        3 => 3.0 * s2 + x * s3,
+        _ => panic!("activation derivative order {order} not supported (max 3)"),
+    }
+}
+
+fn tanh(order: u8, x: f64) -> f64 {
+    let t = x.tanh();
+    let t1 = 1.0 - t * t; // tanh'
+    match order {
+        0 => t,
+        1 => t1,
+        2 => -2.0 * t * t1,
+        3 => -2.0 * t1 * (1.0 - 3.0 * t * t),
+        _ => panic!("activation derivative order {order} not supported (max 3)"),
+    }
+}
+
+fn sine(order: u8, x: f64) -> f64 {
+    match order {
+        0 => x.sin(),
+        1 => x.cos(),
+        2 => -x.sin(),
+        3 => -x.cos(),
+        _ => panic!("activation derivative order {order} not supported (max 3)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite difference of the `order`-th derivative.
+    fn fd(act: Activation, order: u8, x: f64) -> f64 {
+        let h = 1e-5;
+        (act.eval(order, x + h) - act.eval(order, x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        for act in [Activation::Swish, Activation::Tanh, Activation::Sine] {
+            for order in 0..3u8 {
+                for &x in &[-3.0, -1.0, -0.1, 0.0, 0.3, 1.7, 4.0] {
+                    let analytic = act.eval(order + 1, x);
+                    let numeric = fd(act, order, x);
+                    assert!(
+                        (analytic - numeric).abs() < 1e-6,
+                        "{act} order {order} at {x}: analytic {analytic} vs fd {numeric}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swish_known_values() {
+        assert_eq!(Activation::Swish.eval(0, 0.0), 0.0);
+        assert!((Activation::Swish.eval(1, 0.0) - 0.5).abs() < 1e-15);
+        // swish(x) -> x for large x, -> 0 for very negative x.
+        assert!((Activation::Swish.eval(0, 20.0) - 20.0).abs() < 1e-6);
+        assert!(Activation::Swish.eval(0, -20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_known_values() {
+        assert_eq!(Activation::Tanh.eval(0, 0.0), 0.0);
+        assert_eq!(Activation::Tanh.eval(1, 0.0), 1.0);
+        assert_eq!(Activation::Tanh.eval(2, 0.0), 0.0);
+        assert_eq!(Activation::Tanh.eval(3, 0.0), -2.0);
+    }
+
+    #[test]
+    fn sine_cycles() {
+        let x = 0.7;
+        assert_eq!(Activation::Sine.eval(0, x), x.sin());
+        assert_eq!(Activation::Sine.eval(1, x), x.cos());
+        assert_eq!(Activation::Sine.eval(2, x), -x.sin());
+        assert_eq!(Activation::Sine.eval(3, x), -x.cos());
+    }
+
+    #[test]
+    #[should_panic(expected = "order 4")]
+    fn order_four_panics() {
+        Activation::Swish.eval(4, 0.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Activation::Swish.to_string(), "swish");
+        assert_eq!(Activation::Tanh.to_string(), "tanh");
+        assert_eq!(Activation::Sine.to_string(), "sine");
+    }
+}

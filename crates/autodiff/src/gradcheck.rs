@@ -1,0 +1,155 @@
+//! Finite-difference gradient checking.
+//!
+//! Used extensively by the test suites of this crate, `deepoheat-nn` and
+//! `deepoheat` to validate that analytic reverse-mode gradients (including
+//! the second-order jet machinery) match numerical differentiation.
+
+use deepoheat_linalg::Matrix;
+
+use crate::{AutodiffError, Graph, Var};
+
+/// Result of a [`check_gradients`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_error: f64,
+    /// Largest relative difference (normalised by
+    /// `max(|analytic|, |numeric|, 1)`).
+    pub max_rel_error: f64,
+    /// Total number of scalar entries compared.
+    pub entries_checked: usize,
+}
+
+impl GradCheckReport {
+    /// Returns `true` if the relative error is within `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_error <= tol
+    }
+}
+
+/// Checks reverse-mode gradients of a scalar function against central
+/// finite differences.
+///
+/// `build` must construct the full forward computation from scratch given
+/// the current leaf values and return the scalar loss [`Var`] together with
+/// the leaf handles corresponding to `inputs` (in the same order). It is
+/// called `2 * total_entries + 1` times, so keep the inputs small.
+///
+/// # Errors
+///
+/// Propagates any [`AutodiffError`] raised by `build` or by the backward
+/// pass.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_autodiff::{check_gradients, Graph};
+/// use deepoheat_linalg::Matrix;
+///
+/// let x = Matrix::row_vector(&[0.3, -0.7]);
+/// let report = check_gradients(&[x], |g, leaves| {
+///     let sq = g.square(leaves[0])?;
+///     g.mean(sq)
+/// })?;
+/// assert!(report.passes(1e-6));
+/// # Ok::<(), deepoheat_autodiff::AutodiffError>(())
+/// ```
+pub fn check_gradients<F>(inputs: &[Matrix], mut build: F) -> Result<GradCheckReport, AutodiffError>
+where
+    F: FnMut(&mut Graph, &[Var]) -> Result<Var, AutodiffError>,
+{
+    let eval = |values: &[Matrix], build: &mut F| -> Result<(f64, Vec<Option<Matrix>>), AutodiffError> {
+        let mut g = Graph::new();
+        let leaves: Vec<Var> = values.iter().map(|v| g.leaf(v.clone(), true)).collect();
+        let loss = build(&mut g, &leaves)?;
+        let loss_value = g.scalar(loss);
+        let grads = g.backward(loss)?;
+        let leaf_grads = leaves.iter().map(|&l| grads.get(l).cloned()).collect();
+        Ok((loss_value, leaf_grads))
+    };
+
+    let (_, analytic) = eval(inputs, &mut build)?;
+
+    let h = 1e-5;
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut entries = 0usize;
+    let mut perturbed: Vec<Matrix> = inputs.to_vec();
+
+    for (i, input) in inputs.iter().enumerate() {
+        let analytic_grad = analytic[i].clone().unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
+        for idx in 0..input.len() {
+            let original = perturbed[i].as_slice()[idx];
+            perturbed[i].as_mut_slice()[idx] = original + h;
+            let (f_plus, _) = eval(&perturbed, &mut build)?;
+            perturbed[i].as_mut_slice()[idx] = original - h;
+            let (f_minus, _) = eval(&perturbed, &mut build)?;
+            perturbed[i].as_mut_slice()[idx] = original;
+
+            let numeric = (f_plus - f_minus) / (2.0 * h);
+            let a = analytic_grad.as_slice()[idx];
+            let abs = (a - numeric).abs();
+            let rel = abs / a.abs().max(numeric.abs()).max(1.0);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+            entries += 1;
+        }
+    }
+
+    Ok(GradCheckReport { max_abs_error: max_abs, max_rel_error: max_rel, entries_checked: entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+
+    #[test]
+    fn passes_on_simple_quadratic() {
+        let x = Matrix::row_vector(&[1.0, -2.0, 0.5]);
+        let report = check_gradients(&[x], |g, leaves| {
+            let sq = g.square(leaves[0])?;
+            g.mean(sq)
+        })
+        .unwrap();
+        assert!(report.passes(1e-7), "{report:?}");
+        assert_eq!(report.entries_checked, 3);
+    }
+
+    #[test]
+    fn passes_on_deep_composition() {
+        // A small MLP-like composition exercising most op kinds.
+        let w1 = Matrix::from_fn(3, 4, |r, c| 0.3 * (r as f64 + 1.0) - 0.2 * c as f64);
+        let b1 = Matrix::row_vector(&[0.1, -0.1, 0.2, 0.0]);
+        let w2 = Matrix::from_fn(4, 2, |r, c| 0.1 * (r as f64) + 0.05 * (c as f64 + 1.0));
+        let x = Matrix::from_fn(5, 3, |r, c| 0.2 * (r as f64) - 0.1 * (c as f64));
+
+        let report = check_gradients(&[w1, b1, w2], |g, leaves| {
+            let x = g.leaf(x.clone(), false);
+            let z1 = g.matmul(x, leaves[0])?;
+            let z1 = g.add_row_broadcast(z1, leaves[1])?;
+            let a1 = g.activation(z1, Activation::Swish, 0)?;
+            let z2 = g.matmul(a1, leaves[2])?;
+            let a2 = g.activation(z2, Activation::Tanh, 0)?;
+            g.mean_square(a2)
+        })
+        .unwrap();
+        assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn catches_wrong_gradient() {
+        // Build a function whose "loss" depends on the leaf, but sabotage by
+        // detaching the leaf (requires_grad = false clone), so the analytic
+        // gradient is zero while the numeric one is not.
+        let x = Matrix::row_vector(&[1.0]);
+        let report = check_gradients(&[x], |g, leaves| {
+            // Use the leaf value but through a fresh constant leaf.
+            let detached = g.leaf(g.value(leaves[0]).clone(), false);
+            let sq = g.square(detached)?;
+            g.mean(sq)
+        })
+        .unwrap();
+        assert!(!report.passes(1e-3), "sabotaged gradient should fail: {report:?}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based gradient checks: for randomly sampled inputs, the
+//! analytic reverse-mode gradients of representative op compositions must
+//! match central finite differences.
+
+use deepoheat_autodiff::{check_gradients, Activation, Graph};
+use deepoheat_linalg::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.5f64..1.5, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized by construction"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_activation_chain(w in matrix(3, 4), b in matrix(1, 4), x in matrix(2, 3)) {
+        let report = check_gradients(&[w, b], |g, leaves| {
+            let x = g.leaf(x.clone(), false);
+            let z = g.matmul(x, leaves[0])?;
+            let z = g.add_row_broadcast(z, leaves[1])?;
+            let a = g.activation(z, Activation::Swish, 0)?;
+            g.mean_square(a)
+        }).unwrap();
+        prop_assert!(report.passes(1e-4), "{report:?}");
+    }
+
+    #[test]
+    fn second_order_activation_ops(x in matrix(2, 3)) {
+        // Exercise σ' and σ'' nodes, whose backwards use σ'' and σ'''.
+        for act in [Activation::Swish, Activation::Tanh, Activation::Sine] {
+            let report = check_gradients(std::slice::from_ref(&x), |g, leaves| {
+                let a1 = g.activation(leaves[0], act, 1)?;
+                let a2 = g.activation(leaves[0], act, 2)?;
+                let prod = g.mul(a1, a2)?;
+                g.mean_square(prod)
+            }).unwrap();
+            prop_assert!(report.passes(1e-4), "{act}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn combine_kernel_gradients(b in matrix(3, 4), phi in matrix(5, 4)) {
+        let report = check_gradients(&[b, phi], |g, leaves| {
+            let t = g.matmul_transposed(leaves[0], leaves[1])?;
+            g.mean_square(t)
+        }).unwrap();
+        prop_assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn broadcast_ops_gradients(a in matrix(4, 3), bias in matrix(1, 3), col in matrix(4, 1)) {
+        let report = check_gradients(&[a, bias, col], |g, leaves| {
+            let z = g.add_row_broadcast(leaves[0], leaves[1])?;
+            let w = g.mul_col_broadcast(z, leaves[2])?;
+            let s = g.square(w)?;
+            g.mean(s)
+        }).unwrap();
+        prop_assert!(report.passes(1e-4), "{report:?}");
+    }
+
+    #[test]
+    fn hcat_and_reductions(a in matrix(3, 2), b in matrix(3, 3)) {
+        let report = check_gradients(&[a, b], |g, leaves| {
+            let cat = g.hcat(leaves[0], leaves[1])?;
+            let sq = g.square(cat)?;
+            let s = g.sum(sq)?;
+            g.scale(s, 0.25)
+        }).unwrap();
+        prop_assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn value_reuse_accumulates_correctly(x in matrix(2, 2)) {
+        // x used along two paths: x·x (hadamard) and x + x.
+        let report = check_gradients(std::slice::from_ref(&x), |g, leaves| {
+            let sq = g.mul(leaves[0], leaves[0])?;
+            let dbl = g.add(leaves[0], leaves[0])?;
+            let mix = g.add(sq, dbl)?;
+            g.mean_square(mix)
+        }).unwrap();
+        prop_assert!(report.passes(1e-4), "{report:?}");
+    }
+
+    #[test]
+    fn forward_values_are_deterministic(a in matrix(3, 3), b in matrix(3, 3)) {
+        let run = || {
+            let mut g = Graph::new();
+            let av = g.leaf(a.clone(), false);
+            let bv = g.leaf(b.clone(), false);
+            let m = g.matmul(av, bv).unwrap();
+            let act = g.activation(m, Activation::Tanh, 0).unwrap();
+            g.value(act).clone()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,73 @@
+//! Time-cost ablations of the design choices DESIGN.md calls out:
+//! activation function (§V.A.3 compares Swish vs Tanh/Sine), the
+//! Fourier-features layer, and the collocation-subsample size.
+//!
+//! Accuracy-per-budget ablations (which need whole training runs) live in
+//! the `ablation_quality` harness binary instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
+use deepoheat::FourierConfig;
+use deepoheat_autodiff::Activation;
+
+fn base_config() -> PowerMapExperimentConfig {
+    PowerMapExperimentConfig {
+        branch_hidden: vec![64; 3],
+        trunk_hidden: vec![48; 3],
+        latent_dim: 48,
+        functions_per_batch: 8,
+        interior_points: Some(256),
+        boundary_points: Some(64),
+        ..Default::default()
+    }
+}
+
+fn bench_activation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_activation");
+    group.sample_size(10);
+    for act in [Activation::Swish, Activation::Tanh, Activation::Sine] {
+        let mut cfg = base_config();
+        cfg.activation = act;
+        let mut exp = PowerMapExperiment::new(cfg).expect("experiment");
+        group.bench_with_input(BenchmarkId::new("physics_step", act.name()), &act, |bench, _| {
+            bench.iter(|| exp.train_step().expect("step"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fourier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fourier");
+    group.sample_size(10);
+    for (label, fourier) in [
+        ("off", None),
+        ("on_32", Some(FourierConfig { n_frequencies: 32, std: std::f64::consts::TAU })),
+        ("on_64", Some(FourierConfig { n_frequencies: 64, std: std::f64::consts::TAU })),
+    ] {
+        let mut cfg = base_config();
+        cfg.fourier = fourier;
+        let mut exp = PowerMapExperiment::new(cfg).expect("experiment");
+        group.bench_with_input(BenchmarkId::new("physics_step", label), &label, |bench, _| {
+            bench.iter(|| exp.train_step().expect("step"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_collocation_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_collocation");
+    group.sample_size(10);
+    for &points in &[128usize, 512, 2048] {
+        let mut cfg = base_config();
+        cfg.interior_points = Some(points);
+        cfg.boundary_points = Some(points / 4);
+        let mut exp = PowerMapExperiment::new(cfg).expect("experiment");
+        group.bench_with_input(BenchmarkId::new("physics_step", points), &points, |bench, _| {
+            bench.iter(|| exp.train_step().expect("step"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_activation, bench_fourier, bench_collocation_size);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks the reference finite-volume solver — the denominator of
+//! every speedup claim in the paper (§V.A.7, §V.B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepoheat_fdm::{BoundaryCondition, Face, FluxMap, HeatProblem, SolveOptions, StructuredGrid};
+use deepoheat_linalg::Matrix;
+
+fn paper_problem(n: usize, nz: usize) -> HeatProblem {
+    let grid = StructuredGrid::new(n, n, nz, 1e-3, 1e-3, 0.5e-3).expect("grid");
+    let mut problem = HeatProblem::new(grid, 0.1);
+    let flux = Matrix::from_fn(n, n, |i, j| if (i / 4 + j / 4) % 2 == 0 { 2500.0 } else { 0.0 });
+    problem
+        .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Field(flux) })
+        .expect("flux bc");
+    problem
+        .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
+        .expect("convection bc");
+    problem
+}
+
+fn bench_solve_grid_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fdm_solve");
+    group.sample_size(10);
+    for &(n, nz) in &[(11usize, 6usize), (21, 11), (31, 16), (41, 21)] {
+        let problem = paper_problem(n, nz);
+        group.bench_with_input(BenchmarkId::new("grid", format!("{n}x{n}x{nz}")), &n, |bench, _| {
+            bench.iter(|| problem.solve(SolveOptions::default()).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_tolerance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fdm_tolerance");
+    group.sample_size(10);
+    let problem = paper_problem(21, 11);
+    for &tol in &[1e-6, 1e-8, 1e-10] {
+        group.bench_with_input(BenchmarkId::new("tol", format!("{tol:e}")), &tol, |bench, &tol| {
+            bench.iter(|| {
+                problem
+                    .solve(SolveOptions { tolerance: tol, ..Default::default() })
+                    .expect("solve")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve_grid_sweep, bench_solver_tolerance);
+criterion_main!(benches);

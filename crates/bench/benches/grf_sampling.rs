@@ -1,0 +1,47 @@
+//! Benchmarks the Gaussian-random-field workload generator (§V.A.2): the
+//! one-off covariance factorisation and the per-iteration sampling cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepoheat_grf::{paper_test_suite, GaussianRandomField};
+use rand::SeedableRng;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grf_construction");
+    group.sample_size(10);
+    for &n in &[11usize, 21, 31] {
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |bench, &n| {
+            bench.iter(|| GaussianRandomField::on_unit_grid(n, 0.3).expect("psd"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let grf = GaussianRandomField::on_unit_grid(21, 0.3).expect("psd");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    c.bench_function("grf_sample_21x21", |bench| {
+        bench.iter(|| grf.sample(&mut rng).expect("sample"));
+    });
+    // A full training batch of the paper's size (50 maps).
+    c.bench_function("grf_sample_batch50", |bench| {
+        bench.iter(|| {
+            for _ in 0..50 {
+                grf.sample(&mut rng).expect("sample");
+            }
+        });
+    });
+}
+
+fn bench_tile_suite(c: &mut Criterion) {
+    c.bench_function("tile_suite_and_interpolation", |bench| {
+        bench.iter(|| {
+            for (_, map) in paper_test_suite(20) {
+                let grid = map.to_grid(21);
+                assert_eq!(grid.len(), 441);
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_construction, bench_sampling, bench_tile_suite);
+criterion_main!(benches);

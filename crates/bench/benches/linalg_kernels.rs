@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the linear-algebra kernels underpinning both the
+//! reference solver (CSR/CG) and the surrogate (dense matmul).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepoheat_linalg::{
+    conjugate_gradient, CgOptions, Cholesky, CooMatrix, JacobiPreconditioner, Matrix,
+    SsorPreconditioner,
+};
+
+fn laplacian_3d(n: usize) -> deepoheat_linalg::CsrMatrix {
+    // 7-point Laplacian on an n³ grid.
+    let idx = |i: usize, j: usize, k: usize| (k * n + j) * n + i;
+    let mut coo = CooMatrix::new(n * n * n, n * n * n);
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                let c = idx(i, j, k);
+                coo.push(c, c, 6.0);
+                if i > 0 {
+                    coo.push(c, idx(i - 1, j, k), -1.0);
+                }
+                if i + 1 < n {
+                    coo.push(c, idx(i + 1, j, k), -1.0);
+                }
+                if j > 0 {
+                    coo.push(c, idx(i, j - 1, k), -1.0);
+                }
+                if j + 1 < n {
+                    coo.push(c, idx(i, j + 1, k), -1.0);
+                }
+                if k > 0 {
+                    coo.push(c, idx(i, j, k - 1), -1.0);
+                }
+                if k + 1 < n {
+                    coo.push(c, idx(i, j, k + 1), -1.0);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 * 0.1);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.1);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).expect("matmul"));
+        });
+    }
+    // The DeepONet combine kernel shape: (batch x q) * (points x q)ᵀ.
+    let b_feat = Matrix::from_fn(50, 128, |i, j| (i + j) as f64 * 1e-3);
+    let phi = Matrix::from_fn(4851, 128, |i, j| (i as f64 - j as f64) * 1e-4);
+    group.bench_function("combine_50x4851x128", |bench| {
+        bench.iter(|| b_feat.matmul_transposed(&phi).expect("combine"));
+    });
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(10);
+    for &n in &[121usize, 441] {
+        // An SPD kernel matrix like the GRF covariance.
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64) / n as f64;
+            (-d * d / 0.18).exp() + if i == j { 1e-8 } else { 0.0 }
+        });
+        group.bench_with_input(BenchmarkId::new("factor", n), &n, |bench, _| {
+            bench.iter(|| Cholesky::new(&a).expect("spd"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conjugate_gradient");
+    group.sample_size(10);
+    let a = laplacian_3d(17); // 4913 unknowns, close to the paper mesh
+    let b = vec![1.0; a.rows()];
+    let opts = CgOptions { max_iterations: 20_000, tolerance: 1e-10 };
+    let jacobi = JacobiPreconditioner::new(&a).expect("diag");
+    group.bench_function("jacobi_17cubed", |bench| {
+        bench.iter(|| conjugate_gradient(&a, &b, None, &jacobi, opts).expect("converges"));
+    });
+    let ssor = SsorPreconditioner::new(&a, 1.5).expect("omega");
+    group.bench_function("ssor_17cubed", |bench| {
+        bench.iter(|| conjugate_gradient(&a, &b, None, &ssor, opts).expect("converges"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_cholesky, bench_cg);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benchmarks DeepOHeat inference — the numerator of the paper's speedup
+//! claims: one forward pass produces the full temperature field.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepoheat::{DeepOHeat, DeepOHeatConfig};
+use deepoheat_linalg::Matrix;
+use rand::SeedableRng;
+
+fn paper_scale_model() -> DeepOHeat {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    // The paper's §V.A architecture: 441 -> 9x256 branch, 6x128 trunk,
+    // latent 128 (inference cost is what matters here, so we bench the
+    // full-size network even though training uses scaled-down ones).
+    let cfg = DeepOHeatConfig::single_branch(441, &[256; 9], &[128; 5], 128)
+        .with_fourier(64, std::f64::consts::TAU)
+        .with_output_transform(298.15, 10.0);
+    DeepOHeat::new(&cfg, &mut rng).expect("model")
+}
+
+fn bench_single_prediction(c: &mut Criterion) {
+    let model = paper_scale_model();
+    let input = Matrix::from_fn(1, 441, |_, j| (j % 7) as f64 * 0.2);
+    let coords = Matrix::from_fn(4851, 3, |i, j| ((i * 3 + j) % 100) as f64 / 100.0);
+    c.bench_function("inference/full_field_4851pts", |bench| {
+        bench.iter(|| model.predict(&[&input], &coords).expect("predict"));
+    });
+}
+
+fn bench_batched_prediction(c: &mut Criterion) {
+    let model = paper_scale_model();
+    let coords = Matrix::from_fn(4851, 3, |i, j| ((i * 3 + j) % 100) as f64 / 100.0);
+    let mut group = c.benchmark_group("inference_batched");
+    for &batch in &[1usize, 10, 50] {
+        let inputs = Matrix::from_fn(batch, 441, |i, j| ((i + j) % 9) as f64 * 0.15);
+        group.bench_with_input(BenchmarkId::new("configs", batch), &batch, |bench, _| {
+            bench.iter(|| model.predict(&[&inputs], &coords).expect("predict"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_point_scaling(c: &mut Criterion) {
+    let model = paper_scale_model();
+    let input = Matrix::from_fn(1, 441, |_, j| (j % 7) as f64 * 0.2);
+    let mut group = c.benchmark_group("inference_points");
+    for &pts in &[441usize, 4851, 20_000] {
+        let coords = Matrix::from_fn(pts, 3, |i, j| ((i * 3 + j) % 100) as f64 / 100.0);
+        group.bench_with_input(BenchmarkId::new("points", pts), &pts, |bench, _| {
+            bench.iter(|| model.predict(&[&input], &coords).expect("predict"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_prediction, bench_batched_prediction, bench_query_point_scaling);
+criterion_main!(benches);

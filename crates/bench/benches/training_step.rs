@@ -1,0 +1,70 @@
+//! Benchmarks one training iteration of each experiment and mode: the
+//! jet-propagating physics-informed step vs the plain supervised step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepoheat::experiments::{
+    HtcExperiment, HtcExperimentConfig, PowerMapExperiment, PowerMapExperimentConfig,
+};
+use deepoheat::FourierConfig;
+
+fn small_power_map_config() -> PowerMapExperimentConfig {
+    PowerMapExperimentConfig {
+        branch_hidden: vec![64; 3],
+        trunk_hidden: vec![48; 3],
+        latent_dim: 48,
+        functions_per_batch: 8,
+        interior_points: Some(256),
+        boundary_points: Some(64),
+        ..Default::default()
+    }
+}
+
+fn bench_power_map_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_power_map");
+    group.sample_size(10);
+
+    let mut physics = PowerMapExperiment::new(small_power_map_config()).expect("experiment");
+    group.bench_function("physics_step", |bench| {
+        bench.iter(|| physics.train_step().expect("step"));
+    });
+
+    let mut supervised =
+        PowerMapExperiment::new(small_power_map_config().supervised(16)).expect("experiment");
+    supervised.train_step().expect("dataset generation happens on the first step");
+    group.bench_function("supervised_step", |bench| {
+        bench.iter(|| supervised.train_step().expect("step"));
+    });
+
+    // The paper's Fourier-features trunk makes the jet pass pricier.
+    let mut with_fourier = small_power_map_config();
+    with_fourier.fourier = Some(FourierConfig { n_frequencies: 32, std: std::f64::consts::TAU });
+    let mut physics_fourier = PowerMapExperiment::new(with_fourier).expect("experiment");
+    group.bench_function("physics_step_fourier", |bench| {
+        bench.iter(|| physics_fourier.train_step().expect("step"));
+    });
+    group.finish();
+}
+
+fn bench_htc_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_htc");
+    group.sample_size(10);
+    let cfg = HtcExperimentConfig {
+        volume_points: 256,
+        power_layer_points: 128,
+        face_points: 48,
+        ..Default::default()
+    };
+    let mut physics = HtcExperiment::new(cfg.clone()).expect("experiment");
+    group.bench_function("physics_step", |bench| {
+        bench.iter(|| physics.train_step().expect("step"));
+    });
+    let mut supervised = HtcExperiment::new(cfg.supervised(8)).expect("experiment");
+    supervised.train_step().expect("dataset generation happens on the first step");
+    group.bench_function("supervised_step", |bench| {
+        bench.iter(|| supervised.train_step().expect("step"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_power_map_steps, bench_htc_steps);
+criterion_main!(benches);

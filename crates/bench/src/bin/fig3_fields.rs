@@ -1,0 +1,88 @@
+//! Regenerates **Fig. 3** of the paper: predicted vs reference top-surface
+//! temperature fields for the ten test power maps.
+//!
+//! ```text
+//! cargo run --release -p deepoheat-bench --bin fig3_fields -- \
+//!     [--mode physics|supervised] [--iterations N] [--out DIR] [--quick]
+//! ```
+//!
+//! Prints ASCII heat maps (reference | prediction) for every map and
+//! writes `<out>/<p>_reference.csv`, `<out>/<p>_predicted.csv` and
+//! `<out>/<p>_abs_error.csv` for external plotting.
+
+use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
+use deepoheat::report::{side_by_side, write_csv};
+use deepoheat_bench::{secs, Args};
+use deepoheat_grf::paper_test_suite;
+use deepoheat_linalg::Matrix;
+
+fn main() {
+    let args = Args::from_env();
+    let mode = args.get_str("mode", "physics");
+    let quick = args.flag("quick");
+    // Supervised steps are ~3x cheaper than jet-propagating physics steps,
+    // so the default budgets differ.
+    let default_iterations = match (quick, mode.as_str()) {
+        (true, _) => 100,
+        (false, "supervised") => 4000,
+        (false, _) => 1500,
+    };
+    let iterations = args.get_usize("iterations", default_iterations);
+    let dataset = args.get_usize("dataset", if quick { 20 } else { 300 });
+    let out_dir = args.get_str("out", "target/fig3");
+
+    let mut config = PowerMapExperimentConfig::default();
+    if quick {
+        config.branch_hidden = vec![48; 2];
+        config.trunk_hidden = vec![32; 2];
+        config.latent_dim = 32;
+    }
+    if mode == "supervised" {
+        config = config.supervised(dataset);
+        // Fourier features sharpen hot spots in the supervised regression
+        // (no PDE-residual conditioning issue there, unlike physics mode).
+        if !quick {
+            config.fourier =
+                Some(deepoheat::FourierConfig { n_frequencies: 32, std: std::f64::consts::TAU });
+        }
+    }
+
+    println!("== Fig. 3: temperature fields for p1..p10 (§V.A) ==");
+    let t0 = std::time::Instant::now();
+    let mut experiment = PowerMapExperiment::new(config).expect("experiment construction");
+    experiment.run(iterations, (iterations / 5).max(1), |r| {
+        eprintln!("  iter {:>5}  loss {:.4e}", r.iteration, r.loss);
+    })
+    .expect("training");
+    println!("trained in {}\n", secs(t0.elapsed()));
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let grid = *experiment.chip().grid();
+    let top_plane = |field: &[f64]| {
+        Matrix::from_fn(grid.nx(), grid.ny(), |i, j| field[grid.index(i, j, grid.nz() - 1)])
+    };
+
+    for (name, map) in paper_test_suite(20) {
+        let grid_map = map.to_grid(21);
+        let reference = experiment.reference_field(&grid_map).expect("reference solve");
+        let predicted = experiment.predict_field(&grid_map).expect("prediction");
+        let ref_top = top_plane(&reference);
+        let pred_top = top_plane(&predicted);
+        let abs_err = Matrix::from_fn(grid.nx(), grid.ny(), |i, j| (ref_top[(i, j)] - pred_top[(i, j)]).abs());
+
+        println!(
+            "--- {name}: reference [{:.2}, {:.2}] K | prediction [{:.2}, {:.2}] K | max |err| {:.3} K",
+            ref_top.min(),
+            ref_top.max(),
+            pred_top.min(),
+            pred_top.max(),
+            abs_err.max()
+        );
+        println!("{}", side_by_side("reference (top surface)", &ref_top, "deepoheat", &pred_top));
+
+        write_csv(&ref_top, format!("{out_dir}/{name}_reference.csv")).expect("write reference csv");
+        write_csv(&pred_top, format!("{out_dir}/{name}_predicted.csv")).expect("write prediction csv");
+        write_csv(&abs_err, format!("{out_dir}/{name}_abs_error.csv")).expect("write error csv");
+    }
+    println!("CSV fields written to {out_dir}/");
+}

@@ -1,0 +1,129 @@
+//! Shared helpers for the experiment-regeneration binaries and Criterion
+//! benches of the DeepOHeat reproduction.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §5 for the experiment index):
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `table1` | Table I (MAPE/PAPE for p₁…p₁₀) |
+//! | `fig3_fields` | Fig. 3 (temperature fields) |
+//! | `fig4_powermaps` | Fig. 4 (training vs tile vs interpolated maps) |
+//! | `fig5_htc` | Fig. 5 + §V.B metrics |
+//! | `speedup` | §V.A.7 / §V.B speedup comparison |
+
+use std::collections::HashMap;
+
+/// Minimal `--key value` / `--flag` argument parser for the harness
+/// binaries (avoids a CLI dependency).
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_bench::Args;
+/// let args = Args::from_iter(["--iterations", "100", "--quick"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get_usize("iterations", 5), 100);
+/// assert!(args.flag("quick"));
+/// assert_eq!(args.get_str("mode", "physics"), "physics");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else { continue };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(key.to_string(), iter.next().expect("peeked"));
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// Returns a `usize` option or the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if the value does not parse.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        match self.values.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")),
+            None => default,
+        }
+    }
+
+    /// Returns an `f64` option or the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if the value does not parse.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        match self.values.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")),
+            None => default,
+        }
+    }
+
+    /// Returns a string option or the default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Returns `true` if `--key` was passed without a value.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Formats a duration in human-friendly seconds.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.1}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = Args::from_iter(
+            ["--iterations", "42", "--mode", "supervised", "--quick", "--scale", "2.5"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.get_usize("iterations", 0), 42);
+        assert_eq!(a.get_str("mode", "x"), "supervised");
+        assert!((a.get_f64("scale", 0.0) - 2.5).abs() < 1e-12);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("missing"));
+        assert_eq!(a.get_usize("absent", 7), 7);
+    }
+
+    #[test]
+    fn trailing_flag_is_a_flag() {
+        let a = Args::from_iter(["--verbose"].iter().map(|s| s.to_string()));
+        assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let a = Args::from_iter(["--n", "abc"].iter().map(|s| s.to_string()));
+        a.get_usize("n", 0);
+    }
+}

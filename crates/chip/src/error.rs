@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+use deepoheat_fdm::FdmError;
+use deepoheat_linalg::LinalgError;
+
+/// Errors produced when building or meshing a chip configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChipError {
+    /// The underlying solver rejected the configuration.
+    Fdm(FdmError),
+    /// A raw matrix operation failed.
+    Linalg(LinalgError),
+    /// The chip stack itself was invalid (empty, non-positive dimensions,
+    /// mis-sized power map, …).
+    InvalidDesign {
+        /// Description of what was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipError::Fdm(e) => write!(f, "solver configuration failure: {e}"),
+            ChipError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            ChipError::InvalidDesign { what } => write!(f, "invalid chip design: {what}"),
+        }
+    }
+}
+
+impl Error for ChipError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ChipError::Fdm(e) => Some(e),
+            ChipError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FdmError> for ChipError {
+    fn from(e: FdmError) -> Self {
+        ChipError::Fdm(e)
+    }
+}
+
+impl From<LinalgError> for ChipError {
+    fn from(e: LinalgError) -> Self {
+        ChipError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = ChipError::InvalidDesign { what: "no layers".into() };
+        assert!(e.to_string().contains("no layers"));
+        assert!(Error::source(&e).is_none());
+        let e: ChipError = FdmError::InvalidGrid { what: "x".into() }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

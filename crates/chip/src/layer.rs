@@ -1,0 +1,130 @@
+use crate::ChipError;
+
+/// One cuboidal slab of a chip stack: a thickness, an isotropic thermal
+/// conductivity and an optional uniform volumetric power density.
+///
+/// Stacks are listed bottom-up. §V.B of the paper uses a three-layer stack
+/// whose 0.05 mm middle layer dissipates 0.625 mW — see
+/// [`Layer::with_total_power`] for that encoding.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_chip::Layer;
+///
+/// // The §V.B power layer: 1mm x 1mm footprint, 0.05mm thick, 0.625 mW total.
+/// let layer = Layer::with_total_power(0.05e-3, 0.1, 0.000625, 1e-3 * 1e-3)?;
+/// assert!((layer.volumetric_power() - 1.25e7).abs() < 1.0); // W/m³
+/// # Ok::<(), deepoheat_chip::ChipError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Layer {
+    thickness: f64,
+    conductivity: f64,
+    volumetric_power: f64,
+}
+
+impl Layer {
+    /// Creates a passive (unpowered) layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidDesign`] if the thickness or
+    /// conductivity is not strictly positive and finite.
+    pub fn new(thickness: f64, conductivity: f64) -> Result<Self, ChipError> {
+        Self::with_volumetric_power(thickness, conductivity, 0.0)
+    }
+
+    /// Creates a layer with a uniform volumetric power density (`W/m³`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidDesign`] for non-positive thickness or
+    /// conductivity, or a non-finite power density.
+    pub fn with_volumetric_power(
+        thickness: f64,
+        conductivity: f64,
+        volumetric_power: f64,
+    ) -> Result<Self, ChipError> {
+        if !(thickness.is_finite() && thickness > 0.0) {
+            return Err(ChipError::InvalidDesign { what: format!("layer thickness must be positive, got {thickness}") });
+        }
+        if !(conductivity.is_finite() && conductivity > 0.0) {
+            return Err(ChipError::InvalidDesign {
+                what: format!("layer conductivity must be positive, got {conductivity}"),
+            });
+        }
+        if !volumetric_power.is_finite() {
+            return Err(ChipError::InvalidDesign { what: "layer power must be finite".into() });
+        }
+        Ok(Layer { thickness, conductivity, volumetric_power })
+    }
+
+    /// Creates a powered layer from a *total* dissipated power in watts
+    /// and the chip footprint area (`m²`), converting to the density the
+    /// heat equation wants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidDesign`] for invalid geometry or a
+    /// non-positive footprint.
+    pub fn with_total_power(
+        thickness: f64,
+        conductivity: f64,
+        total_power: f64,
+        footprint_area: f64,
+    ) -> Result<Self, ChipError> {
+        if !(footprint_area.is_finite() && footprint_area > 0.0) {
+            return Err(ChipError::InvalidDesign {
+                what: format!("footprint area must be positive, got {footprint_area}"),
+            });
+        }
+        let density = total_power / (footprint_area * thickness);
+        Self::with_volumetric_power(thickness, conductivity, density)
+    }
+
+    /// Layer thickness in metres.
+    pub fn thickness(&self) -> f64 {
+        self.thickness
+    }
+
+    /// Isotropic conductivity in `W/(m K)`.
+    pub fn conductivity(&self) -> f64 {
+        self.conductivity
+    }
+
+    /// Uniform volumetric power density in `W/m³`.
+    pub fn volumetric_power(&self) -> f64 {
+        self.volumetric_power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Layer::new(0.0, 1.0).is_err());
+        assert!(Layer::new(1.0, 0.0).is_err());
+        assert!(Layer::new(-1.0, 1.0).is_err());
+        assert!(Layer::with_volumetric_power(1.0, 1.0, f64::NAN).is_err());
+        assert!(Layer::with_total_power(1.0, 1.0, 1.0, 0.0).is_err());
+        assert!(Layer::new(0.5e-3, 0.1).is_ok());
+    }
+
+    #[test]
+    fn total_power_conversion() {
+        // The paper's §V.B layer: 0.000625 W over 1mm² x 0.05mm.
+        let l = Layer::with_total_power(0.05e-3, 0.1, 0.000625, 1e-6).unwrap();
+        assert!((l.volumetric_power() - 0.000625 / (1e-6 * 0.05e-3)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn accessors() {
+        let l = Layer::with_volumetric_power(2e-3, 0.5, 100.0).unwrap();
+        assert_eq!(l.thickness(), 2e-3);
+        assert_eq!(l.conductivity(), 0.5);
+        assert_eq!(l.volumetric_power(), 100.0);
+    }
+}

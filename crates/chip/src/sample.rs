@@ -1,0 +1,169 @@
+//! Collocation-point machinery for physics-informed training.
+//!
+//! §V.A trains on the full mesh (interior nodes get the PDE residual,
+//! face nodes get their boundary residuals); §V.B abandons the mesh and
+//! draws uniform random points in the volume and on the faces each
+//! iteration. Both styles are provided here, always in *normalized*
+//! coordinates (each axis divided by its extent) — the coordinate system
+//! the surrogate trains in.
+
+use deepoheat_fdm::{Face, StructuredGrid};
+use deepoheat_linalg::Matrix;
+use rand::Rng;
+
+/// A partition of a grid's nodes into the interior set and the six face
+/// sets (edge and corner nodes appear in every face they lie on, exactly
+/// as the paper indexes "all the coordinates that are located in its
+/// designated regions").
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_chip::MeshPartition;
+/// use deepoheat_fdm::{Face, StructuredGrid};
+///
+/// let grid = StructuredGrid::new(21, 21, 11, 1e-3, 1e-3, 0.5e-3)?;
+/// let part = MeshPartition::new(&grid);
+/// assert_eq!(part.face(Face::ZMax).len(), 441);
+/// assert_eq!(part.interior().len(), 19 * 19 * 9);
+/// # Ok::<(), deepoheat_fdm::FdmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshPartition {
+    interior: Vec<usize>,
+    faces: [Vec<usize>; 6],
+}
+
+impl MeshPartition {
+    /// Classifies every node of `grid`.
+    pub fn new(grid: &StructuredGrid) -> Self {
+        let mut interior = Vec::new();
+        let mut faces: [Vec<usize>; 6] = Default::default();
+        for idx in 0..grid.node_count() {
+            let (i, j, k) = grid.coordinates(idx);
+            let mut on_boundary = false;
+            let mut record = |face: Face, cond: bool| {
+                if cond {
+                    faces[face.index()].push(idx);
+                    on_boundary = true;
+                }
+            };
+            record(Face::XMin, i == 0);
+            record(Face::XMax, i == grid.nx() - 1);
+            record(Face::YMin, j == 0);
+            record(Face::YMax, j == grid.ny() - 1);
+            record(Face::ZMin, k == 0);
+            record(Face::ZMax, k == grid.nz() - 1);
+            if !on_boundary {
+                interior.push(idx);
+            }
+        }
+        MeshPartition { interior, faces }
+    }
+
+    /// Flat indices of strictly interior nodes.
+    pub fn interior(&self) -> &[usize] {
+        &self.interior
+    }
+
+    /// Flat indices of the nodes on `face` (in face row-major order:
+    /// the first in-plane axis varies fastest).
+    pub fn face(&self, face: Face) -> &[usize] {
+        &self.faces[face.index()]
+    }
+}
+
+/// Draws `n` uniform random points inside the unit cube as an `n × 3`
+/// normalized-coordinate matrix (the §V.B sampling style).
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_chip::sample_volume_points;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let pts = sample_volume_points(100, &mut rng);
+/// assert_eq!(pts.shape(), (100, 3));
+/// assert!(pts.iter().all(|&v| (0.0..=1.0).contains(&v)));
+/// ```
+pub fn sample_volume_points<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
+    Matrix::from_fn(n, 3, |_, _| rng.gen_range(0.0..=1.0))
+}
+
+/// Draws `n` uniform random points on one face of the unit cube, as an
+/// `n × 3` normalized-coordinate matrix (the fixed coordinate is 0 or 1).
+pub fn sample_face_points<R: Rng + ?Sized>(face: Face, n: usize, rng: &mut R) -> Matrix {
+    let axis = face.normal_axis();
+    let fixed = if face.is_max() { 1.0 } else { 0.0 };
+    Matrix::from_fn(n, 3, |_, c| if c == axis { fixed } else { rng.gen_range(0.0..=1.0) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn grid() -> StructuredGrid {
+        StructuredGrid::new(5, 4, 3, 1.0, 1.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let g = grid();
+        let p = MeshPartition::new(&g);
+        assert_eq!(p.interior().len(), 3 * 2 * 1);
+        assert_eq!(p.face(Face::XMin).len(), 4 * 3);
+        assert_eq!(p.face(Face::ZMax).len(), 5 * 4);
+        // Every node is either interior or on >= 1 face.
+        let mut seen = vec![false; g.node_count()];
+        for &i in p.interior() {
+            seen[i] = true;
+        }
+        for face in Face::ALL {
+            for &i in p.face(face) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn corner_nodes_appear_on_three_faces() {
+        let g = grid();
+        let p = MeshPartition::new(&g);
+        let corner = g.index(0, 0, 0);
+        let n_faces = Face::ALL.iter().filter(|f| p.face(**f).contains(&corner)).count();
+        assert_eq!(n_faces, 3);
+    }
+
+    #[test]
+    fn face_ordering_matches_face_nodes_convention() {
+        // ZMax nodes come out with i varying fastest, aligning with the
+        // `(i, j)` flux-map convention.
+        let g = grid();
+        let p = MeshPartition::new(&g);
+        let z_max = p.face(Face::ZMax);
+        assert_eq!(z_max[0], g.index(0, 0, 2));
+        assert_eq!(z_max[1], g.index(1, 0, 2));
+        assert_eq!(z_max[5], g.index(0, 1, 2));
+    }
+
+    #[test]
+    fn volume_samples_are_in_bounds_and_deterministic() {
+        let a = sample_volume_points(50, &mut rand::rngs::StdRng::seed_from_u64(1));
+        let b = sample_volume_points(50, &mut rand::rngs::StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn face_samples_pin_the_normal_axis() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let top = sample_face_points(Face::ZMax, 20, &mut rng);
+        assert!(top.column(2).iter().all(|&v| v == 1.0));
+        let left = sample_face_points(Face::XMin, 20, &mut rng);
+        assert!(left.column(0).iter().all(|&v| v == 0.0));
+        assert!(left.column(1).iter().any(|&v| v > 0.0));
+    }
+}

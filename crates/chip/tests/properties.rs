@@ -1,0 +1,86 @@
+//! Property-based tests of chip meshing, unit conversion and collocation
+//! sampling.
+
+use deepoheat_chip::{sample_face_points, sample_volume_points, Chip, Layer, MeshPartition, UNIT_POWER_WATTS};
+use deepoheat_fdm::{Face, StructuredGrid};
+use deepoheat_linalg::Matrix;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partition_covers_every_node_exactly(nx in 2usize..8, ny in 2usize..8, nz in 2usize..8) {
+        let grid = StructuredGrid::new(nx, ny, nz, 1.0, 1.0, 1.0).unwrap();
+        let part = MeshPartition::new(&grid);
+        let mut claimed = vec![false; grid.node_count()];
+        for &i in part.interior() {
+            prop_assert!(!claimed[i], "interior node {i} double-claimed");
+            claimed[i] = true;
+        }
+        for face in Face::ALL {
+            for &i in part.face(face) {
+                claimed[i] = true;
+            }
+        }
+        prop_assert!(claimed.iter().all(|&c| c));
+        // Interior count is the strict product of inner extents.
+        prop_assert_eq!(part.interior().len(), (nx - 2) * (ny - 2) * (nz - 2));
+        // Each face has its full vertex grid.
+        prop_assert_eq!(part.face(Face::ZMax).len(), nx * ny);
+        prop_assert_eq!(part.face(Face::XMin).len(), ny * nz);
+    }
+
+    #[test]
+    fn unit_flux_conversion_is_linear(units in 0.0f64..5.0, nx in 5usize..30) {
+        let chip = Chip::single_cuboid(1e-3, 1e-3, 0.5e-3, nx, nx, 5, 0.1).unwrap();
+        let map = Matrix::filled(nx, nx, units);
+        let flux = chip.units_to_flux(&map);
+        let expected = units * UNIT_POWER_WATTS / (chip.grid().dx() * chip.grid().dy());
+        for &f in flux.iter() {
+            prop_assert!((f - expected).abs() < 1e-9 * expected.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn conductivity_field_is_piecewise_constant_in_z(k1 in 0.05f64..1.0, k2 in 0.05f64..1.0) {
+        let layers = vec![Layer::new(0.5e-3, k1).unwrap(), Layer::new(0.5e-3, k2).unwrap()];
+        let chip = Chip::new(1e-3, 1e-3, 4, 4, 11, layers).unwrap();
+        let field = chip.conductivity_field();
+        let g = chip.grid();
+        for idx in 0..g.node_count() {
+            let (_, _, kk) = g.coordinates(idx);
+            let expected = if kk < 5 { k1 } else { k2 };
+            prop_assert!((field[idx] - expected).abs() < 1e-15, "layer mismatch at k={kk}");
+        }
+    }
+
+    #[test]
+    fn volume_samples_stay_inside_the_unit_cube(seed in 0u64..5000, n in 1usize..200) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pts = sample_volume_points(n, &mut rng);
+        prop_assert_eq!(pts.shape(), (n, 3));
+        prop_assert!(pts.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn face_samples_pin_their_normal_coordinate(seed in 0u64..5000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for face in Face::ALL {
+            let pts = sample_face_points(face, 16, &mut rng);
+            let axis = face.normal_axis();
+            let fixed = if face.is_max() { 1.0 } else { 0.0 };
+            for r in 0..16 {
+                prop_assert_eq!(pts[(r, axis)], fixed);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_total_power_is_conserved(power in 1e-5f64..1e-2, thickness in 1e-5f64..5e-4) {
+        let layer = Layer::with_total_power(thickness, 0.1, power, 1e-6).unwrap();
+        let recovered = layer.volumetric_power() * 1e-6 * thickness;
+        prop_assert!((recovered - power).abs() < 1e-12 * power.max(1e-12));
+    }
+}

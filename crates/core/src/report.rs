@@ -1,0 +1,137 @@
+//! Plain-text reporting utilities for the experiment harnesses: ASCII
+//! heat maps (the terminal stand-in for the paper's colour plots) and CSV
+//! export for external plotting.
+
+use std::io::Write;
+use std::path::Path;
+
+use deepoheat_linalg::Matrix;
+
+/// Shade ramp from cold to hot.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a field as an ASCII heat map, one character per element,
+/// normalised to the field's own min/max (a constant field renders as all
+/// minimum shade). Rows of the matrix become rows of text.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat::report::ascii_heatmap;
+/// use deepoheat_linalg::Matrix;
+///
+/// let field = Matrix::from_rows(&[&[0.0, 1.0], &[0.5, 0.25]])?;
+/// let art = ascii_heatmap(&field);
+/// assert_eq!(art.lines().count(), 2);
+/// # Ok::<(), deepoheat_linalg::LinalgError>(())
+/// ```
+pub fn ascii_heatmap(field: &Matrix) -> String {
+    let (lo, hi) = (field.min(), field.max());
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let mut out = String::with_capacity(field.rows() * (field.cols() + 1));
+    for r in 0..field.rows() {
+        for &v in field.row(r) {
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            let idx = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders two fields side by side with a gap, labelled by `left` and
+/// `right` headers — the format the Fig. 3/Fig. 5 harnesses print
+/// (reference vs prediction).
+pub fn side_by_side(left_label: &str, left: &Matrix, right_label: &str, right: &Matrix) -> String {
+    let l = ascii_heatmap(left);
+    let r = ascii_heatmap(right);
+    let l_lines: Vec<&str> = l.lines().collect();
+    let r_lines: Vec<&str> = r.lines().collect();
+    let width = l_lines.iter().map(|s| s.len()).max().unwrap_or(0).max(left_label.len());
+    let mut out = format!("{left_label:<width$}    {right_label}\n");
+    for i in 0..l_lines.len().max(r_lines.len()) {
+        let a = l_lines.get(i).copied().unwrap_or("");
+        let b = r_lines.get(i).copied().unwrap_or("");
+        out.push_str(&format!("{a:<width$}    {b}\n"));
+    }
+    out
+}
+
+/// Writes a matrix as CSV (no header) to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv<P: AsRef<Path>>(field: &Matrix, path: P) -> std::io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for r in 0..field.rows() {
+        let row: Vec<String> = field.row(r).iter().map(|v| format!("{v:.6}")).collect();
+        writeln!(file, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Formats a Table-I-style row: a label followed by aligned numeric
+/// columns.
+pub fn table_row(label: &str, values: &[f64], precision: usize) -> String {
+    let mut out = format!("{label:<12}");
+    for v in values {
+        out.push_str(&format!(" {v:>10.precision$}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shape_and_extremes() {
+        let field = Matrix::from_rows(&[&[0.0, 10.0], &[5.0, 2.5]]).unwrap();
+        let art = ascii_heatmap(&field);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        assert_eq!(lines[0].as_bytes()[0], b' '); // minimum
+        assert_eq!(lines[0].as_bytes()[1], b'@'); // maximum
+    }
+
+    #[test]
+    fn constant_field_does_not_divide_by_zero() {
+        let art = ascii_heatmap(&Matrix::filled(3, 3, 7.0));
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.chars().filter(|c| *c != '\n').all(|c| c == ' '));
+    }
+
+    #[test]
+    fn side_by_side_aligns_rows() {
+        let a = Matrix::filled(2, 4, 1.0);
+        let b = Matrix::filled(2, 3, 1.0);
+        let s = side_by_side("ref", &a, "pred", &b);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.starts_with("ref"));
+        assert!(s.contains("pred"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let field = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.5]]).unwrap();
+        let dir = std::env::temp_dir().join("deepoheat_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("field.csv");
+        write_csv(&field, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("1.000000,2.000000"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn table_row_formats_columns() {
+        let row = table_row("p1", &[0.03, 0.10], 2);
+        assert!(row.starts_with("p1"));
+        assert!(row.contains("0.03"));
+        assert!(row.contains("0.10"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Closed-form 1-D solutions used to validate the finite-volume solver.
+//!
+//! A chip heated by a *uniform* top flux with adiabatic sides reduces to
+//! one-dimensional conduction through the thickness: the heat flux is
+//! constant, the temperature is linear in each layer, and the bottom
+//! convection boundary fixes the absolute level. These solutions are exact
+//! for the discretisation too (the FV scheme reproduces linear fields), so
+//! the solver tests can assert tight tolerances.
+
+use crate::FdmError;
+
+/// Temperature at height `z` (measured from the *bottom*, metres) of a
+/// single-material slab carrying uniform flux `q` (`W/m²`, positive
+/// heating from the top) with conductivity `k` and bottom convection
+/// `(h, t_amb)`:
+///
+/// ```text
+/// T(z) = T_amb + q/h + q·z/k
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_fdm::slab_conduction_profile;
+///
+/// let t_bottom = slab_conduction_profile(1000.0, 0.1, 500.0, 298.15, 0.0);
+/// assert!((t_bottom - 300.15).abs() < 1e-12); // T_amb + q/h
+/// ```
+pub fn slab_conduction_profile(q: f64, k: f64, h: f64, t_amb: f64, z: f64) -> f64 {
+    t_amb + q / h + q * z / k
+}
+
+/// A multi-layer 1-D slab stack: layers are listed bottom-up as
+/// `(conductivity, thickness)`, with bottom convection and a uniform top
+/// heat flux.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_fdm::SlabAnalytic;
+///
+/// let slab = SlabAnalytic::new(vec![(0.2, 0.5e-3), (1.0, 0.5e-3)], 400.0, 298.15, 1000.0)?;
+/// let top = slab.temperature(1e-3);
+/// let bottom = slab.temperature(0.0);
+/// assert!(top > bottom);
+/// # Ok::<(), deepoheat_fdm::FdmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlabAnalytic {
+    layers: Vec<(f64, f64)>,
+    htc: f64,
+    ambient: f64,
+    flux: f64,
+}
+
+impl SlabAnalytic {
+    /// Creates the stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FdmError::InvalidParameter`] if there are no layers, any
+    /// conductivity/thickness is non-positive, or `htc <= 0`.
+    pub fn new(layers: Vec<(f64, f64)>, htc: f64, ambient: f64, flux: f64) -> Result<Self, FdmError> {
+        if layers.is_empty() {
+            return Err(FdmError::InvalidParameter { what: "slab stack needs at least one layer".into() });
+        }
+        for &(k, t) in &layers {
+            if k <= 0.0 || t <= 0.0 || !k.is_finite() || !t.is_finite() {
+                return Err(FdmError::InvalidParameter {
+                    what: format!("layer (k={k}, t={t}) must have positive conductivity and thickness"),
+                });
+            }
+        }
+        if htc <= 0.0 || !htc.is_finite() {
+            return Err(FdmError::InvalidParameter { what: format!("htc must be positive, got {htc}") });
+        }
+        Ok(SlabAnalytic { layers, htc, ambient, flux })
+    }
+
+    /// Total stack thickness.
+    pub fn thickness(&self) -> f64 {
+        self.layers.iter().map(|&(_, t)| t).sum()
+    }
+
+    /// Total thermal resistance per unit area, including the convection
+    /// film: `1/h + Σ tᵢ/kᵢ`.
+    pub fn unit_resistance(&self) -> f64 {
+        1.0 / self.htc + self.layers.iter().map(|&(k, t)| t / k).sum::<f64>()
+    }
+
+    /// Temperature at height `z` above the bottom surface.
+    ///
+    /// Heights outside `[0, thickness]` clamp to the respective surface
+    /// temperature.
+    pub fn temperature(&self, z: f64) -> f64 {
+        let mut t = self.ambient + self.flux / self.htc;
+        let mut z_base = 0.0;
+        for &(k, thick) in &self.layers {
+            let z_top = z_base + thick;
+            if z <= z_top {
+                return t + self.flux * (z - z_base).max(0.0) / k;
+            }
+            t += self.flux * thick / k;
+            z_base = z_top;
+        }
+        t
+    }
+
+    /// The top-surface temperature.
+    pub fn top_temperature(&self) -> f64 {
+        self.temperature(self.thickness())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_layer_matches_simple_formula() {
+        let slab = SlabAnalytic::new(vec![(0.1, 0.5e-3)], 500.0, 298.15, 2000.0).unwrap();
+        for &z in &[0.0, 0.1e-3, 0.5e-3] {
+            assert!((slab.temperature(z) - slab_conduction_profile(2000.0, 0.1, 500.0, 298.15, z)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resistances_add_in_series() {
+        let slab = SlabAnalytic::new(vec![(0.2, 1e-3), (0.5, 2e-3)], 100.0, 300.0, 50.0).unwrap();
+        let expected_r = 1.0 / 100.0 + 1e-3 / 0.2 + 2e-3 / 0.5;
+        assert!((slab.unit_resistance() - expected_r).abs() < 1e-15);
+        assert!((slab.top_temperature() - (300.0 + 50.0 * expected_r)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_flux_is_isothermal() {
+        let slab = SlabAnalytic::new(vec![(0.3, 1e-3)], 250.0, 298.15, 0.0).unwrap();
+        assert_eq!(slab.temperature(0.0), 298.15);
+        assert_eq!(slab.top_temperature(), 298.15);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SlabAnalytic::new(vec![], 100.0, 300.0, 1.0).is_err());
+        assert!(SlabAnalytic::new(vec![(0.0, 1.0)], 100.0, 300.0, 1.0).is_err());
+        assert!(SlabAnalytic::new(vec![(1.0, -1.0)], 100.0, 300.0, 1.0).is_err());
+        assert!(SlabAnalytic::new(vec![(1.0, 1.0)], 0.0, 300.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_heights_clamp() {
+        let slab = SlabAnalytic::new(vec![(0.1, 1e-3)], 500.0, 298.15, 1000.0).unwrap();
+        assert_eq!(slab.temperature(-1.0), slab.temperature(0.0));
+        assert_eq!(slab.temperature(2.0), slab.top_temperature());
+    }
+}

@@ -1,0 +1,195 @@
+use deepoheat_linalg::Matrix;
+
+/// One of the six faces of the cuboidal simulation domain.
+///
+/// Face-local 2-D maps (heat-flux fields) are indexed by the two in-plane
+/// axes in ascending axis order: X faces by `(j, k)`, Y faces by `(i, k)`,
+/// Z faces by `(i, j)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Face {
+    /// The `x = 0` face.
+    XMin,
+    /// The `x = Lx` face.
+    XMax,
+    /// The `y = 0` face.
+    YMin,
+    /// The `y = Ly` face.
+    YMax,
+    /// The `z = 0` face (chip bottom).
+    ZMin,
+    /// The `z = Lz` face (chip top — where §V.A's power map lives).
+    ZMax,
+}
+
+impl Face {
+    /// All six faces in a fixed order (the storage order of per-face
+    /// arrays).
+    pub const ALL: [Face; 6] = [Face::XMin, Face::XMax, Face::YMin, Face::YMax, Face::ZMin, Face::ZMax];
+
+    /// A stable index into per-face arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Face::XMin => 0,
+            Face::XMax => 1,
+            Face::YMin => 2,
+            Face::YMax => 3,
+            Face::ZMin => 4,
+            Face::ZMax => 5,
+        }
+    }
+
+    /// Lowercase name for error messages and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Face::XMin => "x_min",
+            Face::XMax => "x_max",
+            Face::YMin => "y_min",
+            Face::YMax => "y_max",
+            Face::ZMin => "z_min",
+            Face::ZMax => "z_max",
+        }
+    }
+
+    /// The axis this face is normal to (0 = x, 1 = y, 2 = z).
+    pub fn normal_axis(self) -> usize {
+        match self {
+            Face::XMin | Face::XMax => 0,
+            Face::YMin | Face::YMax => 1,
+            Face::ZMin | Face::ZMax => 2,
+        }
+    }
+
+    /// `+1` if the outward normal points in the positive axis direction,
+    /// `-1` otherwise.
+    pub fn normal_sign(self) -> f64 {
+        match self {
+            Face::XMax | Face::YMax | Face::ZMax => 1.0,
+            Face::XMin | Face::YMin | Face::ZMin => -1.0,
+        }
+    }
+
+    /// Returns `true` for the three maximum-coordinate faces.
+    pub fn is_max(self) -> bool {
+        self.normal_sign() > 0.0
+    }
+}
+
+impl std::fmt::Display for Face {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A heat-flux distribution over a face (the paper's "2-D power map" when
+/// positive), in `W/m²`, defined on the face's vertex grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FluxMap {
+    /// The same flux everywhere on the face.
+    Uniform(f64),
+    /// Per-vertex flux values on the face grid (see [`Face`] for the
+    /// index convention).
+    Field(Matrix),
+}
+
+impl FluxMap {
+    /// Flux value at face-local vertex `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`FluxMap::Field`] is indexed out of bounds.
+    pub fn value(&self, a: usize, b: usize) -> f64 {
+        match self {
+            FluxMap::Uniform(q) => *q,
+            FluxMap::Field(m) => m[(a, b)],
+        }
+    }
+
+    /// Shape of the map, or `None` for a uniform map (valid on any face).
+    pub fn shape(&self) -> Option<(usize, usize)> {
+        match self {
+            FluxMap::Uniform(_) => None,
+            FluxMap::Field(m) => Some(m.shape()),
+        }
+    }
+}
+
+/// A boundary condition on one face of the domain.
+///
+/// These are the four condition families of §III of the paper.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BoundaryCondition {
+    /// Perfectly insulated surface: `-k ∂T/∂n = 0`.
+    Adiabatic,
+    /// Fixed surface temperature `T = q_d` (Kelvin).
+    Dirichlet {
+        /// The imposed temperature.
+        temperature: f64,
+    },
+    /// Imposed inward heat flux `q_n` (`W/m²`): `-k ∂T/∂n = -q_n` with
+    /// positive values *heating* the body. A positive non-uniform map is
+    /// exactly the paper's surface/2-D power map.
+    HeatFlux {
+        /// The flux distribution.
+        flux: FluxMap,
+    },
+    /// Newton cooling `-k ∂T/∂n = h (T - T_amb)`.
+    Convection {
+        /// Heat-transfer coefficient `h` in `W/(m² K)`.
+        htc: f64,
+        /// Ambient temperature in Kelvin.
+        ambient: f64,
+    },
+}
+
+impl Default for BoundaryCondition {
+    /// Adiabatic — the natural (do-nothing) condition of the
+    /// finite-volume discretisation.
+    fn default() -> Self {
+        BoundaryCondition::Adiabatic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn face_indices_are_distinct_and_stable() {
+        let mut seen = [false; 6];
+        for face in Face::ALL {
+            assert!(!seen[face.index()], "duplicate index for {face}");
+            seen[face.index()] = true;
+        }
+    }
+
+    #[test]
+    fn normals() {
+        assert_eq!(Face::ZMax.normal_axis(), 2);
+        assert_eq!(Face::ZMax.normal_sign(), 1.0);
+        assert_eq!(Face::ZMin.normal_sign(), -1.0);
+        assert!(Face::XMax.is_max());
+        assert!(!Face::YMin.is_max());
+    }
+
+    #[test]
+    fn flux_map_values() {
+        let u = FluxMap::Uniform(3.0);
+        assert_eq!(u.value(5, 7), 3.0);
+        assert_eq!(u.shape(), None);
+        let f = FluxMap::Field(Matrix::from_rows(&[&[1.0, 2.0]]).unwrap());
+        assert_eq!(f.value(0, 1), 2.0);
+        assert_eq!(f.shape(), Some((1, 2)));
+    }
+
+    #[test]
+    fn default_is_adiabatic() {
+        assert_eq!(BoundaryCondition::default(), BoundaryCondition::Adiabatic);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Face::ZMax.to_string(), "z_max");
+        assert_eq!(Face::XMin.to_string(), "x_min");
+    }
+}

@@ -1,0 +1,275 @@
+use deepoheat_linalg::Matrix;
+
+use crate::FdmError;
+
+/// A structured, vertex-centred rectilinear grid over a cuboidal domain.
+///
+/// Vertices are equispaced: node `(i, j, k)` sits at
+/// `(i·Δx, j·Δy, k·Δz)` with `Δx = Lx/(nx-1)` and so on. The flat node
+/// index is `(k·ny + j)·nx + i` (x fastest), which all per-node fields in
+/// this crate share.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_fdm::StructuredGrid;
+///
+/// // The paper's §V.A mesh: 21 x 21 x 11 over 1mm x 1mm x 0.5mm.
+/// let grid = StructuredGrid::new(21, 21, 11, 1e-3, 1e-3, 0.5e-3)?;
+/// assert_eq!(grid.node_count(), 4851);
+/// assert_eq!(grid.position(20, 0, 10), [1e-3, 0.0, 0.5e-3]);
+/// # Ok::<(), deepoheat_fdm::FdmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructuredGrid {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    lx: f64,
+    ly: f64,
+    lz: f64,
+}
+
+impl StructuredGrid {
+    /// Creates a grid with `nx × ny × nz` vertices over an
+    /// `lx × ly × lz` (metres) domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FdmError::InvalidGrid`] if any vertex count is below 2 or
+    /// any extent is not strictly positive and finite.
+    pub fn new(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> Result<Self, FdmError> {
+        if nx < 2 || ny < 2 || nz < 2 {
+            return Err(FdmError::InvalidGrid {
+                what: format!("need at least 2 vertices per axis, got {nx}x{ny}x{nz}"),
+            });
+        }
+        for (name, l) in [("lx", lx), ("ly", ly), ("lz", lz)] {
+            if l <= 0.0 || !l.is_finite() {
+                return Err(FdmError::InvalidGrid { what: format!("{name} must be positive, got {l}") });
+            }
+        }
+        Ok(StructuredGrid { nx, ny, nz, lx, ly, lz })
+    }
+
+    /// Vertex count along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Vertex count along y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Vertex count along z.
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Domain extent along x in metres.
+    pub fn lx(&self) -> f64 {
+        self.lx
+    }
+
+    /// Domain extent along y in metres.
+    pub fn ly(&self) -> f64 {
+        self.ly
+    }
+
+    /// Domain extent along z in metres.
+    pub fn lz(&self) -> f64 {
+        self.lz
+    }
+
+    /// Grid spacing along x.
+    pub fn dx(&self) -> f64 {
+        self.lx / (self.nx - 1) as f64
+    }
+
+    /// Grid spacing along y.
+    pub fn dy(&self) -> f64 {
+        self.ly / (self.ny - 1) as f64
+    }
+
+    /// Grid spacing along z.
+    pub fn dz(&self) -> f64 {
+        self.lz / (self.nz - 1) as f64
+    }
+
+    /// Total number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Flat index of vertex `(i, j, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn index(&self, i: usize, j: usize, k: usize) -> usize {
+        assert!(
+            i < self.nx && j < self.ny && k < self.nz,
+            "node ({i}, {j}, {k}) out of bounds for {}x{}x{}",
+            self.nx,
+            self.ny,
+            self.nz
+        );
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Inverse of [`StructuredGrid::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.node_count()`.
+    pub fn coordinates(&self, idx: usize) -> (usize, usize, usize) {
+        assert!(idx < self.node_count(), "flat index {idx} out of bounds");
+        let i = idx % self.nx;
+        let j = (idx / self.nx) % self.ny;
+        let k = idx / (self.nx * self.ny);
+        (i, j, k)
+    }
+
+    /// Physical position of vertex `(i, j, k)` in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn position(&self, i: usize, j: usize, k: usize) -> [f64; 3] {
+        assert!(i < self.nx && j < self.ny && k < self.nz, "node ({i}, {j}, {k}) out of bounds");
+        [i as f64 * self.dx(), j as f64 * self.dy(), k as f64 * self.dz()]
+    }
+
+    /// Control-volume extent of node `i` along an axis with `n` vertices
+    /// and spacing `d` (half cells at the two boundary planes).
+    fn cv_extent(i: usize, n: usize, d: f64) -> f64 {
+        if i == 0 || i == n - 1 {
+            d / 2.0
+        } else {
+            d
+        }
+    }
+
+    /// Volume of the control volume around vertex `(i, j, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn control_volume(&self, i: usize, j: usize, k: usize) -> f64 {
+        assert!(i < self.nx && j < self.ny && k < self.nz, "node ({i}, {j}, {k}) out of bounds");
+        Self::cv_extent(i, self.nx, self.dx())
+            * Self::cv_extent(j, self.ny, self.dy())
+            * Self::cv_extent(k, self.nz, self.dz())
+    }
+
+    /// Boundary-face area owned by vertex `(a, b)` of a face whose in-plane
+    /// axes have `(na, nb)` vertices and `(da, db)` spacings (half patches
+    /// along face edges, quarter patches at corners).
+    pub fn face_patch_area(a: usize, na: usize, da: f64, b: usize, nb: usize, db: f64) -> f64 {
+        Self::cv_extent(a, na, da) * Self::cv_extent(b, nb, db)
+    }
+
+    /// All vertex positions as an `N × 3` matrix in flat-index order —
+    /// the trunk-net input of DeepOHeat for mesh-based training.
+    pub fn node_positions(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.node_count(), 3);
+        for idx in 0..self.node_count() {
+            let (i, j, k) = self.coordinates(idx);
+            let p = self.position(i, j, k);
+            m.row_mut(idx).copy_from_slice(&p);
+        }
+        m
+    }
+
+    /// All vertex positions normalised to the unit cube (each axis divided
+    /// by its extent) — the coordinate convention DeepOHeat trains in.
+    pub fn node_positions_normalized(&self) -> Matrix {
+        let mut m = self.node_positions();
+        for r in 0..m.rows() {
+            let row = m.row_mut(r);
+            row[0] /= self.lx;
+            row[1] /= self.ly;
+            row[2] /= self.lz;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_grid() -> StructuredGrid {
+        StructuredGrid::new(21, 21, 11, 1e-3, 1e-3, 0.5e-3).unwrap()
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(StructuredGrid::new(1, 2, 2, 1.0, 1.0, 1.0).is_err());
+        assert!(StructuredGrid::new(2, 2, 2, 0.0, 1.0, 1.0).is_err());
+        assert!(StructuredGrid::new(2, 2, 2, 1.0, -1.0, 1.0).is_err());
+        assert!(StructuredGrid::new(2, 2, 2, 1.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn paper_mesh_counts() {
+        let g = paper_grid();
+        assert_eq!(g.node_count(), 4851);
+        assert!((g.dx() - 5e-5).abs() < 1e-18);
+        assert!((g.dz() - 5e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let g = paper_grid();
+        for &(i, j, k) in &[(0, 0, 0), (20, 20, 10), (3, 7, 5), (20, 0, 10)] {
+            let idx = g.index(i, j, k);
+            assert_eq!(g.coordinates(idx), (i, j, k));
+        }
+        assert_eq!(g.index(0, 0, 0), 0);
+        assert_eq!(g.index(1, 0, 0), 1); // x fastest
+    }
+
+    #[test]
+    fn control_volumes_tile_the_domain() {
+        let g = StructuredGrid::new(4, 5, 6, 2.0, 3.0, 4.0).unwrap();
+        let total: f64 = (0..g.node_count())
+            .map(|idx| {
+                let (i, j, k) = g.coordinates(idx);
+                g.control_volume(i, j, k)
+            })
+            .sum();
+        assert!((total - 24.0).abs() < 1e-12, "total CV volume {total}");
+    }
+
+    #[test]
+    fn positions_and_normalization() {
+        let g = paper_grid();
+        let pos = g.node_positions();
+        assert_eq!(pos.shape(), (4851, 3));
+        assert_eq!(pos.row(g.index(20, 20, 10)), &[1e-3, 1e-3, 0.5e-3]);
+        let norm = g.node_positions_normalized();
+        assert_eq!(norm.row(g.index(20, 20, 10)), &[1.0, 1.0, 1.0]);
+        assert_eq!(norm.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn face_patch_areas_tile_a_face() {
+        // Sum of per-vertex patches of a 21x21 face must equal the face area.
+        let g = paper_grid();
+        let mut total = 0.0;
+        for i in 0..21 {
+            for j in 0..21 {
+                total += StructuredGrid::face_patch_area(i, 21, g.dx(), j, 21, g.dy());
+            }
+        }
+        assert!((total - 1e-6).abs() < 1e-18, "face area {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        paper_grid().index(21, 0, 0);
+    }
+}

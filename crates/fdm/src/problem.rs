@@ -1,0 +1,591 @@
+use deepoheat_linalg::{conjugate_gradient, CgOptions, CooMatrix, CsrMatrix, SsorPreconditioner};
+
+use crate::{BoundaryCondition, Face, FdmError, Solution, StructuredGrid};
+
+/// The assembled steady operator over the free (non-Dirichlet) nodes,
+/// shared between the static solver and the transient stepper.
+pub(crate) struct Assembly {
+    /// SPD conduction + convection operator.
+    pub matrix: CsrMatrix,
+    /// Source + boundary right-hand side.
+    pub rhs: Vec<f64>,
+    /// Node index → free-row index (None for Dirichlet-pinned nodes).
+    pub free_index: Vec<Option<usize>>,
+    /// Node index → pinned temperature (None for free nodes).
+    pub dirichlet: Vec<Option<f64>>,
+}
+
+/// Options controlling the linear solve inside [`HeatProblem::solve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Relative residual tolerance for the conjugate-gradient solve.
+    pub tolerance: f64,
+    /// Maximum CG iterations.
+    pub max_iterations: usize,
+    /// SSOR relaxation factor in `(0, 2)`.
+    pub ssor_omega: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { tolerance: 1e-10, max_iterations: 50_000, ssor_omega: 1.5 }
+    }
+}
+
+/// A steady-state heat-conduction problem on a [`StructuredGrid`]:
+/// per-node conductivity and volumetric power plus one
+/// [`BoundaryCondition`] per face.
+///
+/// This is the reproduction's reference solver, standing in for the
+/// commercial Celsius 3D tool (see the crate docs for the discretisation).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct HeatProblem {
+    grid: StructuredGrid,
+    conductivity: Vec<f64>,
+    volumetric_power: Vec<f64>,
+    boundaries: [BoundaryCondition; 6],
+}
+
+impl HeatProblem {
+    /// Creates a problem with uniform conductivity `k` (`W/(m K)`), no
+    /// volumetric power, and adiabatic conditions on every face.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not strictly positive (use
+    /// [`HeatProblem::set_conductivity_field`] for validated field input).
+    pub fn new(grid: StructuredGrid, k: f64) -> Self {
+        assert!(k > 0.0 && k.is_finite(), "conductivity must be positive, got {k}");
+        let n = grid.node_count();
+        HeatProblem {
+            grid,
+            conductivity: vec![k; n],
+            volumetric_power: vec![0.0; n],
+            boundaries: Default::default(),
+        }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &StructuredGrid {
+        &self.grid
+    }
+
+    /// Per-node conductivity in flat-index order.
+    pub fn conductivity(&self) -> &[f64] {
+        &self.conductivity
+    }
+
+    /// Per-node volumetric power density (`W/m³`) in flat-index order.
+    pub fn volumetric_power(&self) -> &[f64] {
+        &self.volumetric_power
+    }
+
+    /// The boundary condition on `face`.
+    pub fn boundary(&self, face: Face) -> &BoundaryCondition {
+        &self.boundaries[face.index()]
+    }
+
+    /// Replaces the conductivity field (one value per node, flat order).
+    ///
+    /// # Errors
+    ///
+    /// * [`FdmError::FieldMismatch`] on a length mismatch.
+    /// * [`FdmError::InvalidParameter`] if any value is not strictly
+    ///   positive and finite.
+    pub fn set_conductivity_field(&mut self, k: Vec<f64>) -> Result<&mut Self, FdmError> {
+        if k.len() != self.grid.node_count() {
+            return Err(FdmError::FieldMismatch {
+                field: "conductivity",
+                expected: self.grid.node_count(),
+                actual: k.len(),
+            });
+        }
+        if let Some(bad) = k.iter().find(|v| !(v.is_finite() && **v > 0.0)) {
+            return Err(FdmError::InvalidParameter { what: format!("conductivity must be positive, got {bad}") });
+        }
+        self.conductivity = k;
+        Ok(self)
+    }
+
+    /// Replaces the volumetric power-density field (`W/m³` per node).
+    ///
+    /// # Errors
+    ///
+    /// * [`FdmError::FieldMismatch`] on a length mismatch.
+    /// * [`FdmError::InvalidParameter`] on non-finite values.
+    pub fn set_volumetric_power(&mut self, q: Vec<f64>) -> Result<&mut Self, FdmError> {
+        if q.len() != self.grid.node_count() {
+            return Err(FdmError::FieldMismatch {
+                field: "volumetric power",
+                expected: self.grid.node_count(),
+                actual: q.len(),
+            });
+        }
+        if q.iter().any(|v| !v.is_finite()) {
+            return Err(FdmError::InvalidParameter { what: "volumetric power must be finite".into() });
+        }
+        self.volumetric_power = q;
+        Ok(self)
+    }
+
+    /// Sets the boundary condition on a face.
+    ///
+    /// # Errors
+    ///
+    /// * [`FdmError::BoundaryMismatch`] if a [`crate::FluxMap::Field`]'s shape does
+    ///   not match the face grid.
+    /// * [`FdmError::InvalidParameter`] for a non-positive convection
+    ///   coefficient or non-finite parameters.
+    pub fn set_boundary(&mut self, face: Face, bc: BoundaryCondition) -> Result<&mut Self, FdmError> {
+        match &bc {
+            BoundaryCondition::Adiabatic => {}
+            BoundaryCondition::Dirichlet { temperature } => {
+                if !temperature.is_finite() {
+                    return Err(FdmError::InvalidParameter {
+                        what: format!("dirichlet temperature must be finite, got {temperature}"),
+                    });
+                }
+            }
+            BoundaryCondition::HeatFlux { flux } => {
+                if let Some(shape) = flux.shape() {
+                    let expected = self.face_shape(face);
+                    if shape != expected {
+                        return Err(FdmError::BoundaryMismatch { face: face.name(), expected, actual: shape });
+                    }
+                }
+            }
+            BoundaryCondition::Convection { htc, ambient } => {
+                if !(htc.is_finite() && *htc > 0.0) {
+                    return Err(FdmError::InvalidParameter {
+                        what: format!("convection coefficient must be positive, got {htc}"),
+                    });
+                }
+                if !ambient.is_finite() {
+                    return Err(FdmError::InvalidParameter {
+                        what: format!("ambient temperature must be finite, got {ambient}"),
+                    });
+                }
+            }
+        }
+        self.boundaries[face.index()] = bc;
+        Ok(self)
+    }
+
+    /// Shape of a face's vertex grid (see [`Face`] for axis order).
+    pub fn face_shape(&self, face: Face) -> (usize, usize) {
+        match face.normal_axis() {
+            0 => (self.grid.ny(), self.grid.nz()),
+            1 => (self.grid.nx(), self.grid.nz()),
+            _ => (self.grid.nx(), self.grid.ny()),
+        }
+    }
+
+    /// Iterates all `(node index, face-local a, face-local b)` triples of a
+    /// face.
+    fn face_nodes(&self, face: Face) -> Vec<(usize, usize, usize)> {
+        let g = &self.grid;
+        let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
+        let mut out = Vec::new();
+        match face {
+            Face::XMin | Face::XMax => {
+                let i = if face.is_max() { nx - 1 } else { 0 };
+                for k in 0..nz {
+                    for j in 0..ny {
+                        out.push((g.index(i, j, k), j, k));
+                    }
+                }
+            }
+            Face::YMin | Face::YMax => {
+                let j = if face.is_max() { ny - 1 } else { 0 };
+                for k in 0..nz {
+                    for i in 0..nx {
+                        out.push((g.index(i, j, k), i, k));
+                    }
+                }
+            }
+            Face::ZMin | Face::ZMax => {
+                let k = if face.is_max() { nz - 1 } else { 0 };
+                for j in 0..ny {
+                    for i in 0..nx {
+                        out.push((g.index(i, j, k), i, j));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Boundary patch area owned by a face-local vertex `(a, b)`.
+    fn patch_area(&self, face: Face, a: usize, b: usize) -> f64 {
+        let g = &self.grid;
+        match face.normal_axis() {
+            0 => StructuredGrid::face_patch_area(a, g.ny(), g.dy(), b, g.nz(), g.dz()),
+            1 => StructuredGrid::face_patch_area(a, g.nx(), g.dx(), b, g.nz(), g.dz()),
+            _ => StructuredGrid::face_patch_area(a, g.nx(), g.dx(), b, g.ny(), g.dy()),
+        }
+    }
+
+    /// Assembles the steady operator over the free (non-Dirichlet) nodes:
+    /// `A T = b` with `A` SPD. Reused by [`HeatProblem::solve`] and the
+    /// transient stepper.
+    pub(crate) fn assemble(&self) -> Assembly {
+        let g = &self.grid;
+        let n = g.node_count();
+        let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
+        let (dx, dy, dz) = (g.dx(), g.dy(), g.dz());
+
+        // Dirichlet nodes are eliminated from the linear system.
+        let mut dirichlet: Vec<Option<f64>> = vec![None; n];
+        for face in Face::ALL {
+            if let BoundaryCondition::Dirichlet { temperature } = self.boundaries[face.index()] {
+                for (idx, _, _) in self.face_nodes(face) {
+                    dirichlet[idx] = Some(temperature);
+                }
+            }
+        }
+        let free_index: Vec<Option<usize>> = {
+            let mut next = 0usize;
+            dirichlet
+                .iter()
+                .map(|d| {
+                    if d.is_none() {
+                        let v = next;
+                        next += 1;
+                        Some(v)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        let n_free = free_index.iter().flatten().count();
+        let mut coo = CooMatrix::new(n_free, n_free);
+        let mut rhs = vec![0.0; n_free];
+
+        // Volumetric sources integrated over control volumes.
+        for idx in 0..n {
+            let Some(row) = free_index[idx] else { continue };
+            let (i, j, k) = g.coordinates(idx);
+            rhs[row] += self.volumetric_power[idx] * g.control_volume(i, j, k);
+        }
+
+        // Internal conduction: one harmonic-mean link per neighbouring pair.
+        // Face area between (i,j,k) and its +x neighbour spans the control
+        // extents of the in-plane axes (identical from both sides, so the
+        // assembled operator is symmetric).
+        let cv = |i: usize, nn: usize, d: f64| if i == 0 || i == nn - 1 { d / 2.0 } else { d };
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let idx = g.index(i, j, k);
+                    let neighbours = [
+                        (i + 1 < nx).then(|| (g.index(i + 1, j, k), cv(j, ny, dy) * cv(k, nz, dz) / dx)),
+                        (j + 1 < ny).then(|| (g.index(i, j + 1, k), cv(i, nx, dx) * cv(k, nz, dz) / dy)),
+                        (k + 1 < nz).then(|| (g.index(i, j, k + 1), cv(i, nx, dx) * cv(j, ny, dy) / dz)),
+                    ];
+                    for (nb, geom) in neighbours.into_iter().flatten() {
+                        let k_face = harmonic_mean(self.conductivity[idx], self.conductivity[nb]);
+                        let gcond = k_face * geom;
+                        self.add_link(&mut coo, &mut rhs, &free_index, &dirichlet, idx, nb, gcond);
+                    }
+                }
+            }
+        }
+
+        // Boundary conditions on each face.
+        for face in Face::ALL {
+            match &self.boundaries[face.index()] {
+                BoundaryCondition::Adiabatic | BoundaryCondition::Dirichlet { .. } => {}
+                BoundaryCondition::HeatFlux { flux } => {
+                    for (idx, a, b) in self.face_nodes(face) {
+                        let Some(row) = free_index[idx] else { continue };
+                        rhs[row] += flux.value(a, b) * self.patch_area(face, a, b);
+                    }
+                }
+                BoundaryCondition::Convection { htc, ambient } => {
+                    for (idx, a, b) in self.face_nodes(face) {
+                        let Some(row) = free_index[idx] else { continue };
+                        let ha = htc * self.patch_area(face, a, b);
+                        coo.push(row, row, ha);
+                        rhs[row] += ha * ambient;
+                    }
+                }
+            }
+        }
+
+        let matrix = coo.to_csr();
+        debug_assert!(matrix.is_symmetric(1e-9), "assembled operator must be symmetric");
+        Assembly { matrix, rhs, free_index, dirichlet }
+    }
+
+    /// Solves the steady heat equation, returning the temperature field.
+    ///
+    /// # Errors
+    ///
+    /// * [`FdmError::InvalidParameter`] if no boundary condition fixes the
+    ///   temperature level (pure-Neumann problems are singular).
+    /// * [`FdmError::SolveFailed`] if CG does not converge.
+    pub fn solve(&self, options: SolveOptions) -> Result<Solution, FdmError> {
+        let fixes_temperature = self.boundaries.iter().any(|bc| {
+            matches!(bc, BoundaryCondition::Dirichlet { .. } | BoundaryCondition::Convection { .. })
+        });
+        if !fixes_temperature {
+            return Err(FdmError::InvalidParameter {
+                what: "no dirichlet or convection boundary: the temperature level is undetermined".into(),
+            });
+        }
+
+        let g = &self.grid;
+        let n = g.node_count();
+        let Assembly { matrix, rhs, free_index, dirichlet } = self.assemble();
+        if matrix.rows() == 0 {
+            // Every node is pinned: the solution is the Dirichlet data itself.
+            let temps: Vec<f64> = dirichlet.iter().map(|d| d.expect("all pinned")).collect();
+            return Ok(Solution::from_parts(*g, temps, 0, 0.0));
+        }
+        let pre = SsorPreconditioner::new(&matrix, options.ssor_omega)?;
+        let cg = conjugate_gradient(
+            &matrix,
+            &rhs,
+            None,
+            &pre,
+            CgOptions { max_iterations: options.max_iterations, tolerance: options.tolerance },
+        )?;
+
+        let mut temps = vec![0.0; n];
+        for idx in 0..n {
+            temps[idx] = match free_index[idx] {
+                Some(row) => cg.solution[row],
+                None => dirichlet[idx].expect("non-free nodes are dirichlet"),
+            };
+        }
+        Ok(Solution::from_parts(*g, temps, cg.iterations, cg.relative_residual))
+    }
+
+    /// Adds one symmetric conduction link of conductance `gcond` between
+    /// nodes `a` and `b`, folding Dirichlet values into the RHS.
+    fn add_link(
+        &self,
+        coo: &mut CooMatrix,
+        rhs: &mut [f64],
+        free_index: &[Option<usize>],
+        dirichlet: &[Option<f64>],
+        a: usize,
+        b: usize,
+        gcond: f64,
+    ) {
+        match (free_index[a], free_index[b]) {
+            (Some(ra), Some(rb)) => {
+                coo.push(ra, ra, gcond);
+                coo.push(rb, rb, gcond);
+                coo.push(ra, rb, -gcond);
+                coo.push(rb, ra, -gcond);
+            }
+            (Some(ra), None) => {
+                coo.push(ra, ra, gcond);
+                rhs[ra] += gcond * dirichlet[b].expect("pinned node has a value");
+            }
+            (None, Some(rb)) => {
+                coo.push(rb, rb, gcond);
+                rhs[rb] += gcond * dirichlet[a].expect("pinned node has a value");
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+fn harmonic_mean(a: f64, b: f64) -> f64 {
+    2.0 * a * b / (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{slab_conduction_profile, FluxMap};
+    use deepoheat_linalg::Matrix;
+
+    fn paper_grid() -> StructuredGrid {
+        StructuredGrid::new(21, 21, 11, 1e-3, 1e-3, 0.5e-3).unwrap()
+    }
+
+    #[test]
+    fn pure_neumann_is_rejected() {
+        let problem = HeatProblem::new(paper_grid(), 0.1);
+        assert!(matches!(problem.solve(SolveOptions::default()), Err(FdmError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn uniform_dirichlet_gives_uniform_field() {
+        let mut problem = HeatProblem::new(StructuredGrid::new(5, 5, 5, 1.0, 1.0, 1.0).unwrap(), 1.0);
+        for face in Face::ALL {
+            problem.set_boundary(face, BoundaryCondition::Dirichlet { temperature: 350.0 }).unwrap();
+        }
+        let sol = problem.solve(SolveOptions::default()).unwrap();
+        for &t in sol.temperatures() {
+            assert!((t - 350.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matches_1d_slab_analytic_solution() {
+        // Uniform top flux, bottom convection, adiabatic sides: exact 1-D.
+        let q = 2000.0; // W/m²
+        let k = 0.1;
+        let h = 500.0;
+        let t_amb = 298.15;
+        let grid = paper_grid();
+        let mut problem = HeatProblem::new(grid, k);
+        problem.set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(q) }).unwrap();
+        problem.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: h, ambient: t_amb }).unwrap();
+        let sol = problem.solve(SolveOptions::default()).unwrap();
+
+        for kk in 0..11 {
+            let z = kk as f64 * grid.dz();
+            let expected = slab_conduction_profile(q, k, h, t_amb, z);
+            for &(i, j) in &[(0usize, 0usize), (10, 10), (20, 5)] {
+                let t = sol.at(i, j, kk);
+                assert!((t - expected).abs() < 1e-6, "T({i},{j},{kk}) = {t}, expected {expected}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_balance_flux_vs_convection() {
+        // Total heat in (flux) must leave through the convection face:
+        // sum over bottom of h A (T - Tamb) == sum over top of q A.
+        let grid = StructuredGrid::new(9, 9, 5, 1e-3, 1e-3, 0.5e-3).unwrap();
+        let mut flux_field = Matrix::zeros(9, 9);
+        flux_field[(4, 4)] = 5000.0;
+        flux_field[(1, 7)] = 2500.0;
+        let mut problem = HeatProblem::new(grid, 0.1);
+        problem
+            .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Field(flux_field.clone()) })
+            .unwrap();
+        problem.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 750.0, ambient: 300.0 }).unwrap();
+        let sol = problem.solve(SolveOptions { tolerance: 1e-12, ..Default::default() }).unwrap();
+
+        let mut heat_in = 0.0;
+        let mut heat_out = 0.0;
+        for i in 0..9 {
+            for j in 0..9 {
+                let area = StructuredGrid::face_patch_area(i, 9, grid.dx(), j, 9, grid.dy());
+                heat_in += flux_field[(i, j)] * area;
+                heat_out += 750.0 * area * (sol.at(i, j, 0) - 300.0);
+            }
+        }
+        assert!(
+            (heat_in - heat_out).abs() < 1e-9 * heat_in.abs().max(1.0),
+            "in {heat_in} vs out {heat_out}"
+        );
+    }
+
+    #[test]
+    fn two_layer_stack_matches_series_resistance() {
+        // Layered conductivity along z behaves like thermal resistors in
+        // series under uniform 1-D flux.
+        let nz = 11;
+        let grid = StructuredGrid::new(5, 5, nz, 1e-3, 1e-3, 1e-3).unwrap();
+        let mut k = vec![0.0; grid.node_count()];
+        for idx in 0..grid.node_count() {
+            let (_, _, kk) = grid.coordinates(idx);
+            k[idx] = if kk < nz / 2 { 0.2 } else { 1.0 };
+        }
+        let q = 1000.0;
+        let h = 400.0;
+        let t_amb = 298.15;
+        let mut problem = HeatProblem::new(grid, 1.0);
+        problem.set_conductivity_field(k).unwrap();
+        problem.set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(q) }).unwrap();
+        problem.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: h, ambient: t_amb }).unwrap();
+        let sol = problem.solve(SolveOptions { tolerance: 1e-12, ..Default::default() }).unwrap();
+
+        let t_bottom = sol.at(2, 2, 0);
+        let t_top = sol.at(2, 2, nz - 1);
+        assert!((t_bottom - (t_amb + q / h)).abs() < 1e-6);
+        // The harmonic-mean face conductivity puts the material interface
+        // mid-way between the two nodes that straddle it, so the effective
+        // stack is 0.45mm of k=0.2 and 0.55mm of k=1.0.
+        let dz = grid.dz();
+        let l_low = (nz / 2) as f64 * dz - dz / 2.0;
+        let l_high = grid.lz() - l_low;
+        let expected_drop = q * (l_low / 0.2 + l_high / 1.0);
+        assert!(
+            (t_top - t_bottom - expected_drop).abs() < 1e-4 * expected_drop,
+            "drop {} vs expected {expected_drop}",
+            t_top - t_bottom
+        );
+    }
+
+    #[test]
+    fn volumetric_power_heats_the_chip() {
+        let grid = StructuredGrid::new(7, 7, 7, 1e-3, 1e-3, 0.5e-3).unwrap();
+        let mut q = vec![0.0; grid.node_count()];
+        for idx in 0..grid.node_count() {
+            let (_, _, k) = grid.coordinates(idx);
+            if k == 3 {
+                q[idx] = 1e7; // a heated middle layer
+            }
+        }
+        let mut problem = HeatProblem::new(grid, 0.1);
+        problem.set_volumetric_power(q).unwrap();
+        problem.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 }).unwrap();
+        problem.set_boundary(Face::ZMax, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 }).unwrap();
+        let sol = problem.solve(SolveOptions::default()).unwrap();
+        assert!(sol.max_temperature() > 300.0);
+        // Hottest plane should be the powered layer.
+        let hottest = (0..7).max_by(|&a, &b| sol.at(3, 3, a).total_cmp(&sol.at(3, 3, b))).unwrap();
+        assert_eq!(hottest, 3);
+    }
+
+    #[test]
+    fn discrete_maximum_principle_without_sources() {
+        // With no sources, temperatures must lie between the boundary data.
+        let grid = StructuredGrid::new(6, 6, 6, 1.0, 1.0, 1.0).unwrap();
+        let mut problem = HeatProblem::new(grid, 2.0);
+        problem.set_boundary(Face::XMin, BoundaryCondition::Dirichlet { temperature: 300.0 }).unwrap();
+        problem.set_boundary(Face::XMax, BoundaryCondition::Dirichlet { temperature: 400.0 }).unwrap();
+        let sol = problem.solve(SolveOptions::default()).unwrap();
+        assert!(sol.min_temperature() >= 300.0 - 1e-9);
+        assert!(sol.max_temperature() <= 400.0 + 1e-9);
+        // And the profile is linear in x for this configuration.
+        for i in 0..6 {
+            let expected = 300.0 + 100.0 * i as f64 / 5.0;
+            assert!((sol.at(i, 3, 3) - expected).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn field_validation() {
+        let grid = StructuredGrid::new(3, 3, 3, 1.0, 1.0, 1.0).unwrap();
+        let mut p = HeatProblem::new(grid, 1.0);
+        assert!(matches!(p.set_conductivity_field(vec![1.0; 5]), Err(FdmError::FieldMismatch { .. })));
+        assert!(matches!(p.set_conductivity_field(vec![-1.0; 27]), Err(FdmError::InvalidParameter { .. })));
+        assert!(matches!(p.set_volumetric_power(vec![0.0; 4]), Err(FdmError::FieldMismatch { .. })));
+        assert!(matches!(p.set_volumetric_power(vec![f64::NAN; 27]), Err(FdmError::InvalidParameter { .. })));
+        assert!(matches!(
+            p.set_boundary(Face::ZMax, BoundaryCondition::Convection { htc: -5.0, ambient: 300.0 }),
+            Err(FdmError::InvalidParameter { .. })
+        ));
+        let bad_map = FluxMap::Field(Matrix::zeros(2, 2));
+        assert!(matches!(
+            p.set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: bad_map }),
+            Err(FdmError::BoundaryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn all_faces_pinned_short_circuits() {
+        let grid = StructuredGrid::new(2, 2, 2, 1.0, 1.0, 1.0).unwrap();
+        let mut p = HeatProblem::new(grid, 1.0);
+        for face in Face::ALL {
+            p.set_boundary(face, BoundaryCondition::Dirichlet { temperature: 311.0 }).unwrap();
+        }
+        let sol = p.solve(SolveOptions::default()).unwrap();
+        assert_eq!(sol.iterations(), 0);
+        assert!(sol.temperatures().iter().all(|&t| t == 311.0));
+    }
+}

@@ -1,0 +1,317 @@
+//! Transient heat conduction: the paper's Eq. (1) *before* its static
+//! simplification,
+//!
+//! ```text
+//! ρ c_p ∂T/∂t = ∇·(k ∇T) + q_V
+//! ```
+//!
+//! integrated with implicit (backward) Euler: at each step the SPD system
+//! `(C/Δt + A) Tⁿ⁺¹ = (C/Δt) Tⁿ + b` is solved by preconditioned CG,
+//! where `A`/`b` is the static finite-volume assembly and `C` the lumped
+//! per-node heat capacity `ρ c_p V_cv`. Backward Euler is unconditionally
+//! stable, so the step size is an accuracy — not a stability — choice.
+//!
+//! The static `solve` is the `t → ∞` limit; the tests assert exactly
+//! that, plus the lumped-capacitance analytic decay.
+
+use deepoheat_linalg::{conjugate_gradient, CgOptions, CooMatrix, CsrMatrix, SsorPreconditioner};
+
+use crate::{FdmError, HeatProblem, Solution, SolveOptions, StructuredGrid};
+
+/// Options for [`HeatProblem::solve_transient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Time-step size in seconds.
+    pub dt: f64,
+    /// Number of backward-Euler steps to take.
+    pub steps: usize,
+    /// Material mass density `ρ` in `kg/m³`.
+    pub density: f64,
+    /// Specific heat capacity `c_p` in `J/(kg K)`.
+    pub heat_capacity: f64,
+    /// Linear-solver options used at every step.
+    pub solver: SolveOptions,
+    /// Keep every intermediate field (`true`) or only the final one.
+    pub record_history: bool,
+}
+
+impl TransientOptions {
+    /// Silicon-like defaults (`ρ = 2330 kg/m³`, `c_p = 700 J/(kg K)`)
+    /// with the given step size and count, recording the full history.
+    pub fn silicon(dt: f64, steps: usize) -> Self {
+        TransientOptions {
+            dt,
+            steps,
+            density: 2330.0,
+            heat_capacity: 700.0,
+            solver: SolveOptions::default(),
+            record_history: true,
+        }
+    }
+}
+
+/// The result of a transient simulation: the time axis and the recorded
+/// temperature fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSolution {
+    grid: StructuredGrid,
+    times: Vec<f64>,
+    fields: Vec<Vec<f64>>,
+}
+
+impl TransientSolution {
+    /// The simulated time instants (excluding `t = 0`), one per recorded
+    /// field.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The recorded temperature fields, flat node order, oldest first.
+    pub fn fields(&self) -> &[Vec<f64>] {
+        &self.fields
+    }
+
+    /// The final temperature field wrapped as a [`Solution`].
+    pub fn final_solution(&self) -> Solution {
+        Solution::from_parts(
+            self.grid,
+            self.fields.last().expect("at least one step").clone(),
+            0,
+            0.0,
+        )
+    }
+
+    /// Temperature history of one node across the recorded steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any grid index is out of range.
+    pub fn probe(&self, i: usize, j: usize, k: usize) -> Vec<f64> {
+        let idx = self.grid.index(i, j, k);
+        self.fields.iter().map(|f| f[idx]).collect()
+    }
+}
+
+impl HeatProblem {
+    /// Integrates the transient heat equation from a uniform initial
+    /// temperature.
+    ///
+    /// # Errors
+    ///
+    /// * [`FdmError::InvalidParameter`] for non-positive `dt`, zero
+    ///   `steps`, or non-positive material properties.
+    /// * [`FdmError::SolveFailed`] if a step's CG solve fails.
+    pub fn solve_transient(
+        &self,
+        initial_temperature: f64,
+        options: TransientOptions,
+    ) -> Result<TransientSolution, FdmError> {
+        if !(options.dt.is_finite() && options.dt > 0.0) {
+            return Err(FdmError::InvalidParameter { what: format!("dt must be positive, got {}", options.dt) });
+        }
+        if options.steps == 0 {
+            return Err(FdmError::InvalidParameter { what: "transient run needs at least one step".into() });
+        }
+        if !(options.density > 0.0 && options.heat_capacity > 0.0) {
+            return Err(FdmError::InvalidParameter {
+                what: format!(
+                    "density and heat capacity must be positive, got {} and {}",
+                    options.density, options.heat_capacity
+                ),
+            });
+        }
+        if !initial_temperature.is_finite() {
+            return Err(FdmError::InvalidParameter { what: "initial temperature must be finite".into() });
+        }
+
+        let grid = *self.grid();
+        let assembly = self.assemble();
+        let n_free = assembly.matrix.rows();
+
+        // Lumped heat capacity per free node, divided by dt.
+        let rho_cp = options.density * options.heat_capacity;
+        let mut cap_over_dt = vec![0.0; n_free];
+        for idx in 0..grid.node_count() {
+            if let Some(row) = assembly.free_index[idx] {
+                let (i, j, k) = grid.coordinates(idx);
+                cap_over_dt[row] = rho_cp * grid.control_volume(i, j, k) / options.dt;
+            }
+        }
+
+        // Stepping operator M = C/dt + A (SPD because both parts are).
+        let stepping = add_diagonal(&assembly.matrix, &cap_over_dt)?;
+        let pre = SsorPreconditioner::new(&stepping, options.solver.ssor_omega)?;
+        let cg_options = CgOptions {
+            max_iterations: options.solver.max_iterations,
+            tolerance: options.solver.tolerance,
+        };
+
+        let mut temps: Vec<f64> = (0..grid.node_count())
+            .map(|idx| assembly.dirichlet[idx].unwrap_or(initial_temperature))
+            .collect();
+        let mut free_state: Vec<f64> = vec![initial_temperature; n_free];
+        let mut times = Vec::new();
+        let mut fields = Vec::new();
+
+        for step in 0..options.steps {
+            // rhs = C/dt * T^n + b.
+            let rhs: Vec<f64> = free_state
+                .iter()
+                .zip(&cap_over_dt)
+                .zip(&assembly.rhs)
+                .map(|((t, c), b)| c * t + b)
+                .collect();
+            let cg = conjugate_gradient(&stepping, &rhs, Some(&free_state), &pre, cg_options)?;
+            free_state = cg.solution;
+            for idx in 0..grid.node_count() {
+                if let Some(row) = assembly.free_index[idx] {
+                    temps[idx] = free_state[row];
+                }
+            }
+            if options.record_history || step + 1 == options.steps {
+                times.push((step + 1) as f64 * options.dt);
+                fields.push(temps.clone());
+            }
+        }
+
+        Ok(TransientSolution { grid, times, fields })
+    }
+}
+
+/// Returns `a + diag(d)` as a new CSR matrix.
+fn add_diagonal(a: &CsrMatrix, d: &[f64]) -> Result<CsrMatrix, FdmError> {
+    let n = a.rows();
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        for (c, v) in a.row_entries(r) {
+            coo.push(r, c, v);
+        }
+        coo.push(r, r, d[r]);
+    }
+    Ok(coo.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BoundaryCondition, Face, FluxMap};
+
+    fn heated_chip() -> HeatProblem {
+        let grid = StructuredGrid::new(7, 7, 5, 1e-3, 1e-3, 0.5e-3).unwrap();
+        let mut problem = HeatProblem::new(grid, 0.1);
+        problem
+            .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(2500.0) })
+            .unwrap();
+        problem
+            .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
+            .unwrap();
+        problem
+    }
+
+    #[test]
+    fn validates_options() {
+        let problem = heated_chip();
+        let mut bad = TransientOptions::silicon(0.0, 5);
+        assert!(problem.solve_transient(298.15, bad).is_err());
+        bad = TransientOptions::silicon(1e-3, 0);
+        assert!(problem.solve_transient(298.15, bad).is_err());
+        bad = TransientOptions::silicon(1e-3, 5);
+        bad.density = -1.0;
+        assert!(problem.solve_transient(298.15, bad).is_err());
+        assert!(problem.solve_transient(f64::NAN, TransientOptions::silicon(1e-3, 5)).is_err());
+    }
+
+    #[test]
+    fn converges_to_the_steady_solution() {
+        // The chip's convective time constant is ρ c_p V / (h A) ≈ 1.6 s,
+        // so integrate tens of seconds; the steady solve is the fixed
+        // point of the backward-Euler map for any dt.
+        let problem = heated_chip();
+        let steady = problem.solve(SolveOptions::default()).unwrap();
+        let mut options = TransientOptions::silicon(0.5, 80);
+        options.record_history = false;
+        let transient = problem.solve_transient(298.15, options).unwrap();
+        let final_field = transient.final_solution();
+        for (a, b) in final_field.temperatures().iter().zip(steady.temperatures()) {
+            assert!((a - b).abs() < 1e-2, "transient {a} vs steady {b}");
+        }
+    }
+
+    #[test]
+    fn heating_is_monotone_from_cold_start() {
+        let problem = heated_chip();
+        let transient = problem.solve_transient(298.15, TransientOptions::silicon(1e-3, 20)).unwrap();
+        let probe = transient.probe(3, 3, 4);
+        for pair in probe.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9, "non-monotone heating: {pair:?}");
+        }
+        assert_eq!(transient.times().len(), 20);
+        assert!((transient.times()[0] - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lumped_capacitance_cooling_matches_analytic_decay() {
+        // Very conductive body (nearly isothermal) cooling by convection
+        // on all faces: T(t) = T_amb + (T0 - T_amb) exp(-h A t / (ρ c_p V)).
+        let grid = StructuredGrid::new(5, 5, 5, 1e-3, 1e-3, 1e-3).unwrap();
+        let mut problem = HeatProblem::new(grid, 1000.0); // k huge -> isothermal
+        for face in Face::ALL {
+            problem
+                .set_boundary(face, BoundaryCondition::Convection { htc: 100.0, ambient: 300.0 })
+                .unwrap();
+        }
+        let rho = 2330.0;
+        let cp = 700.0;
+        let t0 = 350.0;
+        let dt = 5e-3;
+        let steps = 40;
+        let options = TransientOptions {
+            dt,
+            steps,
+            density: rho,
+            heat_capacity: cp,
+            solver: SolveOptions::default(),
+            record_history: true,
+        };
+        let transient = problem.solve_transient(t0, options).unwrap();
+
+        let area = 6.0 * 1e-6; // six 1mm x 1mm faces
+        let volume = 1e-9;
+        let tau = rho * cp * volume / (100.0 * area);
+        let probe = transient.probe(2, 2, 2);
+        for (step, &t) in probe.iter().enumerate() {
+            let time = (step + 1) as f64 * dt;
+            let analytic = 300.0 + (t0 - 300.0) * (-time / tau).exp();
+            // Backward Euler is first order; tolerate a few percent of the
+            // current excess temperature.
+            let excess = (analytic - 300.0).abs().max(0.5);
+            assert!(
+                (t - analytic).abs() < 0.08 * excess,
+                "step {step}: {t} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn final_only_recording_keeps_one_field() {
+        let problem = heated_chip();
+        let mut options = TransientOptions::silicon(1e-3, 10);
+        options.record_history = false;
+        let transient = problem.solve_transient(298.15, options).unwrap();
+        assert_eq!(transient.fields().len(), 1);
+        assert_eq!(transient.times(), &[10e-3]);
+    }
+
+    #[test]
+    fn dirichlet_nodes_stay_pinned_throughout() {
+        let grid = StructuredGrid::new(5, 5, 5, 1.0, 1.0, 1.0).unwrap();
+        let mut problem = HeatProblem::new(grid, 1.0);
+        problem.set_boundary(Face::XMin, BoundaryCondition::Dirichlet { temperature: 400.0 }).unwrap();
+        problem.set_boundary(Face::XMax, BoundaryCondition::Dirichlet { temperature: 300.0 }).unwrap();
+        let transient = problem.solve_transient(300.0, TransientOptions::silicon(10.0, 5)).unwrap();
+        for field in transient.fields() {
+            assert_eq!(field[grid.index(0, 2, 2)], 400.0);
+            assert_eq!(field[grid.index(4, 2, 2)], 300.0);
+        }
+    }
+}

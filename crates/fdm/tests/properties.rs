@@ -1,0 +1,104 @@
+//! Property-based tests of the finite-volume solver: maximum principle,
+//! superposition, energy conservation and mesh-refinement stability.
+
+use deepoheat_fdm::{BoundaryCondition, Face, FluxMap, HeatProblem, SolveOptions, StructuredGrid};
+use deepoheat_linalg::Matrix;
+use proptest::prelude::*;
+
+fn flux_field(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0.0f64..5000.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).expect("sized by construction"))
+}
+
+fn paper_like_problem(flux: &Matrix, htc: f64) -> HeatProblem {
+    let n = flux.rows();
+    let grid = StructuredGrid::new(n, n, 5, 1e-3, 1e-3, 0.5e-3).expect("grid");
+    let mut problem = HeatProblem::new(grid, 0.1);
+    problem
+        .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Field(flux.clone()) })
+        .expect("flux bc");
+    problem
+        .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc, ambient: 298.15 })
+        .expect("convection bc");
+    problem
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn heating_never_cools_below_ambient(flux in flux_field(7), htc in 100.0f64..2000.0) {
+        let solution = paper_like_problem(&flux, htc).solve(SolveOptions::default()).unwrap();
+        prop_assert!(solution.min_temperature() >= 298.15 - 1e-9);
+    }
+
+    #[test]
+    fn dirichlet_maximum_principle(t_left in 250.0f64..350.0, t_right in 250.0f64..350.0) {
+        // No sources: every temperature must lie between the boundary data.
+        let grid = StructuredGrid::new(6, 6, 6, 1.0, 1.0, 1.0).unwrap();
+        let mut problem = HeatProblem::new(grid, 1.0);
+        problem.set_boundary(Face::XMin, BoundaryCondition::Dirichlet { temperature: t_left }).unwrap();
+        problem.set_boundary(Face::XMax, BoundaryCondition::Dirichlet { temperature: t_right }).unwrap();
+        let solution = problem.solve(SolveOptions::default()).unwrap();
+        let lo = t_left.min(t_right);
+        let hi = t_left.max(t_right);
+        prop_assert!(solution.min_temperature() >= lo - 1e-8);
+        prop_assert!(solution.max_temperature() <= hi + 1e-8);
+    }
+
+    #[test]
+    fn superposition_of_heat_sources(f1 in flux_field(5), f2 in flux_field(5)) {
+        // The PDE is linear: rise(f1 + f2) = rise(f1) + rise(f2).
+        let opts = SolveOptions { tolerance: 1e-12, ..Default::default() };
+        let s1 = paper_like_problem(&f1, 500.0).solve(opts).unwrap();
+        let s2 = paper_like_problem(&f2, 500.0).solve(opts).unwrap();
+        let sum_flux = f1.add(&f2).unwrap();
+        let s12 = paper_like_problem(&sum_flux, 500.0).solve(opts).unwrap();
+        for ((a, b), c) in s1.temperatures().iter().zip(s2.temperatures()).zip(s12.temperatures()) {
+            let rise_sum = (a - 298.15) + (b - 298.15);
+            let rise_joint = c - 298.15;
+            prop_assert!((rise_sum - rise_joint).abs() < 1e-6, "{rise_sum} vs {rise_joint}");
+        }
+    }
+
+    #[test]
+    fn energy_conservation(flux in flux_field(6), htc in 200.0f64..1500.0) {
+        let problem = paper_like_problem(&flux, htc);
+        let grid = *problem.grid();
+        let solution = problem.solve(SolveOptions { tolerance: 1e-13, ..Default::default() }).unwrap();
+        let mut heat_in = 0.0;
+        let mut heat_out = 0.0;
+        for i in 0..6 {
+            for j in 0..6 {
+                let area = StructuredGrid::face_patch_area(i, 6, grid.dx(), j, 6, grid.dy());
+                heat_in += flux[(i, j)] * area;
+                heat_out += htc * area * (solution.at(i, j, 0) - 298.15);
+            }
+        }
+        prop_assert!((heat_in - heat_out).abs() <= 1e-7 * heat_in.max(1e-12), "in {heat_in} out {heat_out}");
+    }
+
+    #[test]
+    fn stronger_cooling_lowers_temperatures(flux in flux_field(5)) {
+        let weak = paper_like_problem(&flux, 300.0).solve(SolveOptions::default()).unwrap();
+        let strong = paper_like_problem(&flux, 1200.0).solve(SolveOptions::default()).unwrap();
+        prop_assert!(strong.max_temperature() <= weak.max_temperature() + 1e-9);
+    }
+
+    #[test]
+    fn conductivity_scaling_scales_conduction_drop(scale in 1.5f64..8.0) {
+        // Uniform flux: the conduction part of the rise scales as 1/k.
+        let flux = Matrix::filled(5, 5, 2000.0);
+        let opts = SolveOptions { tolerance: 1e-12, ..Default::default() };
+        let base = paper_like_problem(&flux, 500.0).solve(opts).unwrap();
+        let grid = StructuredGrid::new(5, 5, 5, 1e-3, 1e-3, 0.5e-3).unwrap();
+        let mut scaled_problem = HeatProblem::new(grid, 0.1 * scale);
+        scaled_problem.set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Field(flux) }).unwrap();
+        scaled_problem.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 }).unwrap();
+        let scaled = scaled_problem.solve(opts).unwrap();
+
+        let base_drop = base.at(2, 2, 4) - base.at(2, 2, 0);
+        let scaled_drop = scaled.at(2, 2, 4) - scaled.at(2, 2, 0);
+        prop_assert!((base_drop / scaled_drop - scale).abs() < 1e-6 * scale, "{base_drop} / {scaled_drop}");
+    }
+}

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+use deepoheat_linalg::LinalgError;
+
+/// Errors produced when constructing or sampling random fields and power
+/// maps.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GrfError {
+    /// A linear-algebra operation (typically the covariance Cholesky
+    /// factorisation) failed.
+    Linalg(LinalgError),
+    /// A field or map was configured with invalid parameters.
+    InvalidConfig {
+        /// Description of what was wrong.
+        what: String,
+    },
+    /// A block placement fell outside the tile map.
+    BlockOutOfBounds {
+        /// Requested block as `(row, col, height, width)`.
+        block: (usize, usize, usize, usize),
+        /// Tile-map dimensions as `(rows, cols)`.
+        map: (usize, usize),
+    },
+}
+
+impl fmt::Display for GrfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrfError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            GrfError::InvalidConfig { what } => write!(f, "invalid random-field configuration: {what}"),
+            GrfError::BlockOutOfBounds { block, map } => write!(
+                f,
+                "block (r={}, c={}, h={}, w={}) exceeds the {}x{} tile map",
+                block.0, block.1, block.2, block.3, map.0, map.1
+            ),
+        }
+    }
+}
+
+impl Error for GrfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GrfError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for GrfError {
+    fn from(e: LinalgError) -> Self {
+        GrfError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GrfError::InvalidConfig { what: "length scale must be positive".into() };
+        assert!(e.to_string().contains("length scale"));
+        let e = GrfError::BlockOutOfBounds { block: (1, 2, 3, 4), map: (5, 6) };
+        assert!(e.to_string().contains("5x6"));
+        let e: GrfError = LinalgError::NotPositiveDefinite { pivot: 0, value: -1.0 }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

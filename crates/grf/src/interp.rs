@@ -1,0 +1,147 @@
+//! Bilinear interpolation between tile-based and grid-based power maps.
+//!
+//! Celsius-style industrial power maps are *tile based*: an `m × m` array
+//! of cell values, each covering a rectangular tile of the chip surface.
+//! DeepOHeat encodes power maps by their values on `(m+1) × (m+1)` grid
+//! *nodes*. §V.A.5 of the paper bridges the two by bilinear interpolation,
+//! which "not only enables DeepOHeat to accept almost the same realistic
+//! power maps as in Celsius 3D but also smooths out these discretely
+//! defined power maps".
+
+use deepoheat_linalg::Matrix;
+
+/// Bilinearly samples a cell-centred field at a normalised coordinate.
+///
+/// `tiles` is interpreted as samples at cell centres
+/// `((i + ½)/rows, (j + ½)/cols)` of the unit square; `(u, v)` is the query
+/// point in `[0, 1]²` (row, column order). Queries outside the outermost
+/// cell centres clamp to the boundary value (constant extrapolation), which
+/// preserves the total spatial support of the blocks.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_grf::bilinear_sample;
+/// use deepoheat_linalg::Matrix;
+///
+/// let tiles = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 3.0]])?;
+/// // The exact centre of the map is the average of the four tiles.
+/// assert_eq!(bilinear_sample(&tiles, 0.5, 0.5), 1.5);
+/// // Corners clamp to the nearest tile.
+/// assert_eq!(bilinear_sample(&tiles, 0.0, 0.0), 0.0);
+/// assert_eq!(bilinear_sample(&tiles, 1.0, 1.0), 3.0);
+/// # Ok::<(), deepoheat_linalg::LinalgError>(())
+/// ```
+pub fn bilinear_sample(tiles: &Matrix, u: f64, v: f64) -> f64 {
+    let rows = tiles.rows();
+    let cols = tiles.cols();
+    debug_assert!(rows > 0 && cols > 0, "bilinear_sample on empty matrix");
+
+    // Convert to continuous cell-centre coordinates.
+    let x = u * rows as f64 - 0.5;
+    let y = v * cols as f64 - 0.5;
+    let x0 = x.floor().clamp(0.0, (rows - 1) as f64) as usize;
+    let y0 = y.floor().clamp(0.0, (cols - 1) as f64) as usize;
+    let x1 = (x0 + 1).min(rows - 1);
+    let y1 = (y0 + 1).min(cols - 1);
+    let tx = (x - x0 as f64).clamp(0.0, 1.0);
+    let ty = (y - y0 as f64).clamp(0.0, 1.0);
+
+    let f00 = tiles[(x0, y0)];
+    let f01 = tiles[(x0, y1)];
+    let f10 = tiles[(x1, y0)];
+    let f11 = tiles[(x1, y1)];
+    f00 * (1.0 - tx) * (1.0 - ty) + f01 * (1.0 - tx) * ty + f10 * tx * (1.0 - ty) + f11 * tx * ty
+}
+
+/// Interpolates an `m × m` tile-based power map onto an `n × n`
+/// node-centred grid covering the unit square (nodes at `i/(n-1)`),
+/// exactly as §V.A.5 converts `20 × 20` Celsius tiles to the `21 × 21`
+/// DeepOHeat encoding.
+///
+/// # Panics
+///
+/// Panics if `grid_side < 2` or `tiles` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_grf::tiles_to_grid;
+/// use deepoheat_linalg::Matrix;
+///
+/// let tiles = Matrix::filled(20, 20, 2.5);
+/// let grid = tiles_to_grid(&tiles, 21);
+/// assert_eq!(grid.shape(), (21, 21));
+/// // A constant map stays constant.
+/// assert!(grid.iter().all(|&v| (v - 2.5).abs() < 1e-12));
+/// ```
+pub fn tiles_to_grid(tiles: &Matrix, grid_side: usize) -> Matrix {
+    assert!(grid_side >= 2, "grid side must be >= 2, got {grid_side}");
+    assert!(!tiles.is_empty(), "tile map must be non-empty");
+    let step = 1.0 / (grid_side - 1) as f64;
+    Matrix::from_fn(grid_side, grid_side, |i, j| {
+        bilinear_sample(tiles, i as f64 * step, j as f64 * step)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_field_is_preserved() {
+        let tiles = Matrix::filled(7, 7, 3.25);
+        let grid = tiles_to_grid(&tiles, 15);
+        assert!(grid.iter().all(|&v| (v - 3.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn linear_ramp_is_reproduced_in_the_interior() {
+        // Tiles sampled from f(u) = u at cell centres; interpolation of a
+        // linear function is exact between centres.
+        let m = 10;
+        let tiles = Matrix::from_fn(m, m, |i, _| (i as f64 + 0.5) / m as f64);
+        let grid = tiles_to_grid(&tiles, 21);
+        for i in 2..19 {
+            let u = i as f64 / 20.0;
+            assert!((grid[(i, 10)] - u).abs() < 1e-12, "at {u}: {}", grid[(i, 10)]);
+        }
+    }
+
+    #[test]
+    fn clamps_at_borders() {
+        let tiles = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(bilinear_sample(&tiles, -0.2, -0.2), 1.0);
+        assert_eq!(bilinear_sample(&tiles, 1.2, 1.2), 4.0);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_between_two_tiles() {
+        let tiles = Matrix::from_rows(&[&[0.0, 10.0]]).unwrap();
+        let mut last = -1.0;
+        for k in 0..=20 {
+            let v = bilinear_sample(&tiles, 0.5, k as f64 / 20.0);
+            assert!(v >= last);
+            last = v;
+        }
+        assert_eq!(bilinear_sample(&tiles, 0.5, 0.25), 0.0); // left cell centre
+        assert_eq!(bilinear_sample(&tiles, 0.5, 0.75), 10.0); // right cell centre
+        assert_eq!(bilinear_sample(&tiles, 0.5, 0.5), 5.0); // midpoint
+    }
+
+    #[test]
+    fn paper_shape_20_to_21() {
+        let tiles = Matrix::from_fn(20, 20, |i, j| ((i / 4 + j / 4) % 2) as f64);
+        let grid = tiles_to_grid(&tiles, 21);
+        assert_eq!(grid.shape(), (21, 21));
+        // Interpolation cannot exceed the input range.
+        assert!(grid.max() <= 1.0 + 1e-12);
+        assert!(grid.min() >= -1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid side")]
+    fn grid_side_one_panics() {
+        tiles_to_grid(&Matrix::filled(2, 2, 1.0), 1);
+    }
+}

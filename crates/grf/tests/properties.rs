@@ -1,0 +1,87 @@
+//! Property-based tests of random-field sampling and power-map
+//! interpolation.
+
+use deepoheat_grf::{bilinear_sample, paper_test_suite, tiles_to_grid, GaussianRandomField, TilePowerMap};
+use deepoheat_linalg::Matrix;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn tiles(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0.0f64..4.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).expect("sized by construction"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn interpolation_respects_bounds(t in tiles(8), grid_side in 2usize..40) {
+        // Bilinear interpolation is a convex combination: the result must
+        // stay within the tile range.
+        let grid = tiles_to_grid(&t, grid_side);
+        prop_assert!(grid.max() <= t.max() + 1e-12);
+        prop_assert!(grid.min() >= t.min() - 1e-12);
+    }
+
+    #[test]
+    fn interpolation_preserves_constants(value in -5.0f64..5.0, grid_side in 2usize..30) {
+        let t = Matrix::filled(6, 6, value);
+        let grid = tiles_to_grid(&t, grid_side);
+        for &v in grid.iter() {
+            prop_assert!((v - value).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interpolation_is_linear_in_the_tiles(a in tiles(5), b in tiles(5), alpha in 0.0f64..1.0) {
+        // tiles_to_grid(αa + (1-α)b) == α·grid(a) + (1-α)·grid(b).
+        let blend = Matrix::from_fn(5, 5, |i, j| alpha * a[(i, j)] + (1.0 - alpha) * b[(i, j)]);
+        let left = tiles_to_grid(&blend, 11);
+        let ga = tiles_to_grid(&a, 11);
+        let gb = tiles_to_grid(&b, 11);
+        for ((l, x), y) in left.iter().zip(ga.iter()).zip(gb.iter()) {
+            prop_assert!((l - (alpha * x + (1.0 - alpha) * y)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bilinear_sample_at_cell_centres_is_exact(t in tiles(6), i in 0usize..6, j in 0usize..6) {
+        let u = (i as f64 + 0.5) / 6.0;
+        let v = (j as f64 + 0.5) / 6.0;
+        prop_assert!((bilinear_sample(&t, u, v) - t[(i, j)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_power_adds_up(r in 0usize..10, c in 0usize..10, h in 1usize..6, w in 1usize..6, p in 0.1f64..3.0) {
+        let mut map = TilePowerMap::new(16, 16);
+        map.add_block(r, c, h, w, p).unwrap();
+        prop_assert!((map.total_power() - p * (h * w) as f64).abs() < 1e-10);
+        prop_assert!((map.peak_power() - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grf_samples_are_seed_deterministic(seed in 0u64..10_000) {
+        let grf = GaussianRandomField::on_unit_grid(6, 0.3).unwrap();
+        let a = grf.sample(&mut rand::rngs::StdRng::seed_from_u64(seed)).unwrap();
+        let b = grf.sample(&mut rand::rngs::StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grf_kernel_is_a_valid_correlation(i in 0usize..36, j in 0usize..36) {
+        let grf = GaussianRandomField::on_unit_grid(6, 0.3).unwrap();
+        let k = grf.kernel(i, j);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&k));
+        prop_assert!((grf.kernel(i, i) - 1.0).abs() < 1e-12);
+        prop_assert!((grf.kernel(i, j) - grf.kernel(j, i)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn suite_maps_survive_interpolation_round(side in 16usize..36) {
+        for (name, map) in paper_test_suite(side) {
+            let grid = map.to_grid(side + 1);
+            prop_assert!(grid.min() >= -1e-12, "{name} negative after interpolation");
+            prop_assert!(grid.max() <= map.peak_power() + 1e-12, "{name} overshoot");
+        }
+    }
+}

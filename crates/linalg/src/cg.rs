@@ -1,0 +1,382 @@
+use crate::{axpy, dot, norm2, CsrMatrix, LinalgError};
+
+/// A preconditioner for the conjugate-gradient solver: given a residual `r`
+/// it computes `z ≈ A⁻¹ r`.
+///
+/// Implementations must represent a symmetric positive-definite operator for
+/// CG to remain valid.
+pub trait Preconditioner {
+    /// Applies the preconditioner, writing `z ≈ A⁻¹ r` into `z`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `r.len() != z.len()` or the lengths do
+    /// not match the operator dimension.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// The identity preconditioner (plain CG).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Jacobi (diagonal) preconditioner: `z = D⁻¹ r`.
+///
+/// Cheap and effective for the diagonally dominant operators produced by
+/// the finite-volume heat discretisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Builds the preconditioner from the matrix diagonal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if any diagonal entry is
+    /// zero, negative or non-finite (CG requires an SPD operator).
+    pub fn new(a: &CsrMatrix) -> Result<Self, LinalgError> {
+        let diag = a.diagonal();
+        let mut inv_diag = Vec::with_capacity(diag.len());
+        for (i, d) in diag.into_iter().enumerate() {
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: i, value: d });
+            }
+            inv_diag.push(1.0 / d);
+        }
+        Ok(JacobiPreconditioner { inv_diag })
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.inv_diag.len(), "jacobi: residual length mismatch");
+        for ((zi, &ri), &di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+/// Symmetric successive over-relaxation (SSOR) preconditioner.
+///
+/// Applies `z = (D/ω + L)⁻ᵀ · (D/ω) · (D/ω + L)⁻¹ r` scaled so the operator
+/// stays SPD. Converges in noticeably fewer CG iterations than Jacobi on the
+/// anisotropic grids produced by thin chip stacks.
+#[derive(Debug, Clone)]
+pub struct SsorPreconditioner {
+    a: CsrMatrix,
+    diag: Vec<f64>,
+    omega: f64,
+}
+
+impl SsorPreconditioner {
+    /// Builds an SSOR preconditioner with relaxation factor `omega`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidDimension`] if `omega` is outside `(0, 2)`.
+    /// * [`LinalgError::NotPositiveDefinite`] if a diagonal entry is not
+    ///   strictly positive.
+    pub fn new(a: &CsrMatrix, omega: f64) -> Result<Self, LinalgError> {
+        if !(0.0..2.0).contains(&omega) || omega == 0.0 {
+            return Err(LinalgError::InvalidDimension {
+                op: "ssor",
+                what: format!("omega must be in (0, 2), got {omega}"),
+            });
+        }
+        let diag = a.diagonal();
+        for (i, &d) in diag.iter().enumerate() {
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: i, value: d });
+            }
+        }
+        Ok(SsorPreconditioner { a: a.clone(), diag, omega })
+    }
+}
+
+impl Preconditioner for SsorPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let n = self.diag.len();
+        assert_eq!(r.len(), n, "ssor: residual length mismatch");
+        let w = self.omega;
+        // Forward sweep: (D/ω + L) y = r.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = r[i];
+            for (c, v) in self.a.row_entries(i) {
+                if c < i {
+                    acc -= v * y[c];
+                }
+            }
+            y[i] = acc * w / self.diag[i];
+        }
+        // Scale by D/ω.
+        for i in 0..n {
+            y[i] *= self.diag[i] / w;
+        }
+        // Backward sweep: (D/ω + U) z = y.
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for (c, v) in self.a.row_entries(i) {
+                if c > i {
+                    acc -= v * z[c];
+                }
+            }
+            z[i] = acc * w / self.diag[i];
+        }
+    }
+}
+
+/// Options controlling [`conjugate_gradient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOptions {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Relative residual tolerance `‖r‖ / ‖b‖` at which to declare success.
+    pub tolerance: f64,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions { max_iterations: 10_000, tolerance: 1e-10 }
+    }
+}
+
+/// Diagnostics returned by a successful [`conjugate_gradient`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOutcome {
+    /// The computed solution vector.
+    pub solution: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b - A x‖ / ‖b‖`.
+    pub relative_residual: f64,
+}
+
+/// Solves `A x = b` for a symmetric positive-definite [`CsrMatrix`] using
+/// the preconditioned conjugate-gradient method.
+///
+/// `x0` provides the initial guess (pass `None` for the zero vector —
+/// a warm start from a previous nearby solve typically halves iteration
+/// counts during parameter sweeps).
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `b` (or `x0`) does not match `a`.
+/// * [`LinalgError::InvalidDimension`] if `a` is not square.
+/// * [`LinalgError::SolverDidNotConverge`] if the tolerance is not reached
+///   within `options.max_iterations`.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_linalg::{conjugate_gradient, CgOptions, CooMatrix, JacobiPreconditioner};
+///
+/// // 1-D Laplacian with Dirichlet ends.
+/// let n = 16;
+/// let mut coo = CooMatrix::new(n, n);
+/// for i in 0..n {
+///     coo.push(i, i, 2.0);
+///     if i > 0 { coo.push(i, i - 1, -1.0); coo.push(i - 1, i, -1.0); }
+/// }
+/// let a = coo.to_csr();
+/// let b = vec![1.0; n];
+/// let pc = JacobiPreconditioner::new(&a)?;
+/// let out = conjugate_gradient(&a, &b, None, &pc, CgOptions::default())?;
+/// assert!(out.relative_residual < 1e-10);
+/// # Ok::<(), deepoheat_linalg::LinalgError>(())
+/// ```
+pub fn conjugate_gradient<P: Preconditioner>(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    preconditioner: &P,
+    options: CgOptions,
+) -> Result<CgOutcome, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::InvalidDimension {
+            op: "conjugate_gradient",
+            what: format!("matrix is {}x{}, expected square", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch { op: "conjugate_gradient", lhs: a.shape(), rhs: (b.len(), 1) });
+    }
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(CgOutcome { solution: vec![0.0; n], iterations: 0, relative_residual: 0.0 });
+    }
+
+    let mut x = match x0 {
+        Some(x0) => {
+            if x0.len() != n {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "conjugate_gradient",
+                    lhs: a.shape(),
+                    rhs: (x0.len(), 1),
+                });
+            }
+            x0.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+
+    // r = b - A x
+    let mut r = vec![0.0; n];
+    a.spmv_into(&x, &mut r)?;
+    for (ri, &bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+
+    let mut z = vec![0.0; n];
+    preconditioner.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for iter in 0..options.max_iterations {
+        let res = norm2(&r) / b_norm;
+        if res <= options.tolerance {
+            return Ok(CgOutcome { solution: x, iterations: iter, relative_residual: res });
+        }
+        a.spmv_into(&p, &mut ap)?;
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Matrix is not SPD along this direction — report non-convergence
+            // rather than silently returning garbage.
+            return Err(LinalgError::SolverDidNotConverge { iterations: iter, residual: res });
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        preconditioner.apply(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, &zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+
+    let res = norm2(&r) / b_norm;
+    if res <= options.tolerance {
+        Ok(CgOutcome { solution: x, iterations: options.max_iterations, relative_residual: res })
+    } else {
+        Err(LinalgError::SolverDidNotConverge { iterations: options.max_iterations, residual: res })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+                coo.push(i - 1, i, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn solves_laplacian_with_all_preconditioners() {
+        let n = 50;
+        let a = laplacian_1d(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = a.spmv(&x_true).unwrap();
+        let opts = CgOptions { max_iterations: 1000, tolerance: 1e-12 };
+
+        let id = IdentityPreconditioner;
+        let jacobi = JacobiPreconditioner::new(&a).unwrap();
+        let ssor = SsorPreconditioner::new(&a, 1.4).unwrap();
+
+        for out in [
+            conjugate_gradient(&a, &b, None, &id, opts).unwrap(),
+            conjugate_gradient(&a, &b, None, &jacobi, opts).unwrap(),
+            conjugate_gradient(&a, &b, None, &ssor, opts).unwrap(),
+        ] {
+            for (xi, ti) in out.solution.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-8, "cg solution mismatch: {xi} vs {ti}");
+            }
+        }
+    }
+
+    #[test]
+    fn ssor_converges_faster_than_identity() {
+        let n = 200;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let opts = CgOptions { max_iterations: 10_000, tolerance: 1e-10 };
+        let plain = conjugate_gradient(&a, &b, None, &IdentityPreconditioner, opts).unwrap();
+        let ssor = SsorPreconditioner::new(&a, 1.5).unwrap();
+        let pre = conjugate_gradient(&a, &b, None, &ssor, opts).unwrap();
+        assert!(pre.iterations < plain.iterations, "ssor {} !< plain {}", pre.iterations, plain.iterations);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let n = 100;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let opts = CgOptions { max_iterations: 10_000, tolerance: 1e-10 };
+        let jacobi = JacobiPreconditioner::new(&a).unwrap();
+        let cold = conjugate_gradient(&a, &b, None, &jacobi, opts).unwrap();
+        let warm = conjugate_gradient(&a, &b, Some(&cold.solution), &jacobi, opts).unwrap();
+        assert!(warm.iterations <= 1);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = laplacian_1d(5);
+        let out = conjugate_gradient(&a, &[0.0; 5], None, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        assert_eq!(out.solution, vec![0.0; 5]);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn errors_on_shape_mismatch() {
+        let a = laplacian_1d(5);
+        let err = conjugate_gradient(&a, &[1.0; 4], None, &IdentityPreconditioner, CgOptions::default());
+        assert!(matches!(err, Err(LinalgError::ShapeMismatch { .. })));
+        let err = conjugate_gradient(&a, &[1.0; 5], Some(&[0.0; 4]), &IdentityPreconditioner, CgOptions::default());
+        assert!(matches!(err, Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        let a = laplacian_1d(100);
+        let b = vec![1.0; 100];
+        let opts = CgOptions { max_iterations: 2, tolerance: 1e-14 };
+        let err = conjugate_gradient(&a, &b, None, &IdentityPreconditioner, opts);
+        assert!(matches!(err, Err(LinalgError::SolverDidNotConverge { iterations: 2, .. })));
+    }
+
+    #[test]
+    fn jacobi_rejects_zero_diagonal() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        let a = coo.to_csr();
+        assert!(matches!(JacobiPreconditioner::new(&a), Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn ssor_rejects_bad_omega() {
+        let a = laplacian_1d(3);
+        assert!(SsorPreconditioner::new(&a, 0.0).is_err());
+        assert!(SsorPreconditioner::new(&a, 2.0).is_err());
+        assert!(SsorPreconditioner::new(&a, -1.0).is_err());
+        assert!(SsorPreconditioner::new(&a, 1.0).is_ok());
+    }
+}

@@ -1,0 +1,224 @@
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorisation `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Used by `deepoheat-grf` to sample Gaussian random fields: a field sample
+/// is `L z` with `z ~ N(0, I)` where `L` factors the covariance matrix.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// let x = chol.solve(&[2.0, 3.0])?;
+/// // A x = b  =>  4*0 + 2*1 = 2, 2*0 + 3*1 = 3
+/// assert!((x[0] - 0.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), deepoheat_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read, so callers may pass a matrix
+    /// whose upper triangle is stale.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidDimension`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is not strictly
+    ///   positive (within a small relative tolerance).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::InvalidDimension {
+                op: "cholesky",
+                what: format!("matrix is {}x{}, expected square", a.rows(), a.cols()),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j, value: diag });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Returns the dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Returns the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Consumes the factorisation, returning the lower-triangular factor.
+    pub fn into_factor(self) -> Matrix {
+        self.l
+    }
+
+    /// Computes `L z` for a vector `z`; this is how correlated Gaussian
+    /// samples are generated from i.i.d. standard normals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `z.len() != self.dim()`.
+    pub fn l_times(&self, z: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if z.len() != n {
+            return Err(LinalgError::ShapeMismatch { op: "l_times", lhs: (n, n), rhs: (z.len(), 1) });
+        }
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut acc = 0.0;
+            for (j, zj) in z.iter().enumerate().take(i + 1) {
+                acc += row[j] * zj;
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Solves `A x = b` using the factorisation (forward then backward
+    /// substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch { op: "cholesky solve", lhs: (n, n), rhs: (b.len(), 1) });
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut acc = b[i];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                acc -= row[j] * yj;
+            }
+            y[i] = acc / row[i];
+        }
+        // Backward substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of the factored matrix, `log det A = 2 Σ log Lᵢᵢ`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // Build A = B Bᵀ + n I from a deterministic pseudo-random B.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd(8, 3);
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.factor();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        for (x, y) in recon.iter().zip(a.iter()) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct_multiplication() {
+        let a = spd(10, 7);
+        let chol = Cholesky::new(&a).unwrap();
+        let x_true: Vec<f64> = (0..10).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let b_mat = a.matmul(&Matrix::column_vector(&x_true)).unwrap();
+        let x = chol.solve(b_mat.as_slice()).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::InvalidDimension { .. })));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn l_times_matches_matmul() {
+        let a = spd(6, 11);
+        let chol = Cholesky::new(&a).unwrap();
+        let z: Vec<f64> = (0..6).map(|i| (i as f64 - 2.5) * 0.7).collect();
+        let fast = chol.l_times(&z).unwrap();
+        let slow = chol.factor().matmul(&Matrix::column_vector(&z)).unwrap();
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert!((f - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let chol = Cholesky::new(&Matrix::identity(5)).unwrap();
+        assert!(chol.log_det().abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let chol = Cholesky::new(&Matrix::identity(3)).unwrap();
+        assert!(chol.solve(&[1.0, 2.0]).is_err());
+        assert!(chol.l_times(&[1.0]).is_err());
+    }
+}

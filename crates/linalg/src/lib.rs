@@ -1,0 +1,43 @@
+//! Dense and sparse linear-algebra kernels used throughout the DeepOHeat
+//! thermal-simulation stack.
+//!
+//! This crate is deliberately self-contained (no BLAS/LAPACK bindings) so the
+//! whole reproduction builds offline from source. It provides:
+//!
+//! * [`Matrix`] — a dense, row-major, `f64` matrix with cache-friendly and
+//!   (for large operands) multi-threaded multiplication,
+//! * [`Cholesky`] — an LLᵀ factorisation for symmetric positive-definite
+//!   systems (used for Gaussian-random-field sampling),
+//! * [`CsrMatrix`] — compressed sparse row storage for the finite-volume
+//!   operator assembled by `deepoheat-fdm`,
+//! * [`conjugate_gradient`] — a preconditioned conjugate-gradient solver with
+//!   [`Preconditioner`] implementations (identity, Jacobi, SSOR).
+//!
+//! # Examples
+//!
+//! ```
+//! use deepoheat_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c, a);
+//! # Ok::<(), deepoheat_linalg::LinalgError>(())
+//! ```
+
+mod cg;
+mod cholesky;
+mod error;
+mod matrix;
+mod sparse;
+mod vector;
+
+pub use cg::{
+    conjugate_gradient, CgOptions, CgOutcome, IdentityPreconditioner, JacobiPreconditioner,
+    Preconditioner, SsorPreconditioner,
+};
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use sparse::{CooMatrix, CsrMatrix};
+pub use vector::{axpy, dot, norm2, scale_in_place};

@@ -1,0 +1,747 @@
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+use crate::LinalgError;
+
+/// Number of result elements above which [`Matrix::matmul`] switches to a
+/// multi-threaded implementation.
+const PARALLEL_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `Matrix` is the workhorse value type of the whole reproduction: the
+/// autodiff tape, the neural-network layers, the Gaussian-random-field
+/// sampler and the experiment harnesses all operate on it. Storage is a
+/// single contiguous `Vec<f64>` in row-major order, which keeps the hot
+/// multiplication kernels cache friendly.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])?;
+/// assert_eq!(a.shape(), (2, 3));
+/// assert_eq!(a[(1, 2)], 6.0);
+/// let t = a.transpose();
+/// assert_eq!(t.shape(), (3, 2));
+/// # Ok::<(), deepoheat_linalg::LinalgError>(())
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 6.min(self.rows);
+        for r in 0..max_rows {
+            write!(f, "  [")?;
+            let max_cols = 8.min(self.cols);
+            for c in 0..max_cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(r, c)])?;
+            }
+            if self.cols > max_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use deepoheat_linalg::Matrix;
+    /// let z = Matrix::zeros(2, 3);
+    /// assert_eq!(z.shape(), (2, 3));
+    /// assert!(z.iter().all(|&v| v == 0.0));
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix with every element equal to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use deepoheat_linalg::Matrix;
+    /// let i = Matrix::identity(3);
+    /// assert_eq!(i[(0, 0)], 1.0);
+    /// assert_eq!(i[(0, 1)], 0.0);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DataLengthMismatch`] if `data.len() != rows * cols`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use deepoheat_linalg::Matrix;
+    /// let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+    /// assert_eq!(m[(1, 0)], 3.0);
+    /// # Ok::<(), deepoheat_linalg::LinalgError>(())
+    /// ```
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DataLengthMismatch { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimension`] if `rows` is empty or the
+    /// rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() {
+            return Err(LinalgError::InvalidDimension { op: "from_rows", what: "no rows provided".into() });
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(LinalgError::InvalidDimension { op: "from_rows", what: "rows have zero length".into() });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(LinalgError::InvalidDimension {
+                    op: "from_rows",
+                    what: format!("row {i} has length {} but expected {cols}", row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a column vector (an `n × 1` matrix) from a slice.
+    pub fn column_vector(values: &[f64]) -> Self {
+        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// Creates a row vector (a `1 × n` matrix) from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use deepoheat_linalg::Matrix;
+    /// let m = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f64);
+    /// assert_eq!(m[(1, 1)], 11.0);
+    /// ```
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Returns the number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns the total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the underlying row-major data as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the underlying row-major data as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the underlying row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns an iterator over all elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Returns a mutable iterator over all elements in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, f64> {
+        self.data.iter_mut()
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        out
+    }
+
+    /// Matrix multiplication `self * rhs`.
+    ///
+    /// Uses a cache-friendly `i-k-j` loop ordering and spreads rows across
+    /// threads when the output has more than ~256k elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use deepoheat_linalg::Matrix;
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+    /// let b = Matrix::from_rows(&[&[5.0], &[6.0]])?;
+    /// let c = a.matmul(&b)?;
+    /// assert_eq!(c.as_slice(), &[17.0, 39.0]);
+    /// # Ok::<(), deepoheat_linalg::LinalgError>(())
+    /// ```
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let work = self.rows * self.cols * rhs.cols;
+        if work >= PARALLEL_MATMUL_THRESHOLD && self.rows >= 2 {
+            self.matmul_parallel(rhs, &mut out);
+        } else {
+            matmul_rows(&self.data, &rhs.data, &mut out.data, self.cols, rhs.cols, 0, self.rows);
+        }
+        Ok(out)
+    }
+
+    fn matmul_parallel(&self, rhs: &Matrix, out: &mut Matrix) {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(self.rows);
+        let chunk = self.rows.div_ceil(threads);
+        let k = self.cols;
+        let n = rhs.cols;
+        let lhs_data = &self.data;
+        let rhs_data = &rhs.data;
+        let out_chunks: Vec<&mut [f64]> = out.data.chunks_mut(chunk * n).collect();
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in out_chunks.into_iter().enumerate() {
+                let r0 = t * chunk;
+                let r1 = (r0 + chunk).min(self.rows);
+                scope.spawn(move || {
+                    let local = &lhs_data[r0 * k..r1 * k];
+                    matmul_rows(local, rhs_data, out_chunk, k, n, 0, r1 - r0);
+                });
+            }
+        });
+    }
+
+    /// Computes `self * rhs.transpose()` without materialising the transpose.
+    ///
+    /// This is the hot kernel of the DeepONet combine step
+    /// `T = B Φᵀ`, where both operands are tall-and-skinny.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_transposed(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transposed",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        let k = self.cols;
+        let n = rhs.rows;
+        let work = self.rows * k * n;
+        let body = |lhs_rows: &[f64], out_chunk: &mut [f64], nrows: usize| {
+            for r in 0..nrows {
+                let a = &lhs_rows[r * k..(r + 1) * k];
+                let o = &mut out_chunk[r * n..(r + 1) * n];
+                for c in 0..n {
+                    let b = &rhs.data[c * k..(c + 1) * k];
+                    let mut acc = 0.0;
+                    for i in 0..k {
+                        acc += a[i] * b[i];
+                    }
+                    o[c] = acc;
+                }
+            }
+        };
+        if work >= PARALLEL_MATMUL_THRESHOLD && self.rows >= 2 {
+            let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(self.rows);
+            let chunk = self.rows.div_ceil(threads);
+            let lhs_data = &self.data;
+            let out_chunks: Vec<&mut [f64]> = out.data.chunks_mut(chunk * n).collect();
+            std::thread::scope(|scope| {
+                for (t, out_chunk) in out_chunks.into_iter().enumerate() {
+                    let r0 = t * chunk;
+                    let r1 = (r0 + chunk).min(self.rows);
+                    scope.spawn(move || {
+                        body(&lhs_data[r0 * k..r1 * k], out_chunk, r1 - r0);
+                    });
+                }
+            });
+        } else {
+            body(&self.data, &mut out.data, self.rows);
+        }
+        Ok(out)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    fn zip_with<F: Fn(f64, f64) -> f64>(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: F,
+    ) -> Result<Matrix, LinalgError> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch { op, lhs: self.shape(), rhs: rhs.shape() });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Returns a new matrix with every element multiplied by `s`.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| v * s).collect() }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Adds `row` (a `1 × cols` bias) to every row of the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `row` is not `1 × self.cols()`.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Result<Matrix, LinalgError> {
+        if row.rows != 1 || row.cols != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.shape(),
+                rhs: row.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let dst = out.row_mut(r);
+            for (d, &b) in dst.iter_mut().zip(&row.data) {
+                *d += b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sums all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// Returns `0.0` for an empty matrix.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum element (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum element (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Horizontally concatenates `self` and `rhs` (`[self | rhs]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the row counts differ.
+    pub fn hcat(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch { op: "hcat", lhs: self.shape(), rhs: rhs.shape() });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(rhs.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Vertically concatenates `self` on top of `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ.
+    pub fn vcat(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch { op: "vcat", lhs: self.shape(), rhs: rhs.shape() });
+        }
+        let mut data = Vec::with_capacity(self.data.len() + rhs.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&rhs.data);
+        Ok(Matrix { rows: self.rows + rhs.rows, cols: self.cols, data })
+    }
+
+    /// Returns the sub-matrix formed by the rows with the given indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Returns column `c` as a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index {c} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Returns `true` if all elements are finite (no NaN or infinity).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Serial row-range matmul kernel: `out[r0..r1] = lhs[r0..r1] * rhs`,
+/// with `lhs` given as a slice whose row 0 corresponds to `out` row 0.
+fn matmul_rows(lhs: &[f64], rhs: &[f64], out: &mut [f64], k: usize, n: usize, r0: usize, r1: usize) {
+    for r in r0..r1 {
+        let a_row = &lhs[r * k..(r + 1) * k];
+        let o_row = &mut out[r * n..(r + 1) * n];
+        for (i, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_row = &rhs[i * n..(i + 1) * n];
+            for (o, &b) in o_row.iter_mut().zip(b_row) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds for {}x{}", self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds for {}x{}", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Matrix::add`] for a fallible version.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        Matrix::add(self, rhs).expect("matrix addition shape mismatch")
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Matrix::sub`] for a fallible version.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        Matrix::sub(self, rhs).expect("matrix subtraction shape mismatch")
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 2);
+        assert_eq!(z.shape(), (3, 2));
+        assert_eq!(z.sum(), 0.0);
+        let i = Matrix::identity(4);
+        assert_eq!(i.sum(), 4.0);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        let err = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::DataLengthMismatch { expected: 4, actual: 3 }));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidDimension { .. }));
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(5, 5, |r, c| (r * 5 + c) as f64);
+        let i = Matrix::identity(5);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r + 2 * c) as f64 * 0.5);
+        let b = Matrix::from_fn(6, 3, |r, c| (r as f64 - c as f64) * 0.25);
+        let fast = a.matmul_transposed(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Large enough to exceed the parallel threshold.
+        let a = Matrix::from_fn(128, 80, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(80, 64, |r, c| ((r * 17 + c * 3) % 11) as f64 - 5.0);
+        let big = a.matmul(&b).unwrap();
+        // Serial reference.
+        let mut expected = Matrix::zeros(128, 64);
+        matmul_rows(a.as_slice(), b.as_slice(), expected.as_mut_slice(), 80, 64, 0, 128);
+        assert_eq!(big, expected);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_fn(3, 7, |r, c| (r * 7 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 6.0]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[-2.0, -2.0]);
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[3.0, 8.0]);
+        assert_eq!(a.scaled(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::row_vector(&[1.0, -1.0]);
+        let c = a.add_row_broadcast(&b).unwrap();
+        for r in 0..3 {
+            assert_eq!(c.row(r), &[1.0, -1.0]);
+        }
+        let bad = Matrix::row_vector(&[1.0]);
+        assert!(a.add_row_broadcast(&bad).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.sum(), 6.0);
+        assert_eq!(a.mean(), 1.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), -2.0);
+        assert!((a.frobenius_norm() - (30.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]).unwrap();
+        let h = a.hcat(&b).unwrap();
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h.as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+        let v = a.vcat(&b).unwrap();
+        assert_eq!(v.shape(), (4, 1));
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn select_rows_and_column() {
+        let a = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f64);
+        let s = a.select_rows(&[3, 0]);
+        assert_eq!(s.row(0), &[6.0, 7.0]);
+        assert_eq!(s.row(1), &[0.0, 1.0]);
+        assert_eq!(a.column(1), vec![1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(a.is_finite());
+        a[(0, 1)] = f64::NAN;
+        assert!(!a.is_finite());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let a = Matrix::zeros(10, 10);
+        let s = format!("{a:?}");
+        assert!(s.contains("Matrix 10x10"));
+    }
+}

@@ -1,0 +1,329 @@
+use crate::LinalgError;
+
+/// A sparse matrix in coordinate (triplet) form, used as a mutable builder
+/// for [`CsrMatrix`].
+///
+/// Duplicate entries are *summed* on conversion, which matches how a
+/// finite-volume assembly accumulates face contributions into the system
+/// matrix.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_linalg::CooMatrix;
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 1.0);
+/// coo.push(0, 0, 1.0); // accumulates
+/// coo.push(1, 1, 3.0);
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.get(0, 0), 2.0);
+/// assert_eq!(csr.get(1, 1), 3.0);
+/// assert_eq!(csr.get(0, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty builder for a `rows × cols` sparse matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix { rows, cols, entries: Vec::new() }
+    }
+
+    /// Adds `value` at `(row, col)`; repeated pushes accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "coo entry ({row}, {col}) out of bounds for {}x{}", self.rows, self.cols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Returns the number of stored (possibly duplicate) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Converts to compressed sparse row form, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut col_idx: Vec<usize> = Vec::with_capacity(entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(entries.len());
+        let mut merged_rows: Vec<usize> = Vec::with_capacity(entries.len());
+        for &(r, c, v) in &entries {
+            if merged_rows.last() == Some(&r) && col_idx.last() == Some(&c) {
+                *values.last_mut().expect("values tracks col_idx") += v;
+            } else {
+                merged_rows.push(r);
+                col_idx.push(c);
+                values.push(v);
+            }
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for &r in &merged_rows {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+}
+
+/// A compressed-sparse-row matrix of `f64` values.
+///
+/// This is the storage format for the finite-volume operator assembled by
+/// `deepoheat-fdm`. It supports matrix–vector products (the only operation
+/// the conjugate-gradient solver needs), diagonal extraction for Jacobi
+/// preconditioning and symmetry checks used in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates a CSR matrix from raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimension`] if the arrays are
+    /// structurally inconsistent (wrong `row_ptr` length, non-monotone
+    /// `row_ptr`, column indices out of range, or length mismatches).
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, LinalgError> {
+        if row_ptr.len() != rows + 1 {
+            return Err(LinalgError::InvalidDimension {
+                op: "csr from_raw",
+                what: format!("row_ptr has length {}, expected {}", row_ptr.len(), rows + 1),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(LinalgError::InvalidDimension {
+                op: "csr from_raw",
+                what: format!("col_idx length {} != values length {}", col_idx.len(), values.len()),
+            });
+        }
+        if *row_ptr.last().unwrap_or(&0) != values.len() {
+            return Err(LinalgError::InvalidDimension {
+                op: "csr from_raw",
+                what: "row_ptr does not end at values.len()".into(),
+            });
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(LinalgError::InvalidDimension { op: "csr from_raw", what: "row_ptr is not monotone".into() });
+        }
+        if col_idx.iter().any(|&c| c >= cols) {
+            return Err(LinalgError::InvalidDimension { op: "csr from_raw", what: "column index out of range".into() });
+        }
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Returns the number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns the number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the value at `(row, col)`, or `0.0` if it is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "csr get ({row}, {col}) out of bounds");
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        match self.col_idx[start..end].binary_search(&col) {
+            Ok(pos) => self.values[start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over the stored entries of row `r` as `(col, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(r < self.rows, "csr row {r} out of bounds");
+        let start = self.row_ptr[r];
+        let end = self.row_ptr[r + 1];
+        self.col_idx[start..end].iter().copied().zip(self.values[start..end].iter().copied())
+    }
+
+    /// Sparse matrix–vector product `y = A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut y = vec![0.0; self.rows];
+        self.spmv_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Sparse matrix–vector product writing into a caller-provided buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()` or
+    /// `y.len() != self.rows()`.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch { op: "spmv", lhs: self.shape(), rhs: (x.len(), 1) });
+        }
+        if y.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch { op: "spmv", lhs: self.shape(), rhs: (y.len(), 1) });
+        }
+        for r in 0..self.rows {
+            let start = self.row_ptr[r];
+            let end = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in start..end {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+        Ok(())
+    }
+
+    /// Extracts the main diagonal (missing entries are `0.0`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Checks structural + numerical symmetry within `tol` (absolute).
+    ///
+    /// Intended for tests and debug assertions on assembled FDM operators,
+    /// which must be symmetric for conjugate gradients to apply.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                if (v - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> CsrMatrix {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3usize {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+                coo.push(i - 1, i, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_accumulates_duplicates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.5);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 0, -1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 1), 4.0);
+        assert_eq!(csr.get(1, 0), -1.0);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn coo_handles_empty_rows() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(3, 3, 2.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 0), 1.0);
+        assert_eq!(csr.get(3, 3), 2.0);
+        assert_eq!(csr.get(1, 1), 0.0);
+        assert_eq!(csr.spmv(&[1.0, 1.0, 1.0, 1.0]).unwrap(), vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn spmv_tridiagonal() {
+        let a = sample_csr();
+        let y = a.spmv(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn spmv_rejects_wrong_length() {
+        let a = sample_csr();
+        assert!(a.spmv(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn diagonal_and_symmetry() {
+        let a = sample_csr();
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+        assert!(a.is_symmetric(0.0));
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        assert!(!coo.to_csr().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err()); // bad row_ptr len
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 3], vec![0, 1], vec![1.0, 1.0]).is_err()); // end mismatch
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()); // non-monotone
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]).is_err()); // col oob
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn row_entries_iterates_stored_values() {
+        let a = sample_csr();
+        let row1: Vec<(usize, f64)> = a.row_entries(1).collect();
+        assert_eq!(row1, vec![(0, -1.0), (1, 2.0), (2, -1.0)]);
+    }
+}

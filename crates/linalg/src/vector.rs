@@ -1,0 +1,84 @@
+//! Small BLAS-level-1 helpers on `&[f64]` slices.
+//!
+//! The iterative solvers in [`crate::conjugate_gradient`] and the optimiser
+//! loops in `deepoheat-nn` are built on these.
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_linalg::dot;
+/// assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_linalg::norm2;
+/// assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Computes `y += alpha * x` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place: `x *= alpha`.
+pub fn scale_in_place(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot(&[1.0, -1.0, 2.0], &[2.0, 2.0, 0.5]), 1.0);
+        assert!((norm2(&[1.0, 1.0, 1.0, 1.0]) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpy(2.0, &[1.0, 0.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn scale_in_place_works() {
+        let mut x = vec![1.0, -2.0];
+        scale_in_place(-0.5, &mut x);
+        assert_eq!(x, vec![-0.5, 1.0]);
+    }
+}

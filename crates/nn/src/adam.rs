@@ -1,0 +1,219 @@
+use deepoheat_autodiff::Gradients;
+use deepoheat_linalg::Matrix;
+
+use crate::{BoundParameters, LrSchedule, NnError, Parameterized};
+
+/// Configuration for the [`Adam`] optimiser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Exponential decay rate for the first-moment estimate.
+    pub beta1: f64,
+    /// Exponential decay rate for the second-moment estimate.
+    pub beta2: f64,
+    /// Numerical-stability constant added to the denominator.
+    pub epsilon: f64,
+}
+
+impl AdamConfig {
+    /// A config with the given constant learning rate and standard
+    /// `(β₁, β₂, ε) = (0.9, 0.999, 1e-8)`.
+    pub fn with_learning_rate(lr: f64) -> Self {
+        AdamConfig { schedule: LrSchedule::Constant(lr), ..AdamConfig::default() }
+    }
+
+    /// A config with the given schedule and standard moment parameters.
+    pub fn with_schedule(schedule: LrSchedule) -> Self {
+        AdamConfig { schedule, ..AdamConfig::default() }
+    }
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { schedule: LrSchedule::default(), beta1: 0.9, beta2: 0.999, epsilon: 1e-8 }
+    }
+}
+
+/// The Adam optimiser (Kingma & Ba 2015) with bias-corrected moment
+/// estimates, operating on the parameter matrices of a [`Parameterized`]
+/// model.
+///
+/// State (first/second moments) is allocated lazily on the first step and
+/// keyed by parameter position, so the model must expose its parameters in
+/// a stable order. See the [crate-level example](crate) for a full
+/// training loop.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    config: AdamConfig,
+    step: usize,
+    first_moment: Vec<Matrix>,
+    second_moment: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an optimiser; moment buffers are allocated on first use.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam { config, step: 0, first_moment: Vec::new(), second_moment: Vec::new() }
+    }
+
+    /// Number of optimisation steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.step
+    }
+
+    /// The learning rate that will be used by the next step.
+    pub fn current_learning_rate(&self) -> f64 {
+        self.config.schedule.learning_rate(self.step)
+    }
+
+    /// Applies one update to `parameters` given matching `gradients`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParameterMismatch`] if the slice lengths differ
+    /// (or differ from an earlier step's), and
+    /// [`NnError::InvalidArchitecture`] if a gradient's shape does not
+    /// match its parameter.
+    pub fn step_slices(&mut self, parameters: &mut [&mut Matrix], gradients: &[&Matrix]) -> Result<(), NnError> {
+        if parameters.len() != gradients.len() {
+            return Err(NnError::ParameterMismatch { model: parameters.len(), supplied: gradients.len() });
+        }
+        if self.first_moment.is_empty() {
+            self.first_moment = parameters.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.second_moment = self.first_moment.clone();
+        } else if self.first_moment.len() != parameters.len() {
+            return Err(NnError::ParameterMismatch { model: self.first_moment.len(), supplied: parameters.len() });
+        }
+
+        let lr = self.config.schedule.learning_rate(self.step);
+        let t = (self.step + 1) as i32;
+        let bc1 = 1.0 - self.config.beta1.powi(t);
+        let bc2 = 1.0 - self.config.beta2.powi(t);
+        let b1 = self.config.beta1;
+        let b2 = self.config.beta2;
+        let eps = self.config.epsilon;
+
+        for (i, (param, grad)) in parameters.iter_mut().zip(gradients).enumerate() {
+            if param.shape() != grad.shape() {
+                return Err(NnError::InvalidArchitecture {
+                    what: format!(
+                        "gradient {i} has shape {:?}, parameter has {:?}",
+                        grad.shape(),
+                        param.shape()
+                    ),
+                });
+            }
+            let m = &mut self.first_moment[i];
+            let v = &mut self.second_moment[i];
+            for ((p, g), (mi, vi)) in param
+                .iter_mut()
+                .zip(grad.iter())
+                .zip(m.iter_mut().zip(v.iter_mut()))
+            {
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *p -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+        self.step += 1;
+        Ok(())
+    }
+
+    /// Convenience wrapper: updates a [`Parameterized`] model from the
+    /// [`Gradients`] of the graph it was bound into.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingGradient`] if a parameter has no gradient
+    /// (it did not influence the loss), plus the errors of
+    /// [`Adam::step_slices`].
+    pub fn step_model<M, B>(&mut self, model: &mut M, bound: &B, gradients: &Gradients) -> Result<(), NnError>
+    where
+        M: Parameterized,
+        B: BoundParameters,
+    {
+        let vars = bound.parameter_vars();
+        let mut grads = Vec::with_capacity(vars.len());
+        for (i, var) in vars.iter().enumerate() {
+            match gradients.get(*var) {
+                Some(g) => grads.push(g),
+                None => return Err(NnError::MissingGradient { index: i }),
+            }
+        }
+        let mut params = model.parameters_mut();
+        if params.len() != grads.len() {
+            return Err(NnError::ParameterMismatch { model: params.len(), supplied: grads.len() });
+        }
+        self.step_slices(&mut params, &grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic() {
+        // f(x) = (x - 3)², gradient 2(x - 3).
+        let mut x = Matrix::filled(1, 1, 0.0);
+        let mut adam = Adam::new(AdamConfig::with_learning_rate(0.1));
+        for _ in 0..300 {
+            let g = x.map(|v| 2.0 * (v - 3.0));
+            adam.step_slices(&mut [&mut x], &[&g]).unwrap();
+        }
+        assert!((x.as_slice()[0] - 3.0).abs() < 1e-3, "x = {}", x.as_slice()[0]);
+        assert_eq!(adam.steps_taken(), 300);
+    }
+
+    #[test]
+    fn schedule_is_consulted() {
+        let sched = LrSchedule::ExponentialDecay { initial: 1.0, factor: 0.5, every: 1 };
+        let mut adam = Adam::new(AdamConfig::with_schedule(sched));
+        assert_eq!(adam.current_learning_rate(), 1.0);
+        let mut x = Matrix::filled(1, 1, 0.0);
+        let g = Matrix::filled(1, 1, 1.0);
+        adam.step_slices(&mut [&mut x], &[&g]).unwrap();
+        assert_eq!(adam.current_learning_rate(), 0.5);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let mut adam = Adam::new(AdamConfig::default());
+        let mut x = Matrix::zeros(1, 1);
+        let err = adam.step_slices(&mut [&mut x], &[]);
+        assert!(matches!(err, Err(NnError::ParameterMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_shape_drift() {
+        let mut adam = Adam::new(AdamConfig::default());
+        let mut x = Matrix::zeros(2, 2);
+        let g = Matrix::zeros(1, 4);
+        let err = adam.step_slices(&mut [&mut x], &[&g]);
+        assert!(matches!(err, Err(NnError::InvalidArchitecture { .. })));
+    }
+
+    #[test]
+    fn rejects_parameter_count_change_between_steps() {
+        let mut adam = Adam::new(AdamConfig::default());
+        let mut x = Matrix::zeros(1, 1);
+        let mut y = Matrix::zeros(1, 1);
+        let g = Matrix::zeros(1, 1);
+        adam.step_slices(&mut [&mut x, &mut y], &[&g, &g]).unwrap();
+        let err = adam.step_slices(&mut [&mut x], &[&g]);
+        assert!(matches!(err, Err(NnError::ParameterMismatch { .. })));
+    }
+
+    #[test]
+    fn first_step_is_signed_lr() {
+        // With bias correction, the very first Adam step is ≈ lr * sign(g).
+        let mut adam = Adam::new(AdamConfig::with_learning_rate(0.01));
+        let mut x = Matrix::filled(1, 1, 1.0);
+        let g = Matrix::filled(1, 1, 123.0);
+        adam.step_slices(&mut [&mut x], &[&g]).unwrap();
+        assert!((x.as_slice()[0] - (1.0 - 0.01)).abs() < 1e-6);
+    }
+}

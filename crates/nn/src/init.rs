@@ -1,0 +1,92 @@
+//! Parameter initialisation helpers.
+
+use deepoheat_linalg::Matrix;
+use rand::Rng;
+
+/// Samples a `rows × cols` matrix with Glorot (Xavier) uniform
+/// initialisation: entries uniform in `±sqrt(6 / (rows + cols))`.
+///
+/// This is the default weight initialisation for every dense layer in the
+/// reproduction, matching the DeepXDE defaults the paper's implementation
+/// relies on.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_nn::glorot_uniform;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let w = glorot_uniform(64, 64, &mut rng);
+/// let bound = (6.0f64 / 128.0).sqrt();
+/// assert!(w.iter().all(|&v| v.abs() <= bound));
+/// ```
+pub fn glorot_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f64).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect();
+    Matrix::from_vec(rows, cols, data).expect("glorot dimensions are consistent by construction")
+}
+
+/// Samples a `rows × cols` matrix with i.i.d. `N(mean, std²)` entries using
+/// the Box–Muller transform (avoids an extra distribution dependency).
+///
+/// Used for the Fourier-feature frequency matrix, whose entries the paper
+/// samples from a zero-mean normal with standard deviation `2π` (§V.A.3)
+/// or `π` (§V.B).
+pub fn normal_matrix<R: Rng + ?Sized>(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut R) -> Matrix {
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        // Box–Muller: two uniforms -> two independent standard normals.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Matrix::from_vec(rows, cols, data).expect("normal dimensions are consistent by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_respects_bound_and_varies() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let w = glorot_uniform(10, 30, &mut rng);
+        let bound = (6.0f64 / 40.0).sqrt();
+        assert!(w.iter().all(|&v| v.abs() <= bound));
+        // Not all identical.
+        assert!(w.max() > w.min());
+    }
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let m = normal_matrix(100, 100, 1.5, 2.0, &mut rng);
+        let mean = m.mean();
+        let var = m.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / (m.len() - 1) as f64;
+        assert!((mean - 1.5).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = glorot_uniform(3, 3, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let b = glorot_uniform(3, 3, &mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn odd_element_count_is_filled() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = normal_matrix(3, 3, 0.0, 1.0, &mut rng);
+        assert_eq!(m.len(), 9);
+        assert!(m.is_finite());
+    }
+}

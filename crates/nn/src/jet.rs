@@ -1,0 +1,208 @@
+//! Second-order jets: value + first + second spatial derivatives.
+//!
+//! Physics-informed training of DeepOHeat needs `T`, `∂T/∂yᵢ` and
+//! `∂²T/∂yᵢ²` at every collocation point *as differentiable functions of
+//! the network parameters*. Rather than nesting reverse-mode passes, we
+//! propagate a seven-channel "jet" through the trunk network: the value,
+//! the three first derivatives and the three pure second derivatives
+//! (mixed second derivatives never appear in the Laplacian or in any of
+//! the boundary conditions, so they are not carried).
+//!
+//! Every channel is an ordinary graph node, so one reverse pass over the
+//! final loss yields exact parameter gradients of all derivative fields.
+
+use deepoheat_autodiff::{Activation, Graph, Var};
+use deepoheat_linalg::Matrix;
+
+use crate::NnError;
+
+/// A second-order jet in three spatial dimensions.
+///
+/// All seven channels share the same matrix shape (`points × features`).
+#[derive(Debug, Clone, Copy)]
+pub struct Jet3 {
+    /// The function value channel.
+    pub value: Var,
+    /// First derivatives with respect to `y₁, y₂, y₃`.
+    pub d1: [Var; 3],
+    /// Pure second derivatives `∂²/∂y₁², ∂²/∂y₂², ∂²/∂y₃²`.
+    pub d2: [Var; 3],
+}
+
+impl Jet3 {
+    /// Seeds a jet from a `points × 3` coordinate matrix.
+    ///
+    /// The value channel is the coordinates themselves; the first-derivative
+    /// channel `i` is the constant matrix with ones in column `i`
+    /// (`∂y/∂yᵢ = eᵢ`); second derivatives start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` does not have exactly 3 columns.
+    pub fn seed_coordinates(graph: &mut Graph, coords: Matrix) -> Jet3 {
+        assert_eq!(coords.cols(), 3, "coordinate matrix must be points x 3, got {:?}", coords.shape());
+        let n = coords.rows();
+        let value = graph.leaf(coords, false);
+        let zero = Matrix::zeros(n, 3);
+        let mut d1 = [value; 3];
+        let mut d2 = [value; 3];
+        for i in 0..3 {
+            let mut e = Matrix::zeros(n, 3);
+            for r in 0..n {
+                e[(r, i)] = 1.0;
+            }
+            d1[i] = graph.leaf(e, false);
+            d2[i] = graph.leaf(zero.clone(), false);
+        }
+        Jet3 { value, d1, d2 }
+    }
+
+    /// The Laplacian channel `Σᵢ ∂²/∂yᵢ²` as a new graph node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying graph operations.
+    pub fn laplacian(&self, graph: &mut Graph) -> Result<Var, NnError> {
+        let s01 = graph.add(self.d2[0], self.d2[1])?;
+        Ok(graph.add(s01, self.d2[2])?)
+    }
+}
+
+/// Applies an elementwise activation to a jet using the Faà-di-Bruno rules
+///
+/// ```text
+/// a   = σ(z)
+/// aᵢ  = σ'(z) ⊙ zᵢ
+/// aᵢᵢ = σ''(z) ⊙ zᵢ² + σ'(z) ⊙ zᵢᵢ
+/// ```
+///
+/// # Errors
+///
+/// Propagates shape errors from the underlying graph operations.
+pub fn activation_jet(graph: &mut Graph, act: Activation, z: &Jet3) -> Result<Jet3, NnError> {
+    let a0 = graph.activation(z.value, act, 0)?;
+    let a1 = graph.activation(z.value, act, 1)?;
+    let a2 = graph.activation(z.value, act, 2)?;
+    let mut d1 = [a0; 3];
+    let mut d2 = [a0; 3];
+    for i in 0..3 {
+        d1[i] = graph.mul(a1, z.d1[i])?;
+        let zi_sq = graph.square(z.d1[i])?;
+        let t1 = graph.mul(a2, zi_sq)?;
+        let t2 = graph.mul(a1, z.d2[i])?;
+        d2[i] = graph.add(t1, t2)?;
+    }
+    Ok(Jet3 { value: a0, d1, d2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepoheat_autodiff::Graph;
+
+    /// Evaluates f(y) = swish(y·w) for a 1-feature "layer" directly, to
+    /// compare jets against finite differences of a plain forward pass.
+    fn forward_plain(coords: &Matrix, w: &Matrix, act: Activation) -> Matrix {
+        coords.matmul(w).unwrap().map(|v| act.eval(0, v))
+    }
+
+    fn jet_channels(coords: Matrix, w: &Matrix, act: Activation) -> (Matrix, [Matrix; 3], [Matrix; 3]) {
+        let mut g = Graph::new();
+        let jet = Jet3::seed_coordinates(&mut g, coords);
+        let wv = g.leaf(w.clone(), false);
+        // Linear layer on the jet.
+        let value = g.matmul(jet.value, wv).unwrap();
+        let mut lin = Jet3 { value, d1: [value; 3], d2: [value; 3] };
+        for i in 0..3 {
+            lin.d1[i] = g.matmul(jet.d1[i], wv).unwrap();
+            lin.d2[i] = g.matmul(jet.d2[i], wv).unwrap();
+        }
+        let out = activation_jet(&mut g, act, &lin).unwrap();
+        (
+            g.value(out.value).clone(),
+            [g.value(out.d1[0]).clone(), g.value(out.d1[1]).clone(), g.value(out.d1[2]).clone()],
+            [g.value(out.d2[0]).clone(), g.value(out.d2[1]).clone(), g.value(out.d2[2]).clone()],
+        )
+    }
+
+    #[test]
+    fn jet_derivatives_match_finite_differences() {
+        let w = Matrix::from_rows(&[&[0.7, -0.4], &[0.2, 0.9], &[-0.5, 0.3]]).unwrap();
+        let coords = Matrix::from_rows(&[&[0.1, 0.2, 0.3], &[-0.4, 0.5, -0.6]]).unwrap();
+        let h = 1e-4;
+
+        for act in [Activation::Swish, Activation::Tanh, Activation::Sine] {
+            let (value, d1, d2) = jet_channels(coords.clone(), &w, act);
+            assert_eq!(value, forward_plain(&coords, &w, act));
+
+            for axis in 0..3 {
+                let mut plus = coords.clone();
+                let mut minus = coords.clone();
+                for r in 0..coords.rows() {
+                    plus[(r, axis)] += h;
+                    minus[(r, axis)] -= h;
+                }
+                let f_plus = forward_plain(&plus, &w, act);
+                let f_minus = forward_plain(&minus, &w, act);
+                let f_mid = forward_plain(&coords, &w, act);
+                for idx in 0..value.len() {
+                    let fd1 = (f_plus.as_slice()[idx] - f_minus.as_slice()[idx]) / (2.0 * h);
+                    let fd2 = (f_plus.as_slice()[idx] - 2.0 * f_mid.as_slice()[idx] + f_minus.as_slice()[idx]) / (h * h);
+                    assert!(
+                        (d1[axis].as_slice()[idx] - fd1).abs() < 1e-6,
+                        "{act} d1 axis {axis}: {} vs {fd1}",
+                        d1[axis].as_slice()[idx]
+                    );
+                    assert!(
+                        (d2[axis].as_slice()[idx] - fd2).abs() < 1e-4,
+                        "{act} d2 axis {axis}: {} vs {fd2}",
+                        d2[axis].as_slice()[idx]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_sums_second_derivatives() {
+        let mut g = Graph::new();
+        let coords = Matrix::from_rows(&[&[0.5, -0.5, 0.25]]).unwrap();
+        let jet = Jet3::seed_coordinates(&mut g, coords);
+        // Replace the d2 channels with known constants.
+        let jet = Jet3 {
+            value: jet.value,
+            d1: jet.d1,
+            d2: [
+                g.leaf(Matrix::filled(1, 3, 1.0), false),
+                g.leaf(Matrix::filled(1, 3, 2.0), false),
+                g.leaf(Matrix::filled(1, 3, 3.0), false),
+            ],
+        };
+        let lap = jet.laplacian(&mut g).unwrap();
+        assert!(g.value(lap).iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "points x 3")]
+    fn seed_requires_three_columns() {
+        let mut g = Graph::new();
+        Jet3::seed_coordinates(&mut g, Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn seed_channels_have_expected_values() {
+        let mut g = Graph::new();
+        let coords = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let jet = Jet3::seed_coordinates(&mut g, coords.clone());
+        assert_eq!(g.value(jet.value), &coords);
+        for i in 0..3 {
+            let d1 = g.value(jet.d1[i]);
+            for r in 0..2 {
+                for c in 0..3 {
+                    assert_eq!(d1[(r, c)], if c == i { 1.0 } else { 0.0 });
+                }
+            }
+            assert!(g.value(jet.d2[i]).iter().all(|&v| v == 0.0));
+        }
+    }
+}

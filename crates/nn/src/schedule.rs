@@ -1,0 +1,90 @@
+/// A learning-rate schedule.
+///
+/// The paper trains with an initial learning rate of `1e-3` decayed by
+/// `0.9×` every 500 iterations (§V.A.4); that is
+/// [`LrSchedule::ExponentialDecay`] here.
+///
+/// # Examples
+///
+/// ```
+/// use deepoheat_nn::LrSchedule;
+///
+/// let s = LrSchedule::ExponentialDecay { initial: 1e-3, factor: 0.9, every: 500 };
+/// assert_eq!(s.learning_rate(0), 1e-3);
+/// assert!((s.learning_rate(500) - 9e-4).abs() < 1e-12);
+/// assert!((s.learning_rate(1000) - 8.1e-4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum LrSchedule {
+    /// A fixed learning rate.
+    Constant(f64),
+    /// `initial * factor^(step / every)` with integer division, i.e. a
+    /// staircase decay.
+    ExponentialDecay {
+        /// Learning rate at step 0.
+        initial: f64,
+        /// Multiplicative factor applied every `every` steps.
+        factor: f64,
+        /// Number of steps between decays.
+        every: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at (zero-based) optimisation step `step`.
+    pub fn learning_rate(&self, step: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::ExponentialDecay { initial, factor, every } => {
+                initial * factor.powi((step / every.max(1)) as i32)
+            }
+        }
+    }
+
+    /// The schedule used by the paper: `1e-3` decayed by `0.9×` every 500
+    /// iterations.
+    pub fn paper_default() -> Self {
+        LrSchedule::ExponentialDecay { initial: 1e-3, factor: 0.9, every: 500 }
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant(0.01);
+        assert_eq!(s.learning_rate(0), 0.01);
+        assert_eq!(s.learning_rate(1_000_000), 0.01);
+    }
+
+    #[test]
+    fn staircase_decay() {
+        let s = LrSchedule::ExponentialDecay { initial: 1.0, factor: 0.5, every: 10 };
+        assert_eq!(s.learning_rate(0), 1.0);
+        assert_eq!(s.learning_rate(9), 1.0);
+        assert_eq!(s.learning_rate(10), 0.5);
+        assert_eq!(s.learning_rate(20), 0.25);
+    }
+
+    #[test]
+    fn zero_every_does_not_divide_by_zero() {
+        let s = LrSchedule::ExponentialDecay { initial: 1.0, factor: 0.5, every: 0 };
+        assert_eq!(s.learning_rate(3), 0.125);
+    }
+
+    #[test]
+    fn paper_default_values() {
+        let s = LrSchedule::paper_default();
+        assert_eq!(s.learning_rate(0), 1e-3);
+        assert!((s.learning_rate(1500) - 1e-3 * 0.9f64.powi(3)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build the paper's §V.A chip, solve it with the reference
+//! finite-volume solver, and print a temperature summary.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use deepoheat::report::ascii_heatmap;
+use deepoheat_chip::{Chip, UNIT_POWER_WATTS};
+use deepoheat_fdm::{BoundaryCondition, Face, SolveOptions};
+use deepoheat_grf::paper_test_suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 1mm x 1mm x 0.5mm chip on a 21x21x11 mesh, k = 0.1 W/mK,
+    // adiabatic sides, convection-cooled bottom.
+    let mut chip = Chip::single_cuboid(1e-3, 1e-3, 0.5e-3, 21, 21, 11, 0.1)?;
+    chip.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })?;
+
+    // Heat it with the paper-style test power map p1 (a central block),
+    // interpolated from 20x20 tiles to the 21x21 grid.
+    let (name, tile_map) = paper_test_suite(20).remove(0);
+    let grid_map = tile_map.to_grid(21);
+    chip.set_top_power_map_units(&grid_map)?;
+    println!(
+        "power map {name}: {:.1} tile-units total ({:.2} mW)",
+        tile_map.total_power(),
+        tile_map.total_power() * UNIT_POWER_WATTS * 1e3
+    );
+
+    // Solve the steady heat equation.
+    let solution = chip.heat_problem()?.solve(SolveOptions::default())?;
+    println!(
+        "solved {} nodes in {} CG iterations (residual {:.1e})",
+        solution.temperatures().len(),
+        solution.iterations(),
+        solution.relative_residual()
+    );
+    println!(
+        "temperature range: {:.2} K .. {:.2} K (ambient 298.15 K)",
+        solution.min_temperature(),
+        solution.max_temperature()
+    );
+
+    // The top-surface field the paper plots in Fig. 3.
+    let top = solution.face_temperatures(Face::ZMax);
+    println!("\ntop-surface temperature field:");
+    println!("{}", ascii_heatmap(&top));
+    Ok(())
+}

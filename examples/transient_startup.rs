@@ -1,0 +1,45 @@
+//! Transient power-on of a chip: integrate the time-dependent heat
+//! equation (the paper's Eq. (1) before its static simplification) from a
+//! cold start and watch the hot spot approach the steady-state solution.
+//!
+//! ```text
+//! cargo run --release --example transient_startup
+//! ```
+
+use deepoheat_chip::Chip;
+use deepoheat_fdm::{BoundaryCondition, Face, SolveOptions, TransientOptions};
+use deepoheat_grf::paper_test_suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The §V.A chip heated by test map p1.
+    let mut chip = Chip::single_cuboid(1e-3, 1e-3, 0.5e-3, 21, 21, 11, 0.1)?;
+    chip.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })?;
+    chip.set_top_power_map_units(&paper_test_suite(20).remove(0).1.to_grid(21))?;
+    let problem = chip.heat_problem()?;
+
+    let steady = problem.solve(SolveOptions::default())?;
+    println!("steady-state peak temperature: {:.3} K", steady.max_temperature());
+
+    // Power-on from ambient with silicon-like thermal mass.
+    let options = TransientOptions::silicon(0.25, 60); // 15 s of simulated time
+    let transient = problem.solve_transient(298.15, options)?;
+
+    println!("\n   time (s)   hot-spot T (K)   % of steady rise");
+    let steady_peak = steady.max_temperature();
+    for (time, field) in transient.times().iter().zip(transient.fields()) {
+        if (time / 0.25).round() as usize % 6 != 0 {
+            continue; // print every 1.5 s
+        }
+        let peak = field.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let fraction = (peak - 298.15) / (steady_peak - 298.15) * 100.0;
+        println!("{time:>10.2} {peak:>16.3} {fraction:>17.1}%");
+    }
+
+    let final_peak = transient.final_solution().max_temperature();
+    println!(
+        "\nafter {:.1} s the transient peak is within {:.3} K of steady state",
+        transient.times().last().copied().unwrap_or(0.0),
+        (steady_peak - final_peak).abs()
+    );
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Workspace-level helper package.
+//!
+//! This package exists so the repository root can host cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//! All library functionality lives in the `crates/` members; see the
+//! [`deepoheat`] crate for the public entry point.
+
+pub use deepoheat;
+pub use deepoheat_autodiff as autodiff;
+pub use deepoheat_chip as chip;
+pub use deepoheat_fdm as fdm;
+pub use deepoheat_grf as grf;
+pub use deepoheat_linalg as linalg;
+pub use deepoheat_nn as nn;

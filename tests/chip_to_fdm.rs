@@ -1,0 +1,117 @@
+//! Integration tests spanning `deepoheat-chip`, `deepoheat-grf` and
+//! `deepoheat-fdm`: every paper test map must produce a physically sound
+//! reference solution.
+
+use deepoheat_chip::{Chip, UNIT_POWER_WATTS};
+use deepoheat_fdm::{BoundaryCondition, Face, SolveOptions, StructuredGrid};
+use deepoheat_grf::paper_test_suite;
+
+fn paper_chip() -> Chip {
+    let mut chip = Chip::single_cuboid(1e-3, 1e-3, 0.5e-3, 21, 21, 11, 0.1).expect("chip");
+    chip.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
+        .expect("bc");
+    chip
+}
+
+#[test]
+fn every_test_map_solves_and_is_physical() {
+    for (name, map) in paper_test_suite(20) {
+        let mut chip = paper_chip();
+        chip.set_top_power_map_units(&map.to_grid(21)).expect("power map");
+        let solution = chip.heat_problem().expect("problem").solve(SolveOptions::default()).expect("solve");
+
+        // With only heating and convection cooling, the field must sit at
+        // or above ambient and must be bounded (sanity on the hottest map).
+        assert!(solution.min_temperature() >= 298.15 - 1e-9, "{name}: below ambient");
+        assert!(solution.max_temperature() < 500.0, "{name}: implausibly hot");
+        // The top surface must be the hottest layer (heat enters there).
+        let top = solution.face_temperatures(Face::ZMax);
+        let bottom = solution.face_temperatures(Face::ZMin);
+        assert!(top.max() > bottom.max(), "{name}: top not hottest");
+    }
+}
+
+#[test]
+fn energy_balance_holds_for_block_maps() {
+    // Heat injected through the top flux must leave through the bottom
+    // convection film: Σ h A (T_bottom - T_amb) = Σ q A.
+    let (_, map) = paper_test_suite(20).remove(4); // p5, three blocks
+    let mut chip = paper_chip();
+    let grid_map = map.to_grid(21);
+    chip.set_top_power_map_units(&grid_map).expect("power map");
+    let solution = chip
+        .heat_problem()
+        .expect("problem")
+        .solve(SolveOptions { tolerance: 1e-12, ..Default::default() })
+        .expect("solve");
+
+    let g = *chip.grid();
+    let flux = chip.units_to_flux(&grid_map);
+    let mut heat_in = 0.0;
+    let mut heat_out = 0.0;
+    for i in 0..21 {
+        for j in 0..21 {
+            let area = StructuredGrid::face_patch_area(i, 21, g.dx(), j, 21, g.dy());
+            heat_in += flux[(i, j)] * area;
+            heat_out += 500.0 * area * (solution.at(i, j, 0) - 298.15);
+        }
+    }
+    assert!(
+        (heat_in - heat_out).abs() < 1e-8 * heat_in,
+        "energy imbalance: in {heat_in}, out {heat_out}"
+    );
+}
+
+#[test]
+fn hottest_point_sits_under_the_strongest_source() {
+    // p10 has one block at 3.0 units among 1.0-unit blocks; the top-surface
+    // peak must lie inside that block's footprint (rows 13-14, cols 16-17
+    // in tile coordinates -> roughly grid rows 13-16, cols 16-19).
+    let (_, map) = paper_test_suite(20).remove(9);
+    let mut chip = paper_chip();
+    chip.set_top_power_map_units(&map.to_grid(21)).expect("power map");
+    let solution = chip.heat_problem().expect("problem").solve(SolveOptions::default()).expect("solve");
+    let top = solution.face_temperatures(Face::ZMax);
+    let mut peak = (0usize, 0usize);
+    for i in 0..21 {
+        for j in 0..21 {
+            if top[(i, j)] > top[peak] {
+                peak = (i, j);
+            }
+        }
+    }
+    assert!((12..=17).contains(&peak.0) && (15..=20).contains(&peak.1), "peak at {peak:?}");
+}
+
+#[test]
+fn unit_power_conversion_matches_paper_units() {
+    let chip = paper_chip();
+    // One unit on the 21x21 grid of a 1mm x 1mm chip: 0.00625 mW over a
+    // (0.05mm)² cell = 2500 W/m².
+    assert!((chip.unit_flux_density() - UNIT_POWER_WATTS / 2.5e-9).abs() < 1e-9);
+    assert!((chip.unit_flux_density() - 2500.0).abs() < 1e-9);
+}
+
+#[test]
+fn layered_chip_round_trips_through_solver() {
+    use deepoheat_chip::Layer;
+    let layers = vec![
+        Layer::new(0.25e-3, 0.1).expect("layer"),
+        Layer::with_total_power(0.05e-3, 0.1, 0.000625, 1e-6).expect("layer"),
+        Layer::new(0.25e-3, 0.1).expect("layer"),
+    ];
+    let mut chip = Chip::new(1e-3, 1e-3, 9, 9, 12, layers).expect("chip");
+    chip.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
+        .expect("bc");
+    chip.set_boundary(Face::ZMax, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
+        .expect("bc");
+    let solution = chip.heat_problem().expect("problem").solve(SolveOptions::default()).expect("solve");
+    // 0.625 mW into two parallel 500 W/m²K films over 1 mm²:
+    // mean surface rise ≈ 0.625 K; peak should be in the powered layer.
+    assert!(solution.max_temperature() > 298.7);
+    assert!(solution.max_temperature() < 300.2);
+    let hottest_k = (0..12)
+        .max_by(|&a, &b| solution.at(4, 4, a).total_cmp(&solution.at(4, 4, b)))
+        .expect("nonempty");
+    assert!((5..=6).contains(&hottest_k), "hottest layer {hottest_k}");
+}
