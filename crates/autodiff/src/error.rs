@@ -61,7 +61,11 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = AutodiffError::from(LinalgError::ShapeMismatch { op: "matmul", lhs: (1, 2), rhs: (3, 4) });
+        let e = AutodiffError::from(LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (1, 2),
+            rhs: (3, 4),
+        });
         assert!(e.to_string().contains("matmul"));
         assert!(Error::source(&e).is_some());
         let e = AutodiffError::NonScalarLoss { shape: (2, 3) };

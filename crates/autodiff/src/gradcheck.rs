@@ -58,15 +58,16 @@ pub fn check_gradients<F>(inputs: &[Matrix], mut build: F) -> Result<GradCheckRe
 where
     F: FnMut(&mut Graph, &[Var]) -> Result<Var, AutodiffError>,
 {
-    let eval = |values: &[Matrix], build: &mut F| -> Result<(f64, Vec<Option<Matrix>>), AutodiffError> {
-        let mut g = Graph::new();
-        let leaves: Vec<Var> = values.iter().map(|v| g.leaf(v.clone(), true)).collect();
-        let loss = build(&mut g, &leaves)?;
-        let loss_value = g.scalar(loss);
-        let grads = g.backward(loss)?;
-        let leaf_grads = leaves.iter().map(|&l| grads.get(l).cloned()).collect();
-        Ok((loss_value, leaf_grads))
-    };
+    let eval =
+        |values: &[Matrix], build: &mut F| -> Result<(f64, Vec<Option<Matrix>>), AutodiffError> {
+            let mut g = Graph::new();
+            let leaves: Vec<Var> = values.iter().map(|v| g.leaf(v.clone(), true)).collect();
+            let loss = build(&mut g, &leaves)?;
+            let loss_value = g.scalar(loss);
+            let grads = g.backward(loss)?;
+            let leaf_grads = leaves.iter().map(|&l| grads.get(l).cloned()).collect();
+            Ok((loss_value, leaf_grads))
+        };
 
     let (_, analytic) = eval(inputs, &mut build)?;
 
@@ -77,7 +78,8 @@ where
     let mut perturbed: Vec<Matrix> = inputs.to_vec();
 
     for (i, input) in inputs.iter().enumerate() {
-        let analytic_grad = analytic[i].clone().unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
+        let analytic_grad =
+            analytic[i].clone().unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
         for idx in 0..input.len() {
             let original = perturbed[i].as_slice()[idx];
             perturbed[i].as_mut_slice()[idx] = original + h;

@@ -44,7 +44,7 @@ enum Op {
     /// `Debug` output even though the backward pass never reads it.
     AddScalar(Var, #[allow(dead_code)] f64),
     /// `σ⁽ᵒʳᵈᵉʳ⁾(A)` elementwise.
-    ActivationOp(Var, Activation, u8),
+    Activate(Var, Activation, u8),
     /// Elementwise `A²`.
     Square(Var),
     /// Horizontal concatenation `[A | B]`.
@@ -320,7 +320,7 @@ impl Graph {
         self.check(a)?;
         let value = self.nodes[a.id].value.map(|v| act.eval(order, v));
         let rg = self.rg(a);
-        Ok(self.push(Op::ActivationOp(a, act, order), value, rg))
+        Ok(self.push(Op::Activate(a, act, order), value, rg))
     }
 
     /// Elementwise square `a²`.
@@ -527,7 +527,7 @@ impl Graph {
                     add_grad(grads, *a, grad.clone());
                 }
             }
-            Op::ActivationOp(a, act, order) => {
+            Op::Activate(a, act, order) => {
                 if self.rg(*a) {
                     let av = &self.nodes[a.id].value;
                     let mut da = grad.clone();

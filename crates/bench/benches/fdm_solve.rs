@@ -23,9 +23,13 @@ fn bench_solve_grid_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for &(n, nz) in &[(11usize, 6usize), (21, 11), (31, 16), (41, 21)] {
         let problem = paper_problem(n, nz);
-        group.bench_with_input(BenchmarkId::new("grid", format!("{n}x{n}x{nz}")), &n, |bench, _| {
-            bench.iter(|| problem.solve(SolveOptions::default()).expect("solve"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("grid", format!("{n}x{n}x{nz}")),
+            &n,
+            |bench, _| {
+                bench.iter(|| problem.solve(SolveOptions::default()).expect("solve"));
+            },
+        );
     }
     group.finish();
 }
@@ -37,9 +41,7 @@ fn bench_solver_tolerance(c: &mut Criterion) {
     for &tol in &[1e-6, 1e-8, 1e-10] {
         group.bench_with_input(BenchmarkId::new("tol", format!("{tol:e}")), &tol, |bench, &tol| {
             bench.iter(|| {
-                problem
-                    .solve(SolveOptions { tolerance: tol, ..Default::default() })
-                    .expect("solve")
+                problem.solve(SolveOptions { tolerance: tol, ..Default::default() }).expect("solve")
             });
         });
     }

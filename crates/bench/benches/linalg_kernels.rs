@@ -79,7 +79,7 @@ fn bench_cg(c: &mut Criterion) {
     group.sample_size(10);
     let a = laplacian_3d(17); // 4913 unknowns, close to the paper mesh
     let b = vec![1.0; a.rows()];
-    let opts = CgOptions { max_iterations: 20_000, tolerance: 1e-10 };
+    let opts = CgOptions { max_iterations: 20_000, tolerance: 1e-10, ..CgOptions::default() };
     let jacobi = JacobiPreconditioner::new(&a).expect("diag");
     group.bench_function("jacobi_17cubed", |bench| {
         bench.iter(|| conjugate_gradient(&a, &b, None, &jacobi, opts).expect("converges"));

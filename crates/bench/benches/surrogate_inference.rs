@@ -52,5 +52,10 @@ fn bench_query_point_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_prediction, bench_batched_prediction, bench_query_point_scaling);
+criterion_group!(
+    benches,
+    bench_single_prediction,
+    bench_batched_prediction,
+    bench_query_point_scaling
+);
 criterion_main!(benches);

@@ -15,7 +15,7 @@
 use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
 use deepoheat::FourierConfig;
 use deepoheat_autodiff::Activation;
-use deepoheat_bench::{secs, Args};
+use deepoheat_bench::{finish_telemetry, init_telemetry, secs, Args};
 use deepoheat_grf::paper_test_suite;
 
 fn evaluate(config: PowerMapExperimentConfig, iterations: usize, label: &str) {
@@ -43,6 +43,7 @@ fn evaluate(config: PowerMapExperimentConfig, iterations: usize, label: &str) {
 
 fn main() {
     let args = Args::from_env();
+    init_telemetry("ablation_quality", &args);
     let quick = args.flag("quick");
     let iterations = args.get_usize("iterations", if quick { 60 } else { 800 });
 
@@ -67,11 +68,18 @@ fn main() {
 
     for (label, fourier) in [
         ("fourier=off".to_string(), None),
-        ("fourier=2pi".to_string(), Some(FourierConfig { n_frequencies: 32, std: std::f64::consts::TAU })),
-        ("fourier=pi/2".to_string(), Some(FourierConfig { n_frequencies: 32, std: std::f64::consts::FRAC_PI_2 })),
+        (
+            "fourier=2pi".to_string(),
+            Some(FourierConfig { n_frequencies: 32, std: std::f64::consts::TAU }),
+        ),
+        (
+            "fourier=pi/2".to_string(),
+            Some(FourierConfig { n_frequencies: 32, std: std::f64::consts::FRAC_PI_2 }),
+        ),
     ] {
         let mut cfg = base();
         cfg.fourier = fourier;
         evaluate(cfg, iterations, &label);
     }
+    finish_telemetry();
 }

@@ -12,12 +12,13 @@
 
 use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
 use deepoheat::report::{side_by_side, write_csv};
-use deepoheat_bench::{secs, Args};
+use deepoheat_bench::{finish_telemetry, init_telemetry, secs, Args};
 use deepoheat_grf::paper_test_suite;
 use deepoheat_linalg::Matrix;
 
 fn main() {
     let args = Args::from_env();
+    init_telemetry("fig3_fields", &args);
     let mode = args.get_str("mode", "physics");
     let quick = args.flag("quick");
     // Supervised steps are ~3x cheaper than jet-propagating physics steps,
@@ -50,10 +51,11 @@ fn main() {
     println!("== Fig. 3: temperature fields for p1..p10 (§V.A) ==");
     let t0 = std::time::Instant::now();
     let mut experiment = PowerMapExperiment::new(config).expect("experiment construction");
-    experiment.run(iterations, (iterations / 5).max(1), |r| {
-        eprintln!("  iter {:>5}  loss {:.4e}", r.iteration, r.loss);
-    })
-    .expect("training");
+    experiment
+        .run(iterations, (iterations / 5).max(1), |r| {
+            eprintln!("  iter {:>5}  loss {:.4e}", r.iteration, r.loss);
+        })
+        .expect("training");
     println!("trained in {}\n", secs(t0.elapsed()));
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
@@ -68,7 +70,9 @@ fn main() {
         let predicted = experiment.predict_field(&grid_map).expect("prediction");
         let ref_top = top_plane(&reference);
         let pred_top = top_plane(&predicted);
-        let abs_err = Matrix::from_fn(grid.nx(), grid.ny(), |i, j| (ref_top[(i, j)] - pred_top[(i, j)]).abs());
+        let abs_err = Matrix::from_fn(grid.nx(), grid.ny(), |i, j| {
+            (ref_top[(i, j)] - pred_top[(i, j)]).abs()
+        });
 
         println!(
             "--- {name}: reference [{:.2}, {:.2}] K | prediction [{:.2}, {:.2}] K | max |err| {:.3} K",
@@ -80,9 +84,12 @@ fn main() {
         );
         println!("{}", side_by_side("reference (top surface)", &ref_top, "deepoheat", &pred_top));
 
-        write_csv(&ref_top, format!("{out_dir}/{name}_reference.csv")).expect("write reference csv");
-        write_csv(&pred_top, format!("{out_dir}/{name}_predicted.csv")).expect("write prediction csv");
+        write_csv(&ref_top, format!("{out_dir}/{name}_reference.csv"))
+            .expect("write reference csv");
+        write_csv(&pred_top, format!("{out_dir}/{name}_predicted.csv"))
+            .expect("write prediction csv");
         write_csv(&abs_err, format!("{out_dir}/{name}_abs_error.csv")).expect("write error csv");
     }
     println!("CSV fields written to {out_dir}/");
+    finish_telemetry();
 }

@@ -8,12 +8,13 @@
 //! ```
 
 use deepoheat::report::{ascii_heatmap, write_csv};
-use deepoheat_bench::Args;
+use deepoheat_bench::{finish_telemetry, init_telemetry, Args};
 use deepoheat_grf::{paper_test_suite, GaussianRandomField};
 use rand::SeedableRng;
 
 fn main() {
     let args = Args::from_env();
+    init_telemetry("fig4_powermaps", &args);
     let seed = args.get_usize("seed", 0) as u64;
     let length_scale = args.get_f64("length-scale", 0.3);
     let out_dir = args.get_str("out", "target/fig4");
@@ -26,7 +27,11 @@ fn main() {
     let grf = GaussianRandomField::on_unit_grid(21, length_scale).expect("grf construction");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let training_map = grf.sample_grid(&mut rng).expect("grf sample");
-    println!("training map: GRF sample, length scale {length_scale}, range [{:.2}, {:.2}] units", training_map.min(), training_map.max());
+    println!(
+        "training map: GRF sample, length scale {length_scale}, range [{:.2}, {:.2}] units",
+        training_map.min(),
+        training_map.max()
+    );
     println!("{}", ascii_heatmap(&training_map));
     write_csv(&training_map, format!("{out_dir}/training_grf.csv")).expect("write training csv");
 
@@ -34,16 +39,25 @@ fn main() {
     // the illustrative map, mirroring the paper's two-block example).
     let suite = paper_test_suite(20);
     let (name, tile_map) = &suite[2];
-    println!("tile-based test map ({name}): 20x20 tiles, total power {:.1} units", tile_map.total_power());
+    println!(
+        "tile-based test map ({name}): 20x20 tiles, total power {:.1} units",
+        tile_map.total_power()
+    );
     println!("{}", ascii_heatmap(tile_map.tiles()));
     write_csv(tile_map.tiles(), format!("{out_dir}/test_tiles.csv")).expect("write tile csv");
 
     // Right: the same map bilinearly interpolated to the 21x21 grid the
     // branch net consumes.
     let interpolated = tile_map.to_grid(21);
-    println!("interpolated test map: 21x21 grid, range [{:.2}, {:.2}] units", interpolated.min(), interpolated.max());
+    println!(
+        "interpolated test map: 21x21 grid, range [{:.2}, {:.2}] units",
+        interpolated.min(),
+        interpolated.max()
+    );
     println!("{}", ascii_heatmap(&interpolated));
-    write_csv(&interpolated, format!("{out_dir}/test_interpolated.csv")).expect("write interpolated csv");
+    write_csv(&interpolated, format!("{out_dir}/test_interpolated.csv"))
+        .expect("write interpolated csv");
 
     println!("CSV maps written to {out_dir}/");
+    finish_telemetry();
 }

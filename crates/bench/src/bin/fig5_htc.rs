@@ -16,11 +16,12 @@
 
 use deepoheat::experiments::{HtcExperiment, HtcExperimentConfig};
 use deepoheat::report::{side_by_side, write_csv};
-use deepoheat_bench::{secs, Args};
+use deepoheat_bench::{finish_telemetry, init_telemetry, secs, Args};
 use deepoheat_linalg::Matrix;
 
 fn main() {
     let args = Args::from_env();
+    init_telemetry("fig5_htc", &args);
     let mode = args.get_str("mode", "supervised");
     let quick = args.flag("quick");
     let iterations = args.get_usize("iterations", if quick { 200 } else { 3000 });
@@ -65,7 +66,9 @@ fn main() {
         let chip = experiment.reference_chip(htc_top, htc_bottom).expect("chip");
         let grid = *chip.grid();
 
-        let fold = |f: &[f64]| f.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let fold = |f: &[f64]| {
+            f.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+        };
         let (rmin, rmax) = fold(&reference);
         let (pmin, pmax) = fold(&predicted);
 
@@ -81,8 +84,10 @@ fn main() {
 
         // Mid-height slice, as a stand-in for the paper's volume renders.
         let mid = grid.nz() / 2;
-        let ref_slice = Matrix::from_fn(grid.nx(), grid.ny(), |i, j| reference[grid.index(i, j, mid)]);
-        let pred_slice = Matrix::from_fn(grid.nx(), grid.ny(), |i, j| predicted[grid.index(i, j, mid)]);
+        let ref_slice =
+            Matrix::from_fn(grid.nx(), grid.ny(), |i, j| reference[grid.index(i, j, mid)]);
+        let pred_slice =
+            Matrix::from_fn(grid.nx(), grid.ny(), |i, j| predicted[grid.index(i, j, mid)]);
         println!("{}", side_by_side("reference (mid slice)", &ref_slice, "deepoheat", &pred_slice));
 
         write_csv(&ref_slice, format!("{out_dir}/{case}_reference_mid.csv")).expect("write csv");
@@ -90,4 +95,5 @@ fn main() {
     }
     println!("paper reports: case1 MAPE 0.032% PAPE 0.043%; case2 MAPE 0.011% PAPE 0.025%");
     println!("CSV slices written to {out_dir}/");
+    finish_telemetry();
 }

@@ -27,8 +27,9 @@ use std::time::Instant;
 use deepoheat::experiments::{
     HtcExperiment, HtcExperimentConfig, PowerMapExperiment, PowerMapExperimentConfig,
 };
-use deepoheat_bench::Args;
+use deepoheat_bench::{finish_telemetry, init_telemetry, Args};
 use deepoheat_linalg::Matrix;
+use deepoheat_telemetry as telemetry;
 
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(f64::total_cmp);
@@ -49,6 +50,7 @@ fn time_median<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
 
 fn main() {
     let args = Args::from_env();
+    init_telemetry("speedup", &args);
     let repeats = args.get_usize("repeats", 7);
     let train = args.get_usize("train", 50);
 
@@ -73,6 +75,12 @@ fn main() {
         pm.model().predict(&[&batch_inputs], &coords).expect("predict");
     });
 
+    telemetry::gauge("bench.speedup.va.solve_ms", solve * 1e3);
+    telemetry::gauge("bench.speedup.va.infer_ms", infer * 1e3);
+    telemetry::gauge(
+        "bench.speedup.va.infer_batch_ms_per_config",
+        infer_batch * 1e3 / batch as f64,
+    );
     println!("§V.A power-map chip (21x21x11, 4851 nodes):");
     println!("  our FV reference solve          {:>10.2} ms", solve * 1e3);
     println!("  DeepOHeat inference (1 config)  {:>10.2} ms   (paper: ~100 ms CPU)", infer * 1e3);
@@ -81,7 +89,10 @@ fn main() {
         infer_batch * 1e3,
         infer_batch * 1e3 / batch as f64
     );
-    println!("  vs paper's Celsius baseline (300 s): {:>8.0}x   (paper claims 3000x CPU)", 300.0 / infer);
+    println!(
+        "  vs paper's Celsius baseline (300 s): {:>8.0}x   (paper claims 3000x CPU)",
+        300.0 / infer
+    );
     println!("  vs our FV solver, single query:      {:>8.2}x", solve / infer);
     println!(
         "  vs our FV solver, batched:           {:>8.1}x   (amortised across a design sweep)\n",
@@ -89,7 +100,8 @@ fn main() {
     );
 
     // --- §V.B configuration -------------------------------------------------
-    let mut htc = HtcExperiment::new(HtcExperimentConfig::default().supervised(10)).expect("experiment");
+    let mut htc =
+        HtcExperiment::new(HtcExperimentConfig::default().supervised(10)).expect("experiment");
     htc.run(train, train.max(1), |_| {}).expect("training");
     let solve = time_median(repeats, || {
         htc.reference_field(700.0, 450.0).expect("solve");
@@ -105,6 +117,12 @@ fn main() {
         htc.model().predict(&[&h_top, &h_bot], &htc_coords).expect("predict");
     });
 
+    telemetry::gauge("bench.speedup.vb.solve_ms", solve * 1e3);
+    telemetry::gauge("bench.speedup.vb.infer_ms", infer * 1e3);
+    telemetry::gauge(
+        "bench.speedup.vb.infer_batch_ms_per_config",
+        infer_batch * 1e3 / batch as f64,
+    );
     println!("§V.B dual-HTC chip (21x21x12, 5292 nodes):");
     println!("  our FV reference solve          {:>10.2} ms", solve * 1e3);
     println!("  DeepOHeat inference (1 config)  {:>10.2} ms   (paper: ~100 ms CPU)", infer * 1e3);
@@ -113,7 +131,10 @@ fn main() {
         infer_batch * 1e3,
         infer_batch * 1e3 / batch as f64
     );
-    println!("  vs paper's Celsius baseline (120 s): {:>8.0}x   (paper claims 1200x CPU)", 120.0 / infer);
+    println!(
+        "  vs paper's Celsius baseline (120 s): {:>8.0}x   (paper claims 1200x CPU)",
+        120.0 / infer
+    );
     println!("  vs our FV solver, single query:      {:>8.2}x", solve / infer);
     println!(
         "  vs our FV solver, batched:           {:>8.1}x\n",
@@ -124,14 +145,22 @@ fn main() {
     println!("grid-size sweep: FV solve cost grows superlinearly with unknowns,");
     println!("inference grows linearly in query points and is constant in design");
     println!("complexity (power map detail, number of configurations):");
-    println!("{:>12} {:>14} {:>18} {:>22}", "grid", "FV solve (ms)", "inference (ms)", "batched (ms/config)");
+    println!(
+        "{:>12} {:>14} {:>18} {:>22}",
+        "grid", "FV solve (ms)", "inference (ms)", "batched (ms/config)"
+    );
     for n in [11usize, 21, 31, 41] {
         let nz = n / 2 + 1;
-        use deepoheat_fdm::{BoundaryCondition, Face, FluxMap, HeatProblem, SolveOptions, StructuredGrid};
+        use deepoheat_fdm::{
+            BoundaryCondition, Face, FluxMap, HeatProblem, SolveOptions, StructuredGrid,
+        };
         let grid = StructuredGrid::new(n, n, nz, 1e-3, 1e-3, 0.5e-3).expect("grid");
         let mut problem = HeatProblem::new(grid, 0.1);
         problem
-            .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(2500.0) })
+            .set_boundary(
+                Face::ZMax,
+                BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(2500.0) },
+            )
             .expect("bc");
         problem
             .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
@@ -149,6 +178,15 @@ fn main() {
             pm.model().predict(&[&batch_inputs], &sweep_coords).expect("predict");
         }) * 1e3
             / batch as f64;
+        telemetry::event(
+            "bench.speedup.sweep",
+            &[
+                ("grid", format!("{n}x{n}x{nz}").into()),
+                ("solve_ms", solve_ms.into()),
+                ("infer_ms", infer_ms.into()),
+                ("batched_ms_per_config", batch_ms.into()),
+            ],
+        );
         println!(
             "{:>12} {:>14.2} {:>18.2} {:>22.3}",
             format!("{n}x{n}x{nz}"),
@@ -157,4 +195,5 @@ fn main() {
             batch_ms
         );
     }
+    finish_telemetry();
 }

@@ -15,11 +15,13 @@
 
 use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
 use deepoheat::report::table_row;
-use deepoheat_bench::{secs, Args};
+use deepoheat_bench::{finish_telemetry, init_telemetry, secs, Args};
 use deepoheat_grf::paper_test_suite;
+use deepoheat_telemetry as telemetry;
 
 fn main() {
     let args = Args::from_env();
+    init_telemetry("table1", &args);
     let mode = args.get_str("mode", "physics");
     let quick = args.flag("quick");
     // Supervised steps are ~3x cheaper than jet-propagating physics steps,
@@ -56,11 +58,13 @@ fn main() {
     println!("mode: {mode}, iterations: {iterations}, seed: {seed}");
     let t0 = std::time::Instant::now();
     let mut experiment = PowerMapExperiment::new(config).expect("experiment construction");
+    let train_span = telemetry::span("bench.table1.train");
     experiment
         .run(iterations, (iterations / 10).max(1), |r| {
             eprintln!("  iter {:>5}  loss {:.4e}  lr {:.2e}", r.iteration, r.loss, r.learning_rate);
         })
         .expect("training");
+    drop(train_span);
     println!("trained in {}", secs(t0.elapsed()));
 
     let suite = paper_test_suite(20);
@@ -70,15 +74,30 @@ fn main() {
     for (name, map) in &suite {
         let grid_map = map.to_grid(21);
         let errors = experiment.evaluate_units(&grid_map).expect("evaluation");
+        telemetry::event(
+            "bench.table1.result",
+            &[
+                ("map", name.as_str().into()),
+                ("mape", errors.mape.into()),
+                ("pape", errors.pape.into()),
+            ],
+        );
         header.push_str(&format!(" {name:>10}"));
         mape_row.push(errors.mape);
         pape_row.push(errors.pape);
     }
+    telemetry::gauge(
+        "bench.table1.mape.mean",
+        mape_row.iter().sum::<f64>() / mape_row.len() as f64,
+    );
+    telemetry::gauge(
+        "bench.table1.pape.mean",
+        pape_row.iter().sum::<f64>() / pape_row.len() as f64,
+    );
     println!("\n{header}");
     println!("{}", table_row("MAPE (%)", &mape_row, 3));
     println!("{}", table_row("PAPE (%)", &pape_row, 3));
-    println!(
-        "\npaper reports: MAPE 0.03/0.03/0.02/0.05/0.14/0.04/0.13/0.07/0.16/0.08"
-    );
+    println!("\npaper reports: MAPE 0.03/0.03/0.02/0.05/0.14/0.04/0.13/0.07/0.16/0.08");
     println!("               PAPE 0.10/0.20/0.24/0.38/0.52/0.49/0.71/0.66/1.00/0.40");
+    finish_telemetry();
 }

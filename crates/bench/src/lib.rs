@@ -32,14 +32,9 @@ pub struct Args {
     flags: Vec<String>,
 }
 
-impl Args {
-    /// Parses the process arguments (skipping `argv[0]`).
-    pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
-    }
-
+impl FromIterator<String> for Args {
     /// Parses an explicit argument list.
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut values = HashMap::new();
         let mut flags = Vec::new();
         let mut iter = iter.into_iter().peekable();
@@ -54,6 +49,13 @@ impl Args {
         }
         Args { values, flags }
     }
+}
+
+impl Args {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Self {
+        std::env::args().skip(1).collect()
+    }
 
     /// Returns a `usize` option or the default.
     ///
@@ -62,7 +64,9 @@ impl Args {
     /// Panics with a usage message if the value does not parse.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         match self.values.get(key) {
-            Some(v) => v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")),
+            Some(v) => {
+                v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            }
             None => default,
         }
     }
@@ -93,6 +97,49 @@ impl Args {
 /// Formats a duration in human-friendly seconds.
 pub fn secs(d: std::time::Duration) -> String {
     format!("{:.1}s", d.as_secs_f64())
+}
+
+/// Installs the global telemetry recorder for a bench binary.
+///
+/// Events stream to `BENCH_<name>.jsonl` and the final run manifest is
+/// written to `BENCH_<name>.json` in the working directory (override the
+/// directory with `--telemetry-dir`). Passing `--trace` additionally
+/// mirrors events to stderr. Call [`finish_telemetry`] at the end of
+/// `main` to flush the manifest.
+pub fn init_telemetry(name: &str, args: &Args) {
+    let dir = std::path::PathBuf::from(args.get_str("telemetry-dir", "."));
+    let events_path = dir.join(format!("BENCH_{name}.jsonl"));
+    let manifest_path = dir.join(format!("BENCH_{name}.json"));
+    let mut builder = deepoheat_telemetry::Recorder::builder(name);
+    // Every CLI option/flag lands in the manifest config, so runs stay
+    // reproducible from their artefacts alone.
+    for (key, value) in &args.values {
+        builder = builder.config(key, value);
+    }
+    for flag in &args.flags {
+        builder = builder.config(flag, "true");
+    }
+    match deepoheat_telemetry::JsonlSink::create(&events_path) {
+        Ok(sink) => {
+            builder = builder.sink(Box::new(sink.with_manifest_path(manifest_path)));
+        }
+        Err(err) => eprintln!("telemetry: cannot create {}: {err}", events_path.display()),
+    }
+    if args.flag("trace") {
+        builder = builder.console();
+    }
+    builder.install();
+}
+
+/// Records `config` key/values as gauges/events and finishes the run,
+/// writing the manifest. Prints where it landed.
+pub fn finish_telemetry() {
+    if let Some(manifest) = deepoheat_telemetry::finish() {
+        eprintln!(
+            "telemetry: run '{}' manifest written (BENCH_{}.json)",
+            manifest.name, manifest.name
+        );
+    }
 }
 
 #[cfg(test)]

@@ -39,16 +39,31 @@ impl Chip {
     ///
     /// Returns [`ChipError::InvalidDesign`] for an empty stack or
     /// non-positive footprint, and propagates grid-validation errors.
-    pub fn new(lx: f64, ly: f64, nx: usize, ny: usize, nz: usize, layers: Vec<Layer>) -> Result<Self, ChipError> {
+    pub fn new(
+        lx: f64,
+        ly: f64,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        layers: Vec<Layer>,
+    ) -> Result<Self, ChipError> {
         if layers.is_empty() {
             return Err(ChipError::InvalidDesign { what: "chip needs at least one layer".into() });
         }
         if !(lx.is_finite() && lx > 0.0 && ly.is_finite() && ly > 0.0) {
-            return Err(ChipError::InvalidDesign { what: format!("footprint {lx} x {ly} must be positive") });
+            return Err(ChipError::InvalidDesign {
+                what: format!("footprint {lx} x {ly} must be positive"),
+            });
         }
         let lz: f64 = layers.iter().map(|l| l.thickness()).sum();
         let grid = StructuredGrid::new(nx, ny, nz, lx, ly, lz)?;
-        Ok(Chip { grid, layers, boundaries: Default::default(), top_power_units: None, volumetric_override: None })
+        Ok(Chip {
+            grid,
+            layers,
+            boundaries: Default::default(),
+            top_power_units: None,
+            volumetric_override: None,
+        })
     }
 
     /// Convenience constructor for a homogeneous single-cuboid chip (the
@@ -100,7 +115,11 @@ impl Chip {
     /// power map with a heat flux directly (use
     /// [`Chip::set_top_power_map_units`] instead), and propagates
     /// parameter validation from the solver layer.
-    pub fn set_boundary(&mut self, face: Face, bc: BoundaryCondition) -> Result<&mut Self, ChipError> {
+    pub fn set_boundary(
+        &mut self,
+        face: Face,
+        bc: BoundaryCondition,
+    ) -> Result<&mut Self, ChipError> {
         if face == Face::ZMax && !matches!(bc, BoundaryCondition::HeatFlux { .. }) {
             self.top_power_units = None;
         }
@@ -132,10 +151,13 @@ impl Chip {
             });
         }
         if !units.is_finite() {
-            return Err(ChipError::InvalidDesign { what: "power map contains non-finite values".into() });
+            return Err(ChipError::InvalidDesign {
+                what: "power map contains non-finite values".into(),
+            });
         }
         let flux = self.units_to_flux(units);
-        self.boundaries[Face::ZMax.index()] = BoundaryCondition::HeatFlux { flux: FluxMap::Field(flux) };
+        self.boundaries[Face::ZMax.index()] =
+            BoundaryCondition::HeatFlux { flux: FluxMap::Field(flux) };
         self.top_power_units = Some(units.clone());
         Ok(self)
     }
@@ -209,7 +231,9 @@ impl Chip {
             });
         }
         if field.iter().any(|v| !v.is_finite()) {
-            return Err(ChipError::InvalidDesign { what: "volumetric field contains non-finite values".into() });
+            return Err(ChipError::InvalidDesign {
+                what: "volumetric field contains non-finite values".into(),
+            });
         }
         self.volumetric_override = Some(field);
         Ok(self)
@@ -278,7 +302,11 @@ mod tests {
 
     fn paper_chip() -> Chip {
         let mut chip = Chip::single_cuboid(1e-3, 1e-3, 0.5e-3, 21, 21, 11, 0.1).unwrap();
-        chip.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 }).unwrap();
+        chip.set_boundary(
+            Face::ZMin,
+            BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 },
+        )
+        .unwrap();
         chip
     }
 
@@ -348,7 +376,11 @@ mod tests {
         // bottom temperature rise must equal total power / (h * A).
         let mut chip = paper_chip();
         chip.set_top_power_map_units(&Matrix::filled(21, 21, 1.0)).unwrap();
-        let sol = chip.heat_problem().unwrap().solve(SolveOptions { tolerance: 1e-12, ..Default::default() }).unwrap();
+        let sol = chip
+            .heat_problem()
+            .unwrap()
+            .solve(SolveOptions { tolerance: 1e-12, ..Default::default() })
+            .unwrap();
         // A uniform unit map is a uniform 2500 W/m² flux: the problem is
         // exactly 1-D, so the bottom sits at T_amb + q/h everywhere.
         let expected_bottom = 298.15 + 2500.0 / 500.0;

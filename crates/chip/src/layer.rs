@@ -47,7 +47,9 @@ impl Layer {
         volumetric_power: f64,
     ) -> Result<Self, ChipError> {
         if !(thickness.is_finite() && thickness > 0.0) {
-            return Err(ChipError::InvalidDesign { what: format!("layer thickness must be positive, got {thickness}") });
+            return Err(ChipError::InvalidDesign {
+                what: format!("layer thickness must be positive, got {thickness}"),
+            });
         }
         if !(conductivity.is_finite() && conductivity > 0.0) {
             return Err(ChipError::InvalidDesign {

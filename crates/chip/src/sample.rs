@@ -109,6 +109,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // factors document the (nx-2)(ny-2)(nz-2) shape
     fn counts_add_up() {
         let g = grid();
         let p = MeshPartition::new(&g);

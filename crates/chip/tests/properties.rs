@@ -1,7 +1,9 @@
 //! Property-based tests of chip meshing, unit conversion and collocation
 //! sampling.
 
-use deepoheat_chip::{sample_face_points, sample_volume_points, Chip, Layer, MeshPartition, UNIT_POWER_WATTS};
+use deepoheat_chip::{
+    sample_face_points, sample_volume_points, Chip, Layer, MeshPartition, UNIT_POWER_WATTS,
+};
 use deepoheat_fdm::{Face, StructuredGrid};
 use deepoheat_linalg::Matrix;
 use proptest::prelude::*;

@@ -52,7 +52,9 @@ impl fmt::Display for DeepOHeatError {
             DeepOHeatError::Chip(e) => write!(f, "chip configuration failure: {e}"),
             DeepOHeatError::Fdm(e) => write!(f, "reference solver failure: {e}"),
             DeepOHeatError::Grf(e) => write!(f, "random field failure: {e}"),
-            DeepOHeatError::InvalidConfig { what } => write!(f, "invalid deeponet configuration: {what}"),
+            DeepOHeatError::InvalidConfig { what } => {
+                write!(f, "invalid deeponet configuration: {what}")
+            }
             DeepOHeatError::InputMismatch { what } => write!(f, "input mismatch: {what}"),
             DeepOHeatError::Diverged { iteration } => {
                 write!(f, "training diverged at iteration {iteration} (non-finite loss)")

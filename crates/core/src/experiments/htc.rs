@@ -13,6 +13,7 @@ use deepoheat_chip::{sample_face_points, sample_volume_points, Chip, Layer};
 use deepoheat_fdm::{BoundaryCondition, Face, SolveOptions};
 use deepoheat_linalg::Matrix;
 use deepoheat_nn::{Adam, AdamConfig, LrSchedule};
+use deepoheat_telemetry as telemetry;
 use rand::{Rng, SeedableRng};
 
 use crate::experiments::{LossWeights, SupervisedDataset, TrainingMode, TrainingRecord};
@@ -204,20 +205,35 @@ impl HtcExperiment {
             });
         }
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-        let mut model_cfg =
-            DeepOHeatConfig::single_branch(1, &config.branch_hidden, &config.trunk_hidden, config.latent_dim)
-                .add_branch(1, &config.branch_hidden)
-                .with_output_transform(config.ambient, config.delta_t)
-                .with_trunk_activation(config.activation);
+        let mut model_cfg = DeepOHeatConfig::single_branch(
+            1,
+            &config.branch_hidden,
+            &config.trunk_hidden,
+            config.latent_dim,
+        )
+        .add_branch(1, &config.branch_hidden)
+        .with_output_transform(config.ambient, config.delta_t)
+        .with_trunk_activation(config.activation);
         model_cfg.branches[0].activation = config.activation;
         model_cfg.branches[1].activation = config.activation;
         model_cfg.fourier = config.fourier;
         let model = DeepOHeat::new(&model_cfg, &mut rng)?;
-        let scales =
-            PhysicsScales::new(config.conductivity, config.delta_t, [config.lx, config.ly, config.lz()])?;
+        let scales = PhysicsScales::new(
+            config.conductivity,
+            config.delta_t,
+            [config.lx, config.ly, config.lz()],
+        )?;
         let adam = Adam::new(AdamConfig::with_schedule(config.schedule));
-        let mut exp =
-            HtcExperiment { config, model, adam, scales, rng, iteration: 0, eval_coords: Matrix::zeros(1, 3), dataset: None };
+        let mut exp = HtcExperiment {
+            config,
+            model,
+            adam,
+            scales,
+            rng,
+            iteration: 0,
+            eval_coords: Matrix::zeros(1, 3),
+            dataset: None,
+        };
         exp.eval_coords = exp.reference_chip(500.0, 500.0)?.grid().node_positions_normalized();
         Ok(exp)
     }
@@ -261,6 +277,7 @@ impl HtcExperiment {
     /// Propagates graph/optimiser errors; reports
     /// [`DeepOHeatError::Diverged`] on a non-finite loss.
     pub fn train_step(&mut self) -> Result<f64, DeepOHeatError> {
+        let _span = telemetry::span("train.step");
         match self.config.mode {
             TrainingMode::PhysicsInformed => self.physics_step(),
             TrainingMode::Supervised { dataset_size } => self.supervised_step(dataset_size),
@@ -274,7 +291,9 @@ impl HtcExperiment {
             return Ok(());
         }
         if dataset_size == 0 {
-            return Err(DeepOHeatError::InvalidConfig { what: "supervised mode needs a non-empty dataset".into() });
+            return Err(DeepOHeatError::InvalidConfig {
+                what: "supervised mode needs a non-empty dataset".into(),
+            });
         }
         let (lo, hi) = self.config.htc_range;
         let mut top = Matrix::zeros(dataset_size, 1);
@@ -315,9 +334,20 @@ impl HtcExperiment {
         if !loss.is_finite() {
             return Err(DeepOHeatError::Diverged { iteration: self.iteration });
         }
+        if telemetry::is_enabled() {
+            telemetry::event(
+                "train.step",
+                &[
+                    ("iteration", self.iteration.into()),
+                    ("loss", loss.into()),
+                    ("l_mse", loss.into()),
+                ],
+            );
+        }
         let grads = graph.backward(total)?;
         self.adam.step_model(&mut self.model, &bound, &grads)?;
         self.iteration += 1;
+        telemetry::counter("train.steps.count", 1);
         Ok(loss)
     }
 
@@ -342,10 +372,20 @@ impl HtcExperiment {
         }
         let top_pts = sample_face_points(Face::ZMax, self.config.face_points, &mut self.rng);
         let bottom_pts = sample_face_points(Face::ZMin, self.config.face_points, &mut self.rng);
-        let mut x_sides = sample_face_points(Face::XMin, self.config.face_points / 2 + 1, &mut self.rng);
-        x_sides = x_sides.vcat(&sample_face_points(Face::XMax, self.config.face_points / 2 + 1, &mut self.rng))?;
-        let mut y_sides = sample_face_points(Face::YMin, self.config.face_points / 2 + 1, &mut self.rng);
-        y_sides = y_sides.vcat(&sample_face_points(Face::YMax, self.config.face_points / 2 + 1, &mut self.rng))?;
+        let mut x_sides =
+            sample_face_points(Face::XMin, self.config.face_points / 2 + 1, &mut self.rng);
+        x_sides = x_sides.vcat(&sample_face_points(
+            Face::XMax,
+            self.config.face_points / 2 + 1,
+            &mut self.rng,
+        ))?;
+        let mut y_sides =
+            sample_face_points(Face::YMin, self.config.face_points / 2 + 1, &mut self.rng);
+        y_sides = y_sides.vcat(&sample_face_points(
+            Face::YMax,
+            self.config.face_points / 2 + 1,
+            &mut self.rng,
+        ))?;
 
         // Replicate the shared source row across the batch.
         let source_row = self.source_row(&volume);
@@ -402,7 +442,8 @@ impl HtcExperiment {
         // The nondimensional source is O(100) for the paper's power
         // density; normalising the PDE term by its square keeps the five
         // loss terms comparably scaled so none is ignored early on.
-        let source_scale = (self.config.power_density() * self.scales.source_coefficient()).max(1.0);
+        let source_scale =
+            (self.config.power_density() * self.scales.source_coefficient()).max(1.0);
         let mut total = graph.scale(l_pde, weights.pde / (source_scale * source_scale))?;
         for (term, w) in [
             (l_top, weights.convection),
@@ -418,9 +459,24 @@ impl HtcExperiment {
         if !loss.is_finite() {
             return Err(DeepOHeatError::Diverged { iteration: self.iteration });
         }
+        if telemetry::is_enabled() {
+            telemetry::event(
+                "train.step",
+                &[
+                    ("iteration", self.iteration.into()),
+                    ("loss", loss.into()),
+                    ("l_pde", graph.scalar(l_pde).into()),
+                    ("l_top", graph.scalar(l_top).into()),
+                    ("l_bottom", graph.scalar(l_bottom).into()),
+                    ("l_adia_x", graph.scalar(l_adia_x).into()),
+                    ("l_adia_y", graph.scalar(l_adia_y).into()),
+                ],
+            );
+        }
         let grads = graph.backward(total)?;
         self.adam.step_model(&mut self.model, &bound, &grads)?;
         self.iteration += 1;
+        telemetry::counter("train.steps.count", 1);
         Ok(loss)
     }
 
@@ -429,7 +485,12 @@ impl HtcExperiment {
     /// # Errors
     ///
     /// Propagates training-step errors.
-    pub fn run<F>(&mut self, iterations: usize, log_every: usize, mut progress: F) -> Result<Vec<TrainingRecord>, DeepOHeatError>
+    pub fn run<F>(
+        &mut self,
+        iterations: usize,
+        log_every: usize,
+        mut progress: F,
+    ) -> Result<Vec<TrainingRecord>, DeepOHeatError>
     where
         F: FnMut(&TrainingRecord),
     {
@@ -438,7 +499,9 @@ impl HtcExperiment {
             let lr = self.adam.current_learning_rate();
             let loss = self.train_step()?;
             if step % log_every.max(1) == 0 || step + 1 == iterations {
-                let record = TrainingRecord { iteration: self.iteration - 1, loss, learning_rate: lr };
+                let record =
+                    TrainingRecord { iteration: self.iteration - 1, loss, learning_rate: lr };
+                telemetry::gauge("train.loss", loss);
                 progress(&record);
                 records.push(record);
             }
@@ -460,8 +523,14 @@ impl HtcExperiment {
             Layer::new(c.top_thickness, c.conductivity)?,
         ];
         let mut chip = Chip::new(c.lx, c.ly, c.nx, c.nx, c.nz, layers)?;
-        chip.set_boundary(Face::ZMax, BoundaryCondition::Convection { htc: htc_top, ambient: c.ambient })?;
-        chip.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: htc_bottom, ambient: c.ambient })?;
+        chip.set_boundary(
+            Face::ZMax,
+            BoundaryCondition::Convection { htc: htc_top, ambient: c.ambient },
+        )?;
+        chip.set_boundary(
+            Face::ZMin,
+            BoundaryCondition::Convection { htc: htc_bottom, ambient: c.ambient },
+        )?;
         Ok(chip)
     }
 
@@ -485,7 +554,11 @@ impl HtcExperiment {
     /// # Errors
     ///
     /// Propagates chip and solver errors.
-    pub fn reference_field(&self, htc_top: f64, htc_bottom: f64) -> Result<Vec<f64>, DeepOHeatError> {
+    pub fn reference_field(
+        &self,
+        htc_top: f64,
+        htc_bottom: f64,
+    ) -> Result<Vec<f64>, DeepOHeatError> {
         let chip = self.reference_chip(htc_top, htc_bottom)?;
         let solution = chip.heat_problem()?.solve(SolveOptions::default())?;
         Ok(solution.into_temperatures())
@@ -549,9 +622,9 @@ mod tests {
     fn source_row_respects_layer_bounds() {
         let exp = HtcExperiment::new(tiny_config()).unwrap();
         let pts = Matrix::from_rows(&[
-            &[0.5, 0.5, 0.1],  // below layer
-            &[0.5, 0.5, 0.5],  // inside (0.4545..0.5454)
-            &[0.5, 0.5, 0.9],  // above
+            &[0.5, 0.5, 0.1], // below layer
+            &[0.5, 0.5, 0.5], // inside (0.4545..0.5454)
+            &[0.5, 0.5, 0.9], // above
         ])
         .unwrap();
         let s = exp.source_row(&pts);

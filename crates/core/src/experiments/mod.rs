@@ -44,12 +44,14 @@ impl SupervisedDataset {
         n_points: usize,
         rng: &mut R,
     ) -> (Vec<Matrix>, Vec<usize>, Matrix) {
-        let rows: Vec<usize> = (0..n_funcs).map(|_| rng.gen_range(0..self.targets.rows())).collect();
+        let rows: Vec<usize> =
+            (0..n_funcs).map(|_| rng.gen_range(0..self.targets.rows())).collect();
         let cols: Vec<usize> = (0..n_points.min(self.targets.cols()))
             .map(|_| rng.gen_range(0..self.targets.cols()))
             .collect();
         let inputs = self.inputs.iter().map(|m| m.select_rows(&rows)).collect();
-        let targets = Matrix::from_fn(rows.len(), cols.len(), |f, p| self.targets[(rows[f], cols[p])]);
+        let targets =
+            Matrix::from_fn(rows.len(), cols.len(), |f, p| self.targets[(rows[f], cols[p])]);
         (inputs, cols, targets)
     }
 }

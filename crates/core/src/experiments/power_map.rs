@@ -13,6 +13,7 @@ use deepoheat_fdm::{BoundaryCondition, Face, SolveOptions};
 use deepoheat_grf::GaussianRandomField;
 use deepoheat_linalg::Matrix;
 use deepoheat_nn::{Adam, AdamConfig, LrSchedule};
+use deepoheat_telemetry as telemetry;
 use rand::{Rng, SeedableRng};
 
 use crate::experiments::{LossWeights, SupervisedDataset, TrainingMode, TrainingRecord};
@@ -182,7 +183,10 @@ impl PowerMapExperiment {
     pub fn new(config: PowerMapExperimentConfig) -> Result<Self, DeepOHeatError> {
         if config.nx != config.ny {
             return Err(DeepOHeatError::InvalidConfig {
-                what: format!("power-map encoding requires nx == ny, got {} x {}", config.nx, config.ny),
+                what: format!(
+                    "power-map encoding requires nx == ny, got {} x {}",
+                    config.nx, config.ny
+                ),
             });
         }
         let mut chip = Chip::single_cuboid(
@@ -215,7 +219,11 @@ impl PowerMapExperiment {
         model_cfg.fourier = config.fourier;
         let model = DeepOHeat::new(&model_cfg, &mut rng)?;
 
-        let scales = PhysicsScales::new(config.conductivity, config.delta_t, [config.lx, config.ly, config.lz])?;
+        let scales = PhysicsScales::new(
+            config.conductivity,
+            config.delta_t,
+            [config.lx, config.ly, config.lz],
+        )?;
         let coords = chip.grid().node_positions_normalized();
         let adam = Adam::new(AdamConfig::with_schedule(config.schedule));
 
@@ -286,6 +294,7 @@ impl PowerMapExperiment {
     /// Propagates graph/optimiser errors and reports
     /// [`DeepOHeatError::Diverged`] on a non-finite loss.
     pub fn train_step(&mut self) -> Result<f64, DeepOHeatError> {
+        let _span = telemetry::span("train.step");
         match self.config.mode {
             TrainingMode::PhysicsInformed => self.physics_step(),
             TrainingMode::Supervised { dataset_size } => self.supervised_step(dataset_size),
@@ -297,9 +306,12 @@ impl PowerMapExperiment {
         let power_units = self.sample_power_batch()?;
 
         // Collocation points for this step.
-        let interior = self.subsample_owned(|s| s.partition.interior().to_vec(), |c| c.interior_points);
-        let top = self.subsample_owned(|s| s.partition.face(Face::ZMax).to_vec(), |c| c.boundary_points);
-        let bottom = self.subsample_owned(|s| s.partition.face(Face::ZMin).to_vec(), |c| c.boundary_points);
+        let interior =
+            self.subsample_owned(|s| s.partition.interior().to_vec(), |c| c.interior_points);
+        let top =
+            self.subsample_owned(|s| s.partition.face(Face::ZMax).to_vec(), |c| c.boundary_points);
+        let bottom =
+            self.subsample_owned(|s| s.partition.face(Face::ZMin).to_vec(), |c| c.boundary_points);
         let x_sides = self.subsample_two_faces(Face::XMin, Face::XMax);
         let y_sides = self.subsample_two_faces(Face::YMin, Face::YMax);
 
@@ -326,7 +338,8 @@ impl PowerMapExperiment {
         // Top power map (Neumann).
         let jet = bound.trunk_jet(&mut graph, &self.coords.select_rows(&top))?;
         let t_jet = bound.combine_jet(&mut graph, branch, &jet)?;
-        let r = physics::flux_residual(&mut graph, &t_jet, Face::ZMax, &self.scales, &flux_targets)?;
+        let r =
+            physics::flux_residual(&mut graph, &t_jet, Face::ZMax, &self.scales, &flux_targets)?;
         let l_flux = graph.mean_square(r)?;
 
         // Bottom convection.
@@ -368,9 +381,26 @@ impl PowerMapExperiment {
         if !loss.is_finite() {
             return Err(DeepOHeatError::Diverged { iteration: self.iteration });
         }
+        if telemetry::is_enabled() {
+            // Per-term breakdown of Eq. (11); reading already-evaluated
+            // graph nodes is a cheap lookup.
+            telemetry::event(
+                "train.step",
+                &[
+                    ("iteration", self.iteration.into()),
+                    ("loss", loss.into()),
+                    ("l_pde", graph.scalar(l_pde).into()),
+                    ("l_flux", graph.scalar(l_flux).into()),
+                    ("l_conv", graph.scalar(l_conv).into()),
+                    ("l_adia_x", graph.scalar(l_adia_x).into()),
+                    ("l_adia_y", graph.scalar(l_adia_y).into()),
+                ],
+            );
+        }
         let grads = graph.backward(total)?;
         self.adam.step_model(&mut self.model, &bound, &grads)?;
         self.iteration += 1;
+        telemetry::counter("train.steps.count", 1);
         Ok(loss)
     }
 
@@ -381,7 +411,9 @@ impl PowerMapExperiment {
             return Ok(());
         }
         if dataset_size == 0 {
-            return Err(DeepOHeatError::InvalidConfig { what: "supervised mode needs a non-empty dataset".into() });
+            return Err(DeepOHeatError::InvalidConfig {
+                what: "supervised mode needs a non-empty dataset".into(),
+            });
         }
         let sensors = self.config.nx * self.config.ny;
         let mut inputs = Matrix::zeros(dataset_size, sensors);
@@ -420,9 +452,20 @@ impl PowerMapExperiment {
         if !loss.is_finite() {
             return Err(DeepOHeatError::Diverged { iteration: self.iteration });
         }
+        if telemetry::is_enabled() {
+            telemetry::event(
+                "train.step",
+                &[
+                    ("iteration", self.iteration.into()),
+                    ("loss", loss.into()),
+                    ("l_mse", loss.into()),
+                ],
+            );
+        }
         let grads = graph.backward(total)?;
         self.adam.step_model(&mut self.model, &bound, &grads)?;
         self.iteration += 1;
+        telemetry::counter("train.steps.count", 1);
         Ok(loss)
     }
 
@@ -450,7 +493,12 @@ impl PowerMapExperiment {
     /// # Errors
     ///
     /// Propagates training-step errors.
-    pub fn run<F>(&mut self, iterations: usize, log_every: usize, mut progress: F) -> Result<Vec<TrainingRecord>, DeepOHeatError>
+    pub fn run<F>(
+        &mut self,
+        iterations: usize,
+        log_every: usize,
+        mut progress: F,
+    ) -> Result<Vec<TrainingRecord>, DeepOHeatError>
     where
         F: FnMut(&TrainingRecord),
     {
@@ -459,7 +507,9 @@ impl PowerMapExperiment {
             let lr = self.adam.current_learning_rate();
             let loss = self.train_step()?;
             if step % log_every.max(1) == 0 || step + 1 == iterations {
-                let record = TrainingRecord { iteration: self.iteration - 1, loss, learning_rate: lr };
+                let record =
+                    TrainingRecord { iteration: self.iteration - 1, loss, learning_rate: lr };
+                telemetry::gauge("train.loss", loss);
                 progress(&record);
                 records.push(record);
             }

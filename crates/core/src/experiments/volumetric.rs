@@ -16,6 +16,7 @@ use deepoheat_fdm::{BoundaryCondition, Face, SolveOptions};
 use deepoheat_grf::GaussianRandomField3;
 use deepoheat_linalg::Matrix;
 use deepoheat_nn::{Adam, AdamConfig, LrSchedule};
+use deepoheat_telemetry as telemetry;
 use rand::{Rng, SeedableRng};
 
 use crate::experiments::{LossWeights, SupervisedDataset, TrainingMode, TrainingRecord};
@@ -130,9 +131,11 @@ impl VolumetricExperimentConfig {
 /// assert_eq!(suite[0].1.len(), 13 * 13 * 7);
 /// ```
 pub fn volumetric_test_suite(nx: usize, ny: usize, nz: usize) -> Vec<(String, Vec<f64>)> {
+    /// An axis-aligned powered block: x/y/z index ranges and its power.
+    type Block = (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>, f64);
     let idx = |i: usize, j: usize, k: usize| (k * ny + j) * nx + i;
     let mut suite = Vec::new();
-    let mut push = |name: &str, blocks: &[(std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>, f64)]| {
+    let mut push = |name: &str, blocks: &[Block]| {
         let mut map = vec![0.0; nx * ny * nz];
         for (xr, yr, zr, p) in blocks {
             for k in zr.clone() {
@@ -151,17 +154,17 @@ pub fn volumetric_test_suite(nx: usize, ny: usize, nz: usize) -> Vec<(String, Ve
     // v2: a hot slab near the top (like a powered device layer).
     push("v2", &[(1..nx - 1, 1..ny - 1, nz - 2..nz - 1, 0.8)]);
     // v3: two stacked blocks at different heights (3D-IC tiers).
-    push("v3", &[
-        (1..hx, 1..hy, 1..2, 1.2),
-        (hx + 1..nx - 1, hy + 1..ny - 1, nz - 2..nz - 1, 0.9),
-    ]);
+    push("v3", &[(1..hx, 1..hy, 1..2, 1.2), (hx + 1..nx - 1, hy + 1..ny - 1, nz - 2..nz - 1, 0.9)]);
     // v4: several small sources, one strong (the p10 analogue).
-    push("v4", &[
-        (1..3, 1..3, 1..2, 1.0),
-        (nx - 3..nx - 1, 1..3, hz..hz + 1, 1.0),
-        (1..3, ny - 3..ny - 1, nz - 2..nz - 1, 1.0),
-        (hx..hx + 2, hy..hy + 2, hz..hz + 1, 3.0),
-    ]);
+    push(
+        "v4",
+        &[
+            (1..3, 1..3, 1..2, 1.0),
+            (nx - 3..nx - 1, 1..3, hz..hz + 1, 1.0),
+            (1..3, ny - 3..ny - 1, nz - 2..nz - 1, 1.0),
+            (hx..hx + 2, hy..hy + 2, hz..hz + 1, 3.0),
+        ],
+    );
     suite
 }
 
@@ -212,10 +215,18 @@ impl VolumetricExperiment {
             config.conductivity,
         )?;
         for face in [Face::ZMin, Face::ZMax] {
-            chip.set_boundary(face, BoundaryCondition::Convection { htc: config.htc, ambient: config.ambient })?;
+            chip.set_boundary(
+                face,
+                BoundaryCondition::Convection { htc: config.htc, ambient: config.ambient },
+            )?;
         }
         let partition = MeshPartition::new(chip.grid());
-        let grf = GaussianRandomField3::on_unit_grid(config.nx, config.ny, config.nz, config.grf_length_scale)?;
+        let grf = GaussianRandomField3::on_unit_grid(
+            config.nx,
+            config.ny,
+            config.nz,
+            config.grf_length_scale,
+        )?;
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         let sensors = config.nx * config.ny * config.nz;
@@ -231,7 +242,11 @@ impl VolumetricExperiment {
         model_cfg.fourier = config.fourier;
         let model = DeepOHeat::new(&model_cfg, &mut rng)?;
 
-        let scales = PhysicsScales::new(config.conductivity, config.delta_t, [config.lx, config.ly, config.lz])?;
+        let scales = PhysicsScales::new(
+            config.conductivity,
+            config.delta_t,
+            [config.lx, config.ly, config.lz],
+        )?;
         let coords = chip.grid().node_positions_normalized();
         let adam = Adam::new(AdamConfig::with_schedule(config.schedule));
 
@@ -322,6 +337,7 @@ impl VolumetricExperiment {
     /// Propagates graph/optimiser errors; reports
     /// [`DeepOHeatError::Diverged`] on a non-finite loss.
     pub fn train_step(&mut self) -> Result<f64, DeepOHeatError> {
+        let _span = telemetry::span("train.step");
         match self.config.mode {
             TrainingMode::PhysicsInformed => self.physics_step(),
             TrainingMode::Supervised { dataset_size } => self.supervised_step(dataset_size),
@@ -341,7 +357,9 @@ impl VolumetricExperiment {
 
     fn subsample(&mut self, pool: &[usize], count: Option<usize>) -> Vec<usize> {
         match count {
-            Some(c) if c < pool.len() => (0..c).map(|_| pool[self.rng.gen_range(0..pool.len())]).collect(),
+            Some(c) if c < pool.len() => {
+                (0..c).map(|_| pool[self.rng.gen_range(0..pool.len())]).collect()
+            }
             _ => pool.to_vec(),
         }
     }
@@ -363,7 +381,8 @@ impl VolumetricExperiment {
 
         // Per-function, per-point volumetric sources at the sampled nodes.
         let density = self.chip.unit_volumetric_density();
-        let source = Matrix::from_fn(units.rows(), interior.len(), |f, p| units[(f, interior[p])] * density);
+        let source =
+            Matrix::from_fn(units.rows(), interior.len(), |f, p| units[(f, interior[p])] * density);
         let source_scale = (density * self.scales.source_coefficient()).max(1.0);
 
         let weights = self.config.loss_weights;
@@ -397,6 +416,7 @@ impl VolumetricExperiment {
         }
 
         let mut total = graph.scale(l_pde, weights.pde / (source_scale * source_scale))?;
+        let term_nodes: Vec<_> = terms.iter().map(|(t, _)| *t).collect();
         for (term, w) in terms {
             let scaled = graph.scale(term, w)?;
             total = graph.add(total, scaled)?;
@@ -406,9 +426,26 @@ impl VolumetricExperiment {
         if !loss.is_finite() {
             return Err(DeepOHeatError::Diverged { iteration: self.iteration });
         }
+        if telemetry::is_enabled() {
+            // term_nodes order follows the construction above: convection
+            // top/bottom, then the adiabatic x/y sides.
+            telemetry::event(
+                "train.step",
+                &[
+                    ("iteration", self.iteration.into()),
+                    ("loss", loss.into()),
+                    ("l_pde", graph.scalar(l_pde).into()),
+                    ("l_conv_top", graph.scalar(term_nodes[0]).into()),
+                    ("l_conv_bottom", graph.scalar(term_nodes[1]).into()),
+                    ("l_adia_x", graph.scalar(term_nodes[2]).into()),
+                    ("l_adia_y", graph.scalar(term_nodes[3]).into()),
+                ],
+            );
+        }
         let grads = graph.backward(total)?;
         self.adam.step_model(&mut self.model, &bound, &grads)?;
         self.iteration += 1;
+        telemetry::counter("train.steps.count", 1);
         Ok(loss)
     }
 
@@ -417,7 +454,9 @@ impl VolumetricExperiment {
             return Ok(());
         }
         if dataset_size == 0 {
-            return Err(DeepOHeatError::InvalidConfig { what: "supervised mode needs a non-empty dataset".into() });
+            return Err(DeepOHeatError::InvalidConfig {
+                what: "supervised mode needs a non-empty dataset".into(),
+            });
         }
         let sensors = self.chip.grid().node_count();
         let mut inputs = Matrix::zeros(dataset_size, sensors);
@@ -453,9 +492,20 @@ impl VolumetricExperiment {
         if !loss.is_finite() {
             return Err(DeepOHeatError::Diverged { iteration: self.iteration });
         }
+        if telemetry::is_enabled() {
+            telemetry::event(
+                "train.step",
+                &[
+                    ("iteration", self.iteration.into()),
+                    ("loss", loss.into()),
+                    ("l_mse", loss.into()),
+                ],
+            );
+        }
         let grads = graph.backward(total)?;
         self.adam.step_model(&mut self.model, &bound, &grads)?;
         self.iteration += 1;
+        telemetry::counter("train.steps.count", 1);
         Ok(loss)
     }
 
@@ -464,7 +514,12 @@ impl VolumetricExperiment {
     /// # Errors
     ///
     /// Propagates training-step errors.
-    pub fn run<F>(&mut self, iterations: usize, log_every: usize, mut progress: F) -> Result<Vec<TrainingRecord>, DeepOHeatError>
+    pub fn run<F>(
+        &mut self,
+        iterations: usize,
+        log_every: usize,
+        mut progress: F,
+    ) -> Result<Vec<TrainingRecord>, DeepOHeatError>
     where
         F: FnMut(&TrainingRecord),
     {
@@ -473,7 +528,9 @@ impl VolumetricExperiment {
             let lr = self.adam.current_learning_rate();
             let loss = self.train_step()?;
             if step % log_every.max(1) == 0 || step + 1 == iterations {
-                let record = TrainingRecord { iteration: self.iteration - 1, loss, learning_rate: lr };
+                let record =
+                    TrainingRecord { iteration: self.iteration - 1, loss, learning_rate: lr };
+                telemetry::gauge("train.loss", loss);
                 progress(&record);
                 records.push(record);
             }
@@ -519,9 +576,8 @@ mod tests {
         let mut map = vec![0.0; grid.node_count()];
         map[grid.index(3, 3, 2)] = 2.0; // a point source mid-chip
         let field = exp.reference_field(&map).unwrap();
-        let hottest = (0..grid.node_count())
-            .max_by(|&a, &b| field[a].total_cmp(&field[b]))
-            .unwrap();
+        let hottest =
+            (0..grid.node_count()).max_by(|&a, &b| field[a].total_cmp(&field[b])).unwrap();
         assert_eq!(grid.coordinates(hottest), (3, 3, 2));
         assert!(field[hottest] > 298.15);
     }

@@ -67,10 +67,17 @@ impl FieldErrors {
     /// # Errors
     ///
     /// As [`FieldErrors::compare`], plus a shape check.
-    pub fn compare_matrices(predicted: &Matrix, reference: &Matrix) -> Result<Self, DeepOHeatError> {
+    pub fn compare_matrices(
+        predicted: &Matrix,
+        reference: &Matrix,
+    ) -> Result<Self, DeepOHeatError> {
         if predicted.shape() != reference.shape() {
             return Err(DeepOHeatError::InputMismatch {
-                what: format!("field shapes differ: {:?} vs {:?}", predicted.shape(), reference.shape()),
+                what: format!(
+                    "field shapes differ: {:?} vs {:?}",
+                    predicted.shape(),
+                    reference.shape()
+                ),
             });
         }
         Self::compare(predicted.as_slice(), reference.as_slice())
@@ -87,7 +94,11 @@ impl FieldErrors {
 pub fn relative_l2(predicted: &[f64], reference: &[f64]) -> Result<f64, DeepOHeatError> {
     if predicted.len() != reference.len() || predicted.is_empty() {
         return Err(DeepOHeatError::InputMismatch {
-            what: format!("relative l2 needs equal non-empty lengths, got {} vs {}", predicted.len(), reference.len()),
+            what: format!(
+                "relative l2 needs equal non-empty lengths, got {} vs {}",
+                predicted.len(),
+                reference.len()
+            ),
         });
     }
     let mut num = 0.0;
@@ -97,7 +108,9 @@ pub fn relative_l2(predicted: &[f64], reference: &[f64]) -> Result<f64, DeepOHea
         den += r * r;
     }
     if den == 0.0 {
-        return Err(DeepOHeatError::InvalidConfig { what: "reference field is identically zero".into() });
+        return Err(DeepOHeatError::InvalidConfig {
+            what: "reference field is identically zero".into(),
+        });
     }
     Ok((num / den).sqrt())
 }
@@ -154,5 +167,57 @@ mod tests {
         let reference = vec![3.0, 4.0]; // norm 5
         let predicted = vec![3.0, 5.0]; // error norm 1
         assert!((relative_l2(&predicted, &reference).unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_zero_reference_inflates_but_stays_finite() {
+        // Percentage errors against a tiny (but non-zero) reference are
+        // legal: they blow up numerically but must stay finite, and PAPE
+        // must pick up the inflated point.
+        let reference = vec![1e-12, 300.0];
+        let predicted = vec![1e-12 + 1e-6, 300.0];
+        let e = FieldErrors::compare(&predicted, &reference).unwrap();
+        assert!(e.mape.is_finite() && e.pape.is_finite());
+        assert!(e.pape > 1e6, "1e-6 error on a 1e-12 reference is ~1e8 percent");
+        assert!((e.peak_abs - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn negative_references_use_magnitudes() {
+        // The denominators are |r|, so sign-flipped fields give the same
+        // percentages as their positive mirror.
+        let e_pos = FieldErrors::compare(&[101.0, 198.0], &[100.0, 200.0]).unwrap();
+        let e_neg = FieldErrors::compare(&[-101.0, -198.0], &[-100.0, -200.0]).unwrap();
+        assert!((e_pos.mape - e_neg.mape).abs() < 1e-12);
+        assert!((e_pos.pape - e_neg.pape).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_inputs_poison_the_means() {
+        // A NaN prediction must poison the mean-based summaries (sums
+        // propagate NaN), so a diverged surrogate can't report a clean
+        // MAPE. The peaks use `f64::max`, which skips NaN — so the
+        // means are the reliable diagnostic and this test pins that.
+        let e = FieldErrors::compare(&[f64::NAN, 300.0], &[300.0, 300.0]).unwrap();
+        assert!(e.mape.is_nan());
+        assert!(e.mean_abs.is_nan());
+        assert!(!e.pape.is_nan(), "max-based peak skips NaN by f64::max semantics");
+        let l2 = relative_l2(&[f64::NAN, 300.0], &[300.0, 300.0]).unwrap();
+        assert!(l2.is_nan());
+    }
+
+    #[test]
+    fn single_element_fields_are_accepted() {
+        let e = FieldErrors::compare(&[303.0], &[300.0]).unwrap();
+        assert!((e.mape - 1.0).abs() < 1e-12);
+        assert!((e.pape - 1.0).abs() < 1e-12);
+        assert_eq!(e.mape, e.pape, "mean equals peak for a single point");
+    }
+
+    #[test]
+    fn empty_matrices_are_rejected() {
+        let a = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 0);
+        assert!(FieldErrors::compare_matrices(&a, &b).is_err());
     }
 }

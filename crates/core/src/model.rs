@@ -1,6 +1,8 @@
 use deepoheat_autodiff::{Activation, Graph, Var};
 use deepoheat_linalg::Matrix;
-use deepoheat_nn::{BoundMlp, BoundParameters, FourierFeatures, Jet3, Mlp, MlpConfig, Parameterized};
+use deepoheat_nn::{
+    BoundMlp, BoundParameters, FourierFeatures, Jet3, Mlp, MlpConfig, Parameterized,
+};
 use rand::Rng;
 
 use crate::DeepOHeatError;
@@ -93,7 +95,11 @@ impl DeepOHeatConfig {
 
     /// Adds another branch net (multi-input DeepONet / MIONet style).
     pub fn add_branch(mut self, input_dim: usize, hidden: &[usize]) -> Self {
-        self.branches.push(BranchSpec { input_dim, hidden: hidden.to_vec(), activation: Activation::Swish });
+        self.branches.push(BranchSpec {
+            input_dim,
+            hidden: hidden.to_vec(),
+            activation: Activation::Swish,
+        });
         self
     }
 
@@ -139,12 +145,19 @@ impl DeepOHeat {
     /// Returns [`DeepOHeatError::InvalidConfig`] for zero-width layers,
     /// an empty branch list, a zero latent width, or a non-positive
     /// `output_scale`.
-    pub fn new<R: Rng + ?Sized>(config: &DeepOHeatConfig, rng: &mut R) -> Result<Self, DeepOHeatError> {
+    pub fn new<R: Rng + ?Sized>(
+        config: &DeepOHeatConfig,
+        rng: &mut R,
+    ) -> Result<Self, DeepOHeatError> {
         if config.branches.is_empty() {
-            return Err(DeepOHeatError::InvalidConfig { what: "at least one branch net is required".into() });
+            return Err(DeepOHeatError::InvalidConfig {
+                what: "at least one branch net is required".into(),
+            });
         }
         if config.latent_dim == 0 {
-            return Err(DeepOHeatError::InvalidConfig { what: "latent width must be positive".into() });
+            return Err(DeepOHeatError::InvalidConfig {
+                what: "latent width must be positive".into(),
+            });
         }
         if !(config.output_scale.is_finite() && config.output_scale > 0.0) {
             return Err(DeepOHeatError::InvalidConfig {
@@ -153,13 +166,16 @@ impl DeepOHeat {
         }
         let mut branches = Vec::with_capacity(config.branches.len());
         for spec in &config.branches {
-            let cfg = MlpConfig::new(spec.input_dim, &spec.hidden, config.latent_dim, spec.activation);
+            let cfg =
+                MlpConfig::new(spec.input_dim, &spec.hidden, config.latent_dim, spec.activation);
             branches.push(Mlp::new(&cfg, rng)?);
         }
         let (fourier, trunk_input) = match config.fourier {
             Some(FourierConfig { n_frequencies, std }) => {
                 if n_frequencies == 0 {
-                    return Err(DeepOHeatError::InvalidConfig { what: "fourier layer needs frequencies".into() });
+                    return Err(DeepOHeatError::InvalidConfig {
+                        what: "fourier layer needs frequencies".into(),
+                    });
                 }
                 let ff = FourierFeatures::new(3, n_frequencies, std, rng);
                 let out = ff.output_dim();
@@ -167,7 +183,12 @@ impl DeepOHeat {
             }
             None => (None, 3),
         };
-        let trunk_cfg = MlpConfig::new(trunk_input, &config.trunk_hidden, config.latent_dim, config.trunk_activation);
+        let trunk_cfg = MlpConfig::new(
+            trunk_input,
+            &config.trunk_hidden,
+            config.latent_dim,
+            config.trunk_activation,
+        );
         let trunk = Mlp::new(&trunk_cfg, rng)?;
         Ok(DeepOHeat {
             branches,
@@ -203,17 +224,29 @@ impl DeepOHeat {
     }
 
     /// Validates a batch of branch inputs plus coordinates.
-    fn check_inputs(&self, branch_inputs: &[&Matrix], coords: &Matrix) -> Result<usize, DeepOHeatError> {
+    fn check_inputs(
+        &self,
+        branch_inputs: &[&Matrix],
+        coords: &Matrix,
+    ) -> Result<usize, DeepOHeatError> {
         if branch_inputs.len() != self.branches.len() {
             return Err(DeepOHeatError::InputMismatch {
-                what: format!("model has {} branches, got {} inputs", self.branches.len(), branch_inputs.len()),
+                what: format!(
+                    "model has {} branches, got {} inputs",
+                    self.branches.len(),
+                    branch_inputs.len()
+                ),
             });
         }
         let n_funcs = branch_inputs.first().map_or(0, |m| m.rows());
         for (i, (input, branch)) in branch_inputs.iter().zip(&self.branches).enumerate() {
             if input.cols() != branch.input_dim() {
                 return Err(DeepOHeatError::InputMismatch {
-                    what: format!("branch {i} expects {} sensors, got {}", branch.input_dim(), input.cols()),
+                    what: format!(
+                        "branch {i} expects {} sensors, got {}",
+                        branch.input_dim(),
+                        input.cols()
+                    ),
                 });
             }
             if input.rows() != n_funcs {
@@ -241,7 +274,11 @@ impl DeepOHeat {
     ///
     /// Returns [`DeepOHeatError::InputMismatch`] for wrong branch counts or
     /// dimensions.
-    pub fn predict(&self, branch_inputs: &[&Matrix], coords: &Matrix) -> Result<Matrix, DeepOHeatError> {
+    pub fn predict(
+        &self,
+        branch_inputs: &[&Matrix],
+        coords: &Matrix,
+    ) -> Result<Matrix, DeepOHeatError> {
         let theta = self.predict_theta(branch_inputs, coords)?;
         Ok(theta.map(|v| self.output_offset + self.output_scale * v))
     }
@@ -253,7 +290,11 @@ impl DeepOHeat {
     ///
     /// Returns [`DeepOHeatError::InputMismatch`] for wrong branch counts or
     /// dimensions.
-    pub fn predict_theta(&self, branch_inputs: &[&Matrix], coords: &Matrix) -> Result<Matrix, DeepOHeatError> {
+    pub fn predict_theta(
+        &self,
+        branch_inputs: &[&Matrix],
+        coords: &Matrix,
+    ) -> Result<Matrix, DeepOHeatError> {
         self.check_inputs(branch_inputs, coords)?;
         let mut product: Option<Matrix> = None;
         for (input, branch) in branch_inputs.iter().zip(&self.branches) {
@@ -286,13 +327,18 @@ impl DeepOHeat {
         output_scale: f64,
     ) -> Result<Self, DeepOHeatError> {
         if branches.is_empty() {
-            return Err(DeepOHeatError::InvalidConfig { what: "at least one branch net is required".into() });
+            return Err(DeepOHeatError::InvalidConfig {
+                what: "at least one branch net is required".into(),
+            });
         }
         let q = trunk.output_dim();
         for (i, b) in branches.iter().enumerate() {
             if b.output_dim() != q {
                 return Err(DeepOHeatError::InvalidConfig {
-                    what: format!("branch {i} outputs {} features, trunk outputs {q}", b.output_dim()),
+                    what: format!(
+                        "branch {i} outputs {} features, trunk outputs {q}",
+                        b.output_dim()
+                    ),
                 });
             }
         }
@@ -308,7 +354,10 @@ impl DeepOHeat {
             }
         } else if trunk.input_dim() != 3 {
             return Err(DeepOHeatError::InvalidConfig {
-                what: format!("trunk without fourier must take 3 coordinates, takes {}", trunk.input_dim()),
+                what: format!(
+                    "trunk without fourier must take 3 coordinates, takes {}",
+                    trunk.input_dim()
+                ),
             });
         }
         if !(output_scale.is_finite() && output_scale > 0.0) {
@@ -356,7 +405,8 @@ impl Parameterized for DeepOHeat {
     }
 
     fn parameter_count(&self) -> usize {
-        self.branches.iter().map(|b| b.parameter_count()).sum::<usize>() + self.trunk.parameter_count()
+        self.branches.iter().map(|b| b.parameter_count()).sum::<usize>()
+            + self.trunk.parameter_count()
     }
 }
 
@@ -378,10 +428,18 @@ impl BoundDeepOHeat {
     ///
     /// Returns [`DeepOHeatError::InputMismatch`] on a branch-count
     /// mismatch, or propagates graph shape errors.
-    pub fn branch_product(&self, graph: &mut Graph, inputs: &[Matrix]) -> Result<Var, DeepOHeatError> {
+    pub fn branch_product(
+        &self,
+        graph: &mut Graph,
+        inputs: &[Matrix],
+    ) -> Result<Var, DeepOHeatError> {
         if inputs.len() != self.branches.len() {
             return Err(DeepOHeatError::InputMismatch {
-                what: format!("model has {} branches, got {} inputs", self.branches.len(), inputs.len()),
+                what: format!(
+                    "model has {} branches, got {} inputs",
+                    self.branches.len(),
+                    inputs.len()
+                ),
             });
         }
         let mut product: Option<Var> = None;
@@ -402,7 +460,11 @@ impl BoundDeepOHeat {
     /// # Errors
     ///
     /// Propagates graph shape errors.
-    pub fn trunk_features(&self, graph: &mut Graph, coords: &Matrix) -> Result<Var, DeepOHeatError> {
+    pub fn trunk_features(
+        &self,
+        graph: &mut Graph,
+        coords: &Matrix,
+    ) -> Result<Var, DeepOHeatError> {
         let leaf = graph.leaf(coords.clone(), false);
         let trunk_in = match &self.fourier {
             Some(ff) => ff.forward(graph, leaf)?,
@@ -432,7 +494,12 @@ impl BoundDeepOHeat {
     /// # Errors
     ///
     /// Propagates graph shape errors.
-    pub fn combine(&self, graph: &mut Graph, branch_product: Var, trunk_features: Var) -> Result<Var, DeepOHeatError> {
+    pub fn combine(
+        &self,
+        graph: &mut Graph,
+        branch_product: Var,
+        trunk_features: Var,
+    ) -> Result<Var, DeepOHeatError> {
         Ok(graph.matmul_transposed(branch_product, trunk_features)?)
     }
 
@@ -565,7 +632,7 @@ mod tests {
 
         let mut g = Graph::new();
         let bound = model.bind(&mut g);
-        let b = bound.branch_product(&mut g, &[u.clone()]).unwrap();
+        let b = bound.branch_product(&mut g, std::slice::from_ref(&u)).unwrap();
         let jet = bound.trunk_jet(&mut g, &y).unwrap();
         let t_jet = bound.combine_jet(&mut g, b, &jet).unwrap();
         let direct = model.predict_theta(&[&u], &y).unwrap();
@@ -584,7 +651,7 @@ mod tests {
 
         let mut g = Graph::new();
         let bound = model.bind(&mut g);
-        let b = bound.branch_product(&mut g, &[u.clone()]).unwrap();
+        let b = bound.branch_product(&mut g, std::slice::from_ref(&u)).unwrap();
         let jet = bound.trunk_jet(&mut g, &y0).unwrap();
         let t_jet = bound.combine_jet(&mut g, b, &jet).unwrap();
 

@@ -159,7 +159,9 @@ fn read_dim<R: Read>(r: &mut R, what: &str) -> Result<usize, ModelIoError> {
     let v = read_u64(r)?;
     // Guard against corrupt headers asking for absurd allocations.
     if v > 1 << 32 {
-        return Err(ModelIoError::BadFormat { what: format!("{what} dimension {v} is implausible") });
+        return Err(ModelIoError::BadFormat {
+            what: format!("{what} dimension {v} is implausible"),
+        });
     }
     Ok(v as usize)
 }
@@ -198,7 +200,8 @@ fn read_mlp<R: Read>(r: &mut R) -> Result<Mlp, ModelIoError> {
                 .map_err(|e| ModelIoError::BadFormat { what: format!("layer: {e}") })?,
         );
     }
-    Mlp::from_layers(layers, activation).map_err(|e| ModelIoError::BadFormat { what: format!("mlp: {e}") })
+    Mlp::from_layers(layers, activation)
+        .map_err(|e| ModelIoError::BadFormat { what: format!("mlp: {e}") })
 }
 
 /// Serialises a model to a writer.
@@ -267,7 +270,10 @@ pub fn load<R: Read>(mut reader: R) -> Result<DeepOHeat, ModelIoError> {
 /// # Errors
 ///
 /// As [`save`].
-pub fn save_to_path<P: AsRef<std::path::Path>>(model: &DeepOHeat, path: P) -> Result<(), ModelIoError> {
+pub fn save_to_path<P: AsRef<std::path::Path>>(
+    model: &DeepOHeat,
+    path: P,
+) -> Result<(), ModelIoError> {
     let file = std::fs::File::create(path)?;
     save(model, std::io::BufWriter::new(file))
 }
@@ -354,24 +360,15 @@ mod tests {
         // by splicing two different models' sections together.
         let a = sample_model(false);
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let b = DeepOHeat::new(
-            &DeepOHeatConfig::single_branch(6, &[10, 10], &[8, 8], 5),
-            &mut rng,
-        )
-        .unwrap();
+        let b = DeepOHeat::new(&DeepOHeatConfig::single_branch(6, &[10, 10], &[8, 8], 5), &mut rng)
+            .unwrap();
         // Serialise a's header/trunk but b's branches (different latent).
         let mut buf_a = Vec::new();
         save(&a, &mut buf_a).unwrap();
         let mut buf_b = Vec::new();
         save(&b, &mut buf_b).unwrap();
         // Manual splice is brittle; instead check from_parts directly.
-        let err = DeepOHeat::from_parts(
-            b.branches().to_vec(),
-            None,
-            a.trunk().clone(),
-            0.0,
-            1.0,
-        );
+        let err = DeepOHeat::from_parts(b.branches().to_vec(), None, a.trunk().clone(), 0.0, 1.0);
         assert!(err.is_err());
         let _ = (buf_a, buf_b);
     }

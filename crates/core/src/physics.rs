@@ -54,7 +54,9 @@ impl PhysicsScales {
             ("lz", extents[2]),
         ] {
             if !(v.is_finite() && v > 0.0) {
-                return Err(DeepOHeatError::InvalidConfig { what: format!("{name} must be positive, got {v}") });
+                return Err(DeepOHeatError::InvalidConfig {
+                    what: format!("{name} must be positive, got {v}"),
+                });
             }
         }
         Ok(PhysicsScales { conductivity, delta_t, extents, reference_length: extents[0] })
@@ -218,13 +220,7 @@ mod tests {
     use deepoheat_nn::Jet3;
 
     /// Builds a jet with explicitly chosen constant channels.
-    fn constant_jet(
-        graph: &mut Graph,
-        n: usize,
-        value: f64,
-        d1: [f64; 3],
-        d2: [f64; 3],
-    ) -> Jet3 {
+    fn constant_jet(graph: &mut Graph, n: usize, value: f64, d1: [f64; 3], d2: [f64; 3]) -> Jet3 {
         let mk = |graph: &mut Graph, v: f64| graph.leaf(Matrix::filled(1, n, v), false);
         let value = mk(graph, value);
         let d1 = [mk(graph, d1[0]), mk(graph, d1[1]), mk(graph, d1[2])];
@@ -245,7 +241,7 @@ mod tests {
         let s = paper_scales();
         assert_eq!(s.laplacian_coefficient(0), 1.0);
         assert_eq!(s.laplacian_coefficient(2), 4.0); // (1mm / 0.5mm)²
-        // Biot at the bottom with h = 500: 500 * 5e-4 / 0.1 = 2.5.
+                                                     // Biot at the bottom with h = 500: 500 * 5e-4 / 0.1 = 2.5.
         assert!((s.biot_number(Face::ZMin, 500.0) - 2.5).abs() < 1e-12);
         // Flux coefficient at the top: 5e-4 / (0.1 * 10) = 5e-4.
         assert!((s.flux_coefficient(Face::ZMax) - 5e-4).abs() < 1e-18);
@@ -265,7 +261,8 @@ mod tests {
         let mut g = Graph::new();
         // Bottom jet (x₃ = 0).
         let bottom = constant_jet(&mut g, 4, theta0, [0.0, 0.0, slope], [0.0; 3]);
-        let r = convection_residual(&mut g, &bottom, Face::ZMin, &s, &HtcInput::Uniform(h)).unwrap();
+        let r =
+            convection_residual(&mut g, &bottom, Face::ZMin, &s, &HtcInput::Uniform(h)).unwrap();
         assert!(g.value(r).iter().all(|v| v.abs() < 1e-12), "convection residual {:?}", g.value(r));
 
         // Top jet (x₃ = 1).

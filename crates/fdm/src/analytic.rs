@@ -60,19 +60,30 @@ impl SlabAnalytic {
     ///
     /// Returns [`FdmError::InvalidParameter`] if there are no layers, any
     /// conductivity/thickness is non-positive, or `htc <= 0`.
-    pub fn new(layers: Vec<(f64, f64)>, htc: f64, ambient: f64, flux: f64) -> Result<Self, FdmError> {
+    pub fn new(
+        layers: Vec<(f64, f64)>,
+        htc: f64,
+        ambient: f64,
+        flux: f64,
+    ) -> Result<Self, FdmError> {
         if layers.is_empty() {
-            return Err(FdmError::InvalidParameter { what: "slab stack needs at least one layer".into() });
+            return Err(FdmError::InvalidParameter {
+                what: "slab stack needs at least one layer".into(),
+            });
         }
         for &(k, t) in &layers {
             if k <= 0.0 || t <= 0.0 || !k.is_finite() || !t.is_finite() {
                 return Err(FdmError::InvalidParameter {
-                    what: format!("layer (k={k}, t={t}) must have positive conductivity and thickness"),
+                    what: format!(
+                        "layer (k={k}, t={t}) must have positive conductivity and thickness"
+                    ),
                 });
             }
         }
         if htc <= 0.0 || !htc.is_finite() {
-            return Err(FdmError::InvalidParameter { what: format!("htc must be positive, got {htc}") });
+            return Err(FdmError::InvalidParameter {
+                what: format!("htc must be positive, got {htc}"),
+            });
         }
         Ok(SlabAnalytic { layers, htc, ambient, flux })
     }
@@ -120,7 +131,11 @@ mod tests {
     fn single_layer_matches_simple_formula() {
         let slab = SlabAnalytic::new(vec![(0.1, 0.5e-3)], 500.0, 298.15, 2000.0).unwrap();
         for &z in &[0.0, 0.1e-3, 0.5e-3] {
-            assert!((slab.temperature(z) - slab_conduction_profile(2000.0, 0.1, 500.0, 298.15, z)).abs() < 1e-12);
+            assert!(
+                (slab.temperature(z) - slab_conduction_profile(2000.0, 0.1, 500.0, 298.15, z))
+                    .abs()
+                    < 1e-12
+            );
         }
     }
 

@@ -24,7 +24,8 @@ pub enum Face {
 impl Face {
     /// All six faces in a fixed order (the storage order of per-face
     /// arrays).
-    pub const ALL: [Face; 6] = [Face::XMin, Face::XMax, Face::YMin, Face::YMax, Face::ZMin, Face::ZMax];
+    pub const ALL: [Face; 6] =
+        [Face::XMin, Face::XMax, Face::YMin, Face::YMax, Face::ZMin, Face::ZMax];
 
     /// A stable index into per-face arrays.
     pub fn index(self) -> usize {

@@ -94,7 +94,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(FdmError::InvalidGrid { what: "zero nodes".into() }.to_string().contains("zero nodes"));
+        assert!(FdmError::InvalidGrid { what: "zero nodes".into() }
+            .to_string()
+            .contains("zero nodes"));
         let e = FdmError::FieldMismatch { field: "conductivity", expected: 8, actual: 4 };
         assert!(e.to_string().contains("conductivity"));
         let e = FdmError::BoundaryMismatch { face: "z_max", expected: (21, 21), actual: (20, 20) };

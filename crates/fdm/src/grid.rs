@@ -38,7 +38,14 @@ impl StructuredGrid {
     ///
     /// Returns [`FdmError::InvalidGrid`] if any vertex count is below 2 or
     /// any extent is not strictly positive and finite.
-    pub fn new(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> Result<Self, FdmError> {
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        lx: f64,
+        ly: f64,
+        lz: f64,
+    ) -> Result<Self, FdmError> {
         if nx < 2 || ny < 2 || nz < 2 {
             return Err(FdmError::InvalidGrid {
                 what: format!("need at least 2 vertices per axis, got {nx}x{ny}x{nz}"),
@@ -46,7 +53,9 @@ impl StructuredGrid {
         }
         for (name, l) in [("lx", lx), ("ly", ly), ("lz", lz)] {
             if l <= 0.0 || !l.is_finite() {
-                return Err(FdmError::InvalidGrid { what: format!("{name} must be positive, got {l}") });
+                return Err(FdmError::InvalidGrid {
+                    what: format!("{name} must be positive, got {l}"),
+                });
             }
         }
         Ok(StructuredGrid { nx, ny, nz, lx, ly, lz })

@@ -1,4 +1,5 @@
 use deepoheat_linalg::{conjugate_gradient, CgOptions, CooMatrix, CsrMatrix, SsorPreconditioner};
+use deepoheat_telemetry as telemetry;
 
 use crate::{BoundaryCondition, Face, FdmError, Solution, StructuredGrid};
 
@@ -24,11 +25,52 @@ pub struct SolveOptions {
     pub max_iterations: usize,
     /// SSOR relaxation factor in `(0, 2)`.
     pub ssor_omega: f64,
+    /// Record a per-iteration CG convergence trace into
+    /// [`Solution::cg_trace`]. Off by default.
+    pub record_cg_trace: bool,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { tolerance: 1e-10, max_iterations: 50_000, ssor_omega: 1.5 }
+        SolveOptions {
+            tolerance: 1e-10,
+            max_iterations: 50_000,
+            ssor_omega: 1.5,
+            record_cg_trace: false,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Checks the options before they reach the linear solver, so a bad
+    /// configuration fails with a message about the *option* rather than a
+    /// late CG error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FdmError::InvalidParameter`] if `tolerance` is not a
+    /// positive finite number, `max_iterations` is zero, or `ssor_omega`
+    /// is outside `(0, 2)`.
+    pub fn validate(&self) -> Result<(), FdmError> {
+        if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
+            return Err(FdmError::InvalidParameter {
+                what: format!(
+                    "solver tolerance must be positive and finite, got {}",
+                    self.tolerance
+                ),
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(FdmError::InvalidParameter {
+                what: "solver max_iterations must be at least 1".into(),
+            });
+        }
+        if !(self.ssor_omega > 0.0 && self.ssor_omega < 2.0) {
+            return Err(FdmError::InvalidParameter {
+                what: format!("ssor_omega must be in (0, 2), got {}", self.ssor_omega),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -105,7 +147,9 @@ impl HeatProblem {
             });
         }
         if let Some(bad) = k.iter().find(|v| !(v.is_finite() && **v > 0.0)) {
-            return Err(FdmError::InvalidParameter { what: format!("conductivity must be positive, got {bad}") });
+            return Err(FdmError::InvalidParameter {
+                what: format!("conductivity must be positive, got {bad}"),
+            });
         }
         self.conductivity = k;
         Ok(self)
@@ -126,7 +170,9 @@ impl HeatProblem {
             });
         }
         if q.iter().any(|v| !v.is_finite()) {
-            return Err(FdmError::InvalidParameter { what: "volumetric power must be finite".into() });
+            return Err(FdmError::InvalidParameter {
+                what: "volumetric power must be finite".into(),
+            });
         }
         self.volumetric_power = q;
         Ok(self)
@@ -140,7 +186,11 @@ impl HeatProblem {
     ///   not match the face grid.
     /// * [`FdmError::InvalidParameter`] for a non-positive convection
     ///   coefficient or non-finite parameters.
-    pub fn set_boundary(&mut self, face: Face, bc: BoundaryCondition) -> Result<&mut Self, FdmError> {
+    pub fn set_boundary(
+        &mut self,
+        face: Face,
+        bc: BoundaryCondition,
+    ) -> Result<&mut Self, FdmError> {
         match &bc {
             BoundaryCondition::Adiabatic => {}
             BoundaryCondition::Dirichlet { temperature } => {
@@ -154,7 +204,11 @@ impl HeatProblem {
                 if let Some(shape) = flux.shape() {
                     let expected = self.face_shape(face);
                     if shape != expected {
-                        return Err(FdmError::BoundaryMismatch { face: face.name(), expected, actual: shape });
+                        return Err(FdmError::BoundaryMismatch {
+                            face: face.name(),
+                            expected,
+                            actual: shape,
+                        });
                     }
                 }
             }
@@ -283,9 +337,12 @@ impl HeatProblem {
                 for i in 0..nx {
                     let idx = g.index(i, j, k);
                     let neighbours = [
-                        (i + 1 < nx).then(|| (g.index(i + 1, j, k), cv(j, ny, dy) * cv(k, nz, dz) / dx)),
-                        (j + 1 < ny).then(|| (g.index(i, j + 1, k), cv(i, nx, dx) * cv(k, nz, dz) / dy)),
-                        (k + 1 < nz).then(|| (g.index(i, j, k + 1), cv(i, nx, dx) * cv(j, ny, dy) / dz)),
+                        (i + 1 < nx)
+                            .then(|| (g.index(i + 1, j, k), cv(j, ny, dy) * cv(k, nz, dz) / dx)),
+                        (j + 1 < ny)
+                            .then(|| (g.index(i, j + 1, k), cv(i, nx, dx) * cv(k, nz, dz) / dy)),
+                        (k + 1 < nz)
+                            .then(|| (g.index(i, j, k + 1), cv(i, nx, dx) * cv(j, ny, dy) / dz)),
                     ];
                     for (nb, geom) in neighbours.into_iter().flatten() {
                         let k_face = harmonic_mean(self.conductivity[idx], self.conductivity[nb]);
@@ -330,31 +387,44 @@ impl HeatProblem {
     ///   temperature level (pure-Neumann problems are singular).
     /// * [`FdmError::SolveFailed`] if CG does not converge.
     pub fn solve(&self, options: SolveOptions) -> Result<Solution, FdmError> {
+        options.validate()?;
         let fixes_temperature = self.boundaries.iter().any(|bc| {
             matches!(bc, BoundaryCondition::Dirichlet { .. } | BoundaryCondition::Convection { .. })
         });
         if !fixes_temperature {
             return Err(FdmError::InvalidParameter {
-                what: "no dirichlet or convection boundary: the temperature level is undetermined".into(),
+                what: "no dirichlet or convection boundary: the temperature level is undetermined"
+                    .into(),
             });
         }
 
         let g = &self.grid;
         let n = g.node_count();
+        let assembly_span = telemetry::span("fdm.assemble");
         let Assembly { matrix, rhs, free_index, dirichlet } = self.assemble();
+        drop(assembly_span);
         if matrix.rows() == 0 {
             // Every node is pinned: the solution is the Dirichlet data itself.
             let temps: Vec<f64> = dirichlet.iter().map(|d| d.expect("all pinned")).collect();
-            return Ok(Solution::from_parts(*g, temps, 0, 0.0));
+            return Ok(Solution::from_parts(*g, temps, 0, 0.0, None));
         }
+        let solve_span = telemetry::span("fdm.solve");
         let pre = SsorPreconditioner::new(&matrix, options.ssor_omega)?;
         let cg = conjugate_gradient(
             &matrix,
             &rhs,
             None,
             &pre,
-            CgOptions { max_iterations: options.max_iterations, tolerance: options.tolerance },
+            CgOptions {
+                max_iterations: options.max_iterations,
+                tolerance: options.tolerance,
+                record_trace: options.record_cg_trace,
+            },
         )?;
+        drop(solve_span);
+        telemetry::gauge("fdm.cg.iterations", cg.iterations as f64);
+        telemetry::gauge("fdm.cg.relative_residual", cg.relative_residual);
+        telemetry::observe("fdm.cg.iterations.hist", cg.iterations as f64);
 
         let mut temps = vec![0.0; n];
         for idx in 0..n {
@@ -363,11 +433,12 @@ impl HeatProblem {
                 None => dirichlet[idx].expect("non-free nodes are dirichlet"),
             };
         }
-        Ok(Solution::from_parts(*g, temps, cg.iterations, cg.relative_residual))
+        Ok(Solution::from_parts(*g, temps, cg.iterations, cg.relative_residual, cg.trace))
     }
 
     /// Adds one symmetric conduction link of conductance `gcond` between
     /// nodes `a` and `b`, folding Dirichlet values into the RHS.
+    #[allow(clippy::too_many_arguments)] // the full assembly context is the argument list
     fn add_link(
         &self,
         coo: &mut CooMatrix,
@@ -415,14 +486,56 @@ mod tests {
     #[test]
     fn pure_neumann_is_rejected() {
         let problem = HeatProblem::new(paper_grid(), 0.1);
-        assert!(matches!(problem.solve(SolveOptions::default()), Err(FdmError::InvalidParameter { .. })));
+        assert!(matches!(
+            problem.solve(SolveOptions::default()),
+            Err(FdmError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_solve_options_are_rejected() {
+        for bad in [
+            SolveOptions { tolerance: 0.0, ..Default::default() },
+            SolveOptions { tolerance: -1e-10, ..Default::default() },
+            SolveOptions { tolerance: f64::NAN, ..Default::default() },
+            SolveOptions { max_iterations: 0, ..Default::default() },
+            SolveOptions { ssor_omega: 0.0, ..Default::default() },
+            SolveOptions { ssor_omega: 2.0, ..Default::default() },
+        ] {
+            assert!(matches!(bad.validate(), Err(FdmError::InvalidParameter { .. })), "{bad:?}");
+        }
+        assert!(SolveOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn cg_trace_passes_through_to_solution() {
+        let mut problem =
+            HeatProblem::new(StructuredGrid::new(5, 5, 5, 1.0, 1.0, 1.0).unwrap(), 1.0);
+        problem
+            .set_boundary(Face::ZMin, BoundaryCondition::Dirichlet { temperature: 300.0 })
+            .unwrap();
+        problem
+            .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(100.0) })
+            .unwrap();
+
+        let plain = problem.solve(SolveOptions::default()).unwrap();
+        assert!(plain.cg_trace().is_none());
+
+        let traced =
+            problem.solve(SolveOptions { record_cg_trace: true, ..Default::default() }).unwrap();
+        let trace = traced.cg_trace().expect("trace requested");
+        assert_eq!(trace.residuals.len(), traced.iterations() + 1);
+        assert_eq!(*trace.residuals.last().unwrap(), traced.relative_residual());
     }
 
     #[test]
     fn uniform_dirichlet_gives_uniform_field() {
-        let mut problem = HeatProblem::new(StructuredGrid::new(5, 5, 5, 1.0, 1.0, 1.0).unwrap(), 1.0);
+        let mut problem =
+            HeatProblem::new(StructuredGrid::new(5, 5, 5, 1.0, 1.0, 1.0).unwrap(), 1.0);
         for face in Face::ALL {
-            problem.set_boundary(face, BoundaryCondition::Dirichlet { temperature: 350.0 }).unwrap();
+            problem
+                .set_boundary(face, BoundaryCondition::Dirichlet { temperature: 350.0 })
+                .unwrap();
         }
         let sol = problem.solve(SolveOptions::default()).unwrap();
         for &t in sol.temperatures() {
@@ -439,8 +552,12 @@ mod tests {
         let t_amb = 298.15;
         let grid = paper_grid();
         let mut problem = HeatProblem::new(grid, k);
-        problem.set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(q) }).unwrap();
-        problem.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: h, ambient: t_amb }).unwrap();
+        problem
+            .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(q) })
+            .unwrap();
+        problem
+            .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: h, ambient: t_amb })
+            .unwrap();
         let sol = problem.solve(SolveOptions::default()).unwrap();
 
         for kk in 0..11 {
@@ -463,9 +580,14 @@ mod tests {
         flux_field[(1, 7)] = 2500.0;
         let mut problem = HeatProblem::new(grid, 0.1);
         problem
-            .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Field(flux_field.clone()) })
+            .set_boundary(
+                Face::ZMax,
+                BoundaryCondition::HeatFlux { flux: FluxMap::Field(flux_field.clone()) },
+            )
             .unwrap();
-        problem.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 750.0, ambient: 300.0 }).unwrap();
+        problem
+            .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 750.0, ambient: 300.0 })
+            .unwrap();
         let sol = problem.solve(SolveOptions { tolerance: 1e-12, ..Default::default() }).unwrap();
 
         let mut heat_in = 0.0;
@@ -499,8 +621,12 @@ mod tests {
         let t_amb = 298.15;
         let mut problem = HeatProblem::new(grid, 1.0);
         problem.set_conductivity_field(k).unwrap();
-        problem.set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(q) }).unwrap();
-        problem.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: h, ambient: t_amb }).unwrap();
+        problem
+            .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(q) })
+            .unwrap();
+        problem
+            .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: h, ambient: t_amb })
+            .unwrap();
         let sol = problem.solve(SolveOptions { tolerance: 1e-12, ..Default::default() }).unwrap();
 
         let t_bottom = sol.at(2, 2, 0);
@@ -532,8 +658,12 @@ mod tests {
         }
         let mut problem = HeatProblem::new(grid, 0.1);
         problem.set_volumetric_power(q).unwrap();
-        problem.set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 }).unwrap();
-        problem.set_boundary(Face::ZMax, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 }).unwrap();
+        problem
+            .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
+            .unwrap();
+        problem
+            .set_boundary(Face::ZMax, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
+            .unwrap();
         let sol = problem.solve(SolveOptions::default()).unwrap();
         assert!(sol.max_temperature() > 300.0);
         // Hottest plane should be the powered layer.
@@ -546,8 +676,12 @@ mod tests {
         // With no sources, temperatures must lie between the boundary data.
         let grid = StructuredGrid::new(6, 6, 6, 1.0, 1.0, 1.0).unwrap();
         let mut problem = HeatProblem::new(grid, 2.0);
-        problem.set_boundary(Face::XMin, BoundaryCondition::Dirichlet { temperature: 300.0 }).unwrap();
-        problem.set_boundary(Face::XMax, BoundaryCondition::Dirichlet { temperature: 400.0 }).unwrap();
+        problem
+            .set_boundary(Face::XMin, BoundaryCondition::Dirichlet { temperature: 300.0 })
+            .unwrap();
+        problem
+            .set_boundary(Face::XMax, BoundaryCondition::Dirichlet { temperature: 400.0 })
+            .unwrap();
         let sol = problem.solve(SolveOptions::default()).unwrap();
         assert!(sol.min_temperature() >= 300.0 - 1e-9);
         assert!(sol.max_temperature() <= 400.0 + 1e-9);
@@ -562,10 +696,22 @@ mod tests {
     fn field_validation() {
         let grid = StructuredGrid::new(3, 3, 3, 1.0, 1.0, 1.0).unwrap();
         let mut p = HeatProblem::new(grid, 1.0);
-        assert!(matches!(p.set_conductivity_field(vec![1.0; 5]), Err(FdmError::FieldMismatch { .. })));
-        assert!(matches!(p.set_conductivity_field(vec![-1.0; 27]), Err(FdmError::InvalidParameter { .. })));
-        assert!(matches!(p.set_volumetric_power(vec![0.0; 4]), Err(FdmError::FieldMismatch { .. })));
-        assert!(matches!(p.set_volumetric_power(vec![f64::NAN; 27]), Err(FdmError::InvalidParameter { .. })));
+        assert!(matches!(
+            p.set_conductivity_field(vec![1.0; 5]),
+            Err(FdmError::FieldMismatch { .. })
+        ));
+        assert!(matches!(
+            p.set_conductivity_field(vec![-1.0; 27]),
+            Err(FdmError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            p.set_volumetric_power(vec![0.0; 4]),
+            Err(FdmError::FieldMismatch { .. })
+        ));
+        assert!(matches!(
+            p.set_volumetric_power(vec![f64::NAN; 27]),
+            Err(FdmError::InvalidParameter { .. })
+        ));
         assert!(matches!(
             p.set_boundary(Face::ZMax, BoundaryCondition::Convection { htc: -5.0, ambient: 300.0 }),
             Err(FdmError::InvalidParameter { .. })

@@ -1,4 +1,4 @@
-use deepoheat_linalg::Matrix;
+use deepoheat_linalg::{CgTrace, Matrix};
 
 use crate::{Face, StructuredGrid};
 
@@ -10,6 +10,7 @@ pub struct Solution {
     temperatures: Vec<f64>,
     iterations: usize,
     relative_residual: f64,
+    cg_trace: Option<CgTrace>,
 }
 
 impl Solution {
@@ -18,9 +19,10 @@ impl Solution {
         temperatures: Vec<f64>,
         iterations: usize,
         relative_residual: f64,
+        cg_trace: Option<CgTrace>,
     ) -> Self {
         debug_assert_eq!(temperatures.len(), grid.node_count());
-        Solution { grid, temperatures, iterations, relative_residual }
+        Solution { grid, temperatures, iterations, relative_residual, cg_trace }
     }
 
     /// The grid the solution lives on.
@@ -47,6 +49,12 @@ impl Solution {
     /// Final relative residual of the linear solve.
     pub fn relative_residual(&self) -> f64 {
         self.relative_residual
+    }
+
+    /// Per-iteration CG convergence trace, present iff the solve ran with
+    /// [`crate::SolveOptions::record_cg_trace`] set.
+    pub fn cg_trace(&self) -> Option<&CgTrace> {
+        self.cg_trace.as_ref()
     }
 
     /// Temperature at vertex `(i, j, k)`.
@@ -149,7 +157,7 @@ mod tests {
             let (i, j, k) = grid.coordinates(idx);
             temps[idx] = 300.0 + 10.0 * i as f64 + 20.0 * j as f64 + 30.0 * k as f64;
         }
-        Solution::from_parts(grid, temps, 7, 1e-11)
+        Solution::from_parts(grid, temps, 7, 1e-11, None)
     }
 
     #[test]
@@ -192,7 +200,9 @@ mod tests {
         // The test field is affine, so trilinear interpolation reproduces
         // it exactly anywhere in the domain (grid spacing is 0.5).
         let s = linear_solution();
-        for &(x, y, z) in &[(0.0, 0.0, 0.0), (0.25, 0.6, 0.9), (1.0, 1.0, 1.0), (0.123, 0.456, 0.789)] {
+        for &(x, y, z) in
+            &[(0.0, 0.0, 0.0), (0.25, 0.6, 0.9), (1.0, 1.0, 1.0), (0.123, 0.456, 0.789)]
+        {
             let expected = 300.0 + 20.0 * x + 40.0 * y + 60.0 * z;
             assert!((s.sample(x, y, z) - expected).abs() < 1e-12, "at ({x},{y},{z})");
         }

@@ -15,6 +15,7 @@
 //! that, plus the lumped-capacitance analytic decay.
 
 use deepoheat_linalg::{conjugate_gradient, CgOptions, CooMatrix, CsrMatrix, SsorPreconditioner};
+use deepoheat_telemetry as telemetry;
 
 use crate::{FdmError, HeatProblem, Solution, SolveOptions, StructuredGrid};
 
@@ -78,6 +79,7 @@ impl TransientSolution {
             self.fields.last().expect("at least one step").clone(),
             0,
             0.0,
+            None,
         )
     }
 
@@ -106,11 +108,16 @@ impl HeatProblem {
         initial_temperature: f64,
         options: TransientOptions,
     ) -> Result<TransientSolution, FdmError> {
+        options.solver.validate()?;
         if !(options.dt.is_finite() && options.dt > 0.0) {
-            return Err(FdmError::InvalidParameter { what: format!("dt must be positive, got {}", options.dt) });
+            return Err(FdmError::InvalidParameter {
+                what: format!("dt must be positive, got {}", options.dt),
+            });
         }
         if options.steps == 0 {
-            return Err(FdmError::InvalidParameter { what: "transient run needs at least one step".into() });
+            return Err(FdmError::InvalidParameter {
+                what: "transient run needs at least one step".into(),
+            });
         }
         if !(options.density > 0.0 && options.heat_capacity > 0.0) {
             return Err(FdmError::InvalidParameter {
@@ -121,7 +128,9 @@ impl HeatProblem {
             });
         }
         if !initial_temperature.is_finite() {
-            return Err(FdmError::InvalidParameter { what: "initial temperature must be finite".into() });
+            return Err(FdmError::InvalidParameter {
+                what: "initial temperature must be finite".into(),
+            });
         }
 
         let grid = *self.grid();
@@ -144,6 +153,7 @@ impl HeatProblem {
         let cg_options = CgOptions {
             max_iterations: options.solver.max_iterations,
             tolerance: options.solver.tolerance,
+            record_trace: false,
         };
 
         let mut temps: Vec<f64> = (0..grid.node_count())
@@ -161,7 +171,11 @@ impl HeatProblem {
                 .zip(&assembly.rhs)
                 .map(|((t, c), b)| c * t + b)
                 .collect();
+            let step_span = telemetry::span("fdm.transient.step");
             let cg = conjugate_gradient(&stepping, &rhs, Some(&free_state), &pre, cg_options)?;
+            drop(step_span);
+            telemetry::counter("fdm.transient.steps.count", 1);
+            telemetry::counter("fdm.transient.cg_iterations.count", cg.iterations as u64);
             free_state = cg.solution;
             for idx in 0..grid.node_count() {
                 if let Some(row) = assembly.free_index[idx] {
@@ -200,7 +214,10 @@ mod tests {
         let grid = StructuredGrid::new(7, 7, 5, 1e-3, 1e-3, 0.5e-3).unwrap();
         let mut problem = HeatProblem::new(grid, 0.1);
         problem
-            .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(2500.0) })
+            .set_boundary(
+                Face::ZMax,
+                BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(2500.0) },
+            )
             .unwrap();
         problem
             .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
@@ -240,7 +257,8 @@ mod tests {
     #[test]
     fn heating_is_monotone_from_cold_start() {
         let problem = heated_chip();
-        let transient = problem.solve_transient(298.15, TransientOptions::silicon(1e-3, 20)).unwrap();
+        let transient =
+            problem.solve_transient(298.15, TransientOptions::silicon(1e-3, 20)).unwrap();
         let probe = transient.probe(3, 3, 4);
         for pair in probe.windows(2) {
             assert!(pair[1] >= pair[0] - 1e-9, "non-monotone heating: {pair:?}");
@@ -306,8 +324,12 @@ mod tests {
     fn dirichlet_nodes_stay_pinned_throughout() {
         let grid = StructuredGrid::new(5, 5, 5, 1.0, 1.0, 1.0).unwrap();
         let mut problem = HeatProblem::new(grid, 1.0);
-        problem.set_boundary(Face::XMin, BoundaryCondition::Dirichlet { temperature: 400.0 }).unwrap();
-        problem.set_boundary(Face::XMax, BoundaryCondition::Dirichlet { temperature: 300.0 }).unwrap();
+        problem
+            .set_boundary(Face::XMin, BoundaryCondition::Dirichlet { temperature: 400.0 })
+            .unwrap();
+        problem
+            .set_boundary(Face::XMax, BoundaryCondition::Dirichlet { temperature: 300.0 })
+            .unwrap();
         let transient = problem.solve_transient(300.0, TransientOptions::silicon(10.0, 5)).unwrap();
         for field in transient.fields() {
             assert_eq!(field[grid.index(0, 2, 2)], 400.0);

@@ -15,7 +15,10 @@ fn paper_like_problem(flux: &Matrix, htc: f64) -> HeatProblem {
     let grid = StructuredGrid::new(n, n, 5, 1e-3, 1e-3, 0.5e-3).expect("grid");
     let mut problem = HeatProblem::new(grid, 0.1);
     problem
-        .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Field(flux.clone()) })
+        .set_boundary(
+            Face::ZMax,
+            BoundaryCondition::HeatFlux { flux: FluxMap::Field(flux.clone()) },
+        )
         .expect("flux bc");
     problem
         .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc, ambient: 298.15 })

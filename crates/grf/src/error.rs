@@ -29,7 +29,9 @@ impl fmt::Display for GrfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GrfError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
-            GrfError::InvalidConfig { what } => write!(f, "invalid random-field configuration: {what}"),
+            GrfError::InvalidConfig { what } => {
+                write!(f, "invalid random-field configuration: {what}")
+            }
             GrfError::BlockOutOfBounds { block, map } => write!(
                 f,
                 "block (r={}, c={}, h={}, w={}) exceeds the {}x{} tile map",

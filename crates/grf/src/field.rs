@@ -85,7 +85,9 @@ impl GaussianRandomField {
     /// is invalid, and [`GrfError::Linalg`] if factorisation fails.
     pub fn on_unit_grid(n: usize, length_scale: f64) -> Result<Self, GrfError> {
         if n < 2 {
-            return Err(GrfError::InvalidConfig { what: format!("grid side must be >= 2, got {n}") });
+            return Err(GrfError::InvalidConfig {
+                what: format!("grid side must be >= 2, got {n}"),
+            });
         }
         let step = 1.0 / (n - 1) as f64;
         let mut points = Vec::with_capacity(n * n);

@@ -46,7 +46,12 @@ impl GaussianRandomField3 {
     /// Returns [`GrfError::InvalidConfig`] for dimensions below 2 or an
     /// invalid length scale, and [`GrfError::Linalg`] if the covariance
     /// cannot be factored.
-    pub fn on_unit_grid(nx: usize, ny: usize, nz: usize, length_scale: f64) -> Result<Self, GrfError> {
+    pub fn on_unit_grid(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        length_scale: f64,
+    ) -> Result<Self, GrfError> {
         if nx < 2 || ny < 2 || nz < 2 {
             return Err(GrfError::InvalidConfig {
                 what: format!("grid must be at least 2x2x2, got {nx}x{ny}x{nz}"),
@@ -62,11 +67,7 @@ impl GaussianRandomField3 {
             let i = idx % nx;
             let j = (idx / nx) % ny;
             let k = idx / (nx * ny);
-            [
-                i as f64 / (nx - 1) as f64,
-                j as f64 / (ny - 1) as f64,
-                k as f64 / (nz - 1) as f64,
-            ]
+            [i as f64 / (nx - 1) as f64, j as f64 / (ny - 1) as f64, k as f64 / (nz - 1) as f64]
         };
         let two_l2 = 2.0 * length_scale * length_scale;
         let mut cov = Matrix::from_fn(n, n, |a, b| {
@@ -170,7 +171,10 @@ mod tests {
         for _ in 0..5 {
             let s = grf.sample_rectified(&mut rng).unwrap();
             assert!(s.iter().all(|&v| v >= 0.0));
-            assert!(s.iter().any(|&v| v > 0.0), "all-zero rectified sample is astronomically unlikely");
+            assert!(
+                s.iter().any(|&v| v > 0.0),
+                "all-zero rectified sample is astronomically unlikely"
+            );
         }
     }
 

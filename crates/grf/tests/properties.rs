@@ -1,7 +1,9 @@
 //! Property-based tests of random-field sampling and power-map
 //! interpolation.
 
-use deepoheat_grf::{bilinear_sample, paper_test_suite, tiles_to_grid, GaussianRandomField, TilePowerMap};
+use deepoheat_grf::{
+    bilinear_sample, paper_test_suite, tiles_to_grid, GaussianRandomField, TilePowerMap,
+};
 use deepoheat_linalg::Matrix;
 use proptest::prelude::*;
 use rand::SeedableRng;

@@ -140,12 +140,74 @@ pub struct CgOptions {
     pub max_iterations: usize,
     /// Relative residual tolerance `‖r‖ / ‖b‖` at which to declare success.
     pub tolerance: f64,
+    /// When `true`, the solver records a per-iteration [`CgTrace`] into
+    /// [`CgOutcome::trace`]. Off by default: tracing adds a clock read and
+    /// a `Vec` push per iteration.
+    pub record_trace: bool,
 }
 
 impl Default for CgOptions {
     fn default() -> Self {
-        CgOptions { max_iterations: 10_000, tolerance: 1e-10 }
+        CgOptions { max_iterations: 10_000, tolerance: 1e-10, record_trace: false }
     }
+}
+
+impl CgOptions {
+    /// Builds validated options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimension`] under the same conditions
+    /// as [`CgOptions::validate`].
+    pub fn new(max_iterations: usize, tolerance: f64) -> Result<Self, LinalgError> {
+        let options = CgOptions { max_iterations, tolerance, record_trace: false };
+        options.validate()?;
+        Ok(options)
+    }
+
+    /// Enables per-iteration tracing (see [`CgTrace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Checks that the options describe a solvable configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimension`] if `max_iterations` is zero
+    /// or `tolerance` is not a strictly positive finite number. A zero or
+    /// negative tolerance can never be met by floating-point residuals, so
+    /// it is rejected up front instead of burning `max_iterations` first.
+    pub fn validate(&self) -> Result<(), LinalgError> {
+        if self.max_iterations == 0 {
+            return Err(LinalgError::InvalidDimension {
+                op: "conjugate_gradient",
+                what: "max_iterations must be at least 1".to_string(),
+            });
+        }
+        if self.tolerance <= 0.0 || !self.tolerance.is_finite() {
+            return Err(LinalgError::InvalidDimension {
+                op: "conjugate_gradient",
+                what: format!("tolerance must be a positive finite number, got {}", self.tolerance),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-iteration convergence trace recorded when
+/// [`CgOptions::record_trace`] is set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CgTrace {
+    /// Relative residual `‖r‖ / ‖b‖` observed at the top of each iteration,
+    /// ending with the accepted final residual — the last entry always
+    /// equals [`CgOutcome::relative_residual`].
+    pub residuals: Vec<f64>,
+    /// Total wall time spent inside [`Preconditioner::apply`].
+    pub preconditioner_seconds: f64,
+    /// Total wall time spent in sparse matrix–vector products.
+    pub spmv_seconds: f64,
 }
 
 /// Diagnostics returned by a successful [`conjugate_gradient`] run.
@@ -157,6 +219,8 @@ pub struct CgOutcome {
     pub iterations: usize,
     /// Final relative residual `‖b - A x‖ / ‖b‖`.
     pub relative_residual: f64,
+    /// Convergence trace, present iff [`CgOptions::record_trace`] was set.
+    pub trace: Option<CgTrace>,
 }
 
 /// Solves `A x = b` for a symmetric positive-definite [`CsrMatrix`] using
@@ -199,6 +263,7 @@ pub fn conjugate_gradient<P: Preconditioner>(
     preconditioner: &P,
     options: CgOptions,
 ) -> Result<CgOutcome, LinalgError> {
+    options.validate()?;
     let n = a.rows();
     if a.cols() != n {
         return Err(LinalgError::InvalidDimension {
@@ -207,11 +272,24 @@ pub fn conjugate_gradient<P: Preconditioner>(
         });
     }
     if b.len() != n {
-        return Err(LinalgError::ShapeMismatch { op: "conjugate_gradient", lhs: a.shape(), rhs: (b.len(), 1) });
+        return Err(LinalgError::ShapeMismatch {
+            op: "conjugate_gradient",
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
     }
+    let mut trace = if options.record_trace { Some(CgTrace::default()) } else { None };
     let b_norm = norm2(b);
     if b_norm == 0.0 {
-        return Ok(CgOutcome { solution: vec![0.0; n], iterations: 0, relative_residual: 0.0 });
+        if let Some(trace) = trace.as_mut() {
+            trace.residuals.push(0.0);
+        }
+        return Ok(CgOutcome {
+            solution: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            trace,
+        });
     }
 
     let mut x = match x0 {
@@ -228,6 +306,18 @@ pub fn conjugate_gradient<P: Preconditioner>(
         None => vec![0.0; n],
     };
 
+    // Timed wrappers are only consulted when tracing: the extra clock reads
+    // would otherwise dominate small solves.
+    let timed = |trace_seconds: Option<&mut f64>, f: &mut dyn FnMut()| {
+        if let Some(acc) = trace_seconds {
+            let start = std::time::Instant::now();
+            f();
+            *acc += start.elapsed().as_secs_f64();
+        } else {
+            f();
+        }
+    };
+
     // r = b - A x
     let mut r = vec![0.0; n];
     a.spmv_into(&x, &mut r)?;
@@ -236,17 +326,26 @@ pub fn conjugate_gradient<P: Preconditioner>(
     }
 
     let mut z = vec![0.0; n];
-    preconditioner.apply(&r, &mut z);
+    timed(trace.as_mut().map(|t| &mut t.preconditioner_seconds), &mut || {
+        preconditioner.apply(&r, &mut z)
+    });
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
     let mut ap = vec![0.0; n];
 
     for iter in 0..options.max_iterations {
         let res = norm2(&r) / b_norm;
-        if res <= options.tolerance {
-            return Ok(CgOutcome { solution: x, iterations: iter, relative_residual: res });
+        if let Some(trace) = trace.as_mut() {
+            trace.residuals.push(res);
         }
-        a.spmv_into(&p, &mut ap)?;
+        if res <= options.tolerance {
+            return Ok(CgOutcome { solution: x, iterations: iter, relative_residual: res, trace });
+        }
+        let mut spmv_result = Ok(());
+        timed(trace.as_mut().map(|t| &mut t.spmv_seconds), &mut || {
+            spmv_result = a.spmv_into(&p, &mut ap)
+        });
+        spmv_result?;
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Matrix is not SPD along this direction — report non-convergence
@@ -256,7 +355,9 @@ pub fn conjugate_gradient<P: Preconditioner>(
         let alpha = rz / pap;
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);
-        preconditioner.apply(&r, &mut z);
+        timed(trace.as_mut().map(|t| &mut t.preconditioner_seconds), &mut || {
+            preconditioner.apply(&r, &mut z)
+        });
         let rz_new = dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
@@ -266,8 +367,16 @@ pub fn conjugate_gradient<P: Preconditioner>(
     }
 
     let res = norm2(&r) / b_norm;
+    if let Some(trace) = trace.as_mut() {
+        trace.residuals.push(res);
+    }
     if res <= options.tolerance {
-        Ok(CgOutcome { solution: x, iterations: options.max_iterations, relative_residual: res })
+        Ok(CgOutcome {
+            solution: x,
+            iterations: options.max_iterations,
+            relative_residual: res,
+            trace,
+        })
     } else {
         Err(LinalgError::SolverDidNotConverge { iterations: options.max_iterations, residual: res })
     }
@@ -296,7 +405,7 @@ mod tests {
         let a = laplacian_1d(n);
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
         let b = a.spmv(&x_true).unwrap();
-        let opts = CgOptions { max_iterations: 1000, tolerance: 1e-12 };
+        let opts = CgOptions { max_iterations: 1000, tolerance: 1e-12, ..CgOptions::default() };
 
         let id = IdentityPreconditioner;
         let jacobi = JacobiPreconditioner::new(&a).unwrap();
@@ -318,11 +427,16 @@ mod tests {
         let n = 200;
         let a = laplacian_1d(n);
         let b = vec![1.0; n];
-        let opts = CgOptions { max_iterations: 10_000, tolerance: 1e-10 };
+        let opts = CgOptions { max_iterations: 10_000, tolerance: 1e-10, ..CgOptions::default() };
         let plain = conjugate_gradient(&a, &b, None, &IdentityPreconditioner, opts).unwrap();
         let ssor = SsorPreconditioner::new(&a, 1.5).unwrap();
         let pre = conjugate_gradient(&a, &b, None, &ssor, opts).unwrap();
-        assert!(pre.iterations < plain.iterations, "ssor {} !< plain {}", pre.iterations, plain.iterations);
+        assert!(
+            pre.iterations < plain.iterations,
+            "ssor {} !< plain {}",
+            pre.iterations,
+            plain.iterations
+        );
     }
 
     #[test]
@@ -330,7 +444,7 @@ mod tests {
         let n = 100;
         let a = laplacian_1d(n);
         let b = vec![1.0; n];
-        let opts = CgOptions { max_iterations: 10_000, tolerance: 1e-10 };
+        let opts = CgOptions { max_iterations: 10_000, tolerance: 1e-10, ..CgOptions::default() };
         let jacobi = JacobiPreconditioner::new(&a).unwrap();
         let cold = conjugate_gradient(&a, &b, None, &jacobi, opts).unwrap();
         let warm = conjugate_gradient(&a, &b, Some(&cold.solution), &jacobi, opts).unwrap();
@@ -340,7 +454,9 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero_solution() {
         let a = laplacian_1d(5);
-        let out = conjugate_gradient(&a, &[0.0; 5], None, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        let out =
+            conjugate_gradient(&a, &[0.0; 5], None, &IdentityPreconditioner, CgOptions::default())
+                .unwrap();
         assert_eq!(out.solution, vec![0.0; 5]);
         assert_eq!(out.iterations, 0);
     }
@@ -348,9 +464,16 @@ mod tests {
     #[test]
     fn errors_on_shape_mismatch() {
         let a = laplacian_1d(5);
-        let err = conjugate_gradient(&a, &[1.0; 4], None, &IdentityPreconditioner, CgOptions::default());
+        let err =
+            conjugate_gradient(&a, &[1.0; 4], None, &IdentityPreconditioner, CgOptions::default());
         assert!(matches!(err, Err(LinalgError::ShapeMismatch { .. })));
-        let err = conjugate_gradient(&a, &[1.0; 5], Some(&[0.0; 4]), &IdentityPreconditioner, CgOptions::default());
+        let err = conjugate_gradient(
+            &a,
+            &[1.0; 5],
+            Some(&[0.0; 4]),
+            &IdentityPreconditioner,
+            CgOptions::default(),
+        );
         assert!(matches!(err, Err(LinalgError::ShapeMismatch { .. })));
     }
 
@@ -358,7 +481,7 @@ mod tests {
     fn reports_non_convergence() {
         let a = laplacian_1d(100);
         let b = vec![1.0; 100];
-        let opts = CgOptions { max_iterations: 2, tolerance: 1e-14 };
+        let opts = CgOptions { max_iterations: 2, tolerance: 1e-14, ..CgOptions::default() };
         let err = conjugate_gradient(&a, &b, None, &IdentityPreconditioner, opts);
         assert!(matches!(err, Err(LinalgError::SolverDidNotConverge { iterations: 2, .. })));
     }
@@ -368,7 +491,67 @@ mod tests {
         let mut coo = CooMatrix::new(2, 2);
         coo.push(0, 0, 1.0);
         let a = coo.to_csr();
-        assert!(matches!(JacobiPreconditioner::new(&a), Err(LinalgError::NotPositiveDefinite { .. })));
+        assert!(matches!(
+            JacobiPreconditioner::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn options_validation_rejects_degenerate_configs() {
+        assert!(CgOptions::new(0, 1e-10).is_err());
+        assert!(CgOptions::new(100, 0.0).is_err());
+        assert!(CgOptions::new(100, -1.0).is_err());
+        assert!(CgOptions::new(100, f64::NAN).is_err());
+        assert!(CgOptions::new(100, f64::INFINITY).is_err());
+        assert!(CgOptions::new(100, 1e-10).is_ok());
+
+        // The solver itself refuses invalid options up front.
+        let a = laplacian_1d(4);
+        let bad = CgOptions { max_iterations: 0, tolerance: 1e-10, record_trace: false };
+        let err = conjugate_gradient(&a, &[1.0; 4], None, &IdentityPreconditioner, bad);
+        assert!(matches!(err, Err(LinalgError::InvalidDimension { .. })));
+    }
+
+    #[test]
+    fn trace_records_monotone_history_ending_at_final_residual() {
+        let n = 80;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let opts = CgOptions::new(10_000, 1e-10).unwrap().with_trace();
+        let jacobi = JacobiPreconditioner::new(&a).unwrap();
+        let out = conjugate_gradient(&a, &b, None, &jacobi, opts).unwrap();
+
+        let trace = out.trace.as_ref().expect("record_trace was set");
+        // One residual per iteration plus the accepted final value.
+        assert_eq!(trace.residuals.len(), out.iterations + 1);
+        assert_eq!(*trace.residuals.last().unwrap(), out.relative_residual);
+        assert_eq!(trace.residuals[0], 1.0); // zero initial guess: ‖b‖/‖b‖
+        assert!(trace.preconditioner_seconds >= 0.0);
+        assert!(trace.spmv_seconds >= 0.0);
+
+        // Tracing must not change the arithmetic.
+        let untraced =
+            conjugate_gradient(&a, &b, None, &jacobi, CgOptions::new(10_000, 1e-10).unwrap())
+                .unwrap();
+        assert_eq!(untraced.solution, out.solution);
+        assert_eq!(untraced.iterations, out.iterations);
+        assert!(untraced.trace.is_none());
+    }
+
+    #[test]
+    fn trace_present_on_zero_rhs_and_warm_start_paths() {
+        let a = laplacian_1d(6);
+        let opts = CgOptions::default().with_trace();
+        let zero = conjugate_gradient(&a, &[0.0; 6], None, &IdentityPreconditioner, opts).unwrap();
+        assert_eq!(zero.trace.unwrap().residuals, vec![0.0]);
+
+        let b = vec![1.0; 6];
+        let jacobi = JacobiPreconditioner::new(&a).unwrap();
+        let solved = conjugate_gradient(&a, &b, None, &jacobi, opts).unwrap();
+        let warm = conjugate_gradient(&a, &b, Some(&solved.solution), &jacobi, opts).unwrap();
+        let trace = warm.trace.unwrap();
+        assert_eq!(*trace.residuals.last().unwrap(), warm.relative_residual);
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl Cholesky {
     pub fn l_times(&self, z: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if z.len() != n {
-            return Err(LinalgError::ShapeMismatch { op: "l_times", lhs: (n, n), rhs: (z.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                op: "l_times",
+                lhs: (n, n),
+                rhs: (z.len(), 1),
+            });
         }
         let mut out = vec![0.0; n];
         for i in 0..n {
@@ -111,7 +115,11 @@ impl Cholesky {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
-            return Err(LinalgError::ShapeMismatch { op: "cholesky solve", lhs: (n, n), rhs: (b.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
         }
         // Forward substitution: L y = b.
         let mut y = vec![0.0; n];

@@ -33,8 +33,8 @@ mod sparse;
 mod vector;
 
 pub use cg::{
-    conjugate_gradient, CgOptions, CgOutcome, IdentityPreconditioner, JacobiPreconditioner,
-    Preconditioner, SsorPreconditioner,
+    conjugate_gradient, CgOptions, CgOutcome, CgTrace, IdentityPreconditioner,
+    JacobiPreconditioner, Preconditioner, SsorPreconditioner,
 };
 pub use cholesky::Cholesky;
 pub use error::LinalgError;

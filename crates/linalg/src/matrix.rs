@@ -113,7 +113,10 @@ impl Matrix {
     /// ```
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
         if data.len() != rows * cols {
-            return Err(LinalgError::DataLengthMismatch { expected: rows * cols, actual: data.len() });
+            return Err(LinalgError::DataLengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -126,11 +129,17 @@ impl Matrix {
     /// rows have differing lengths.
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
         if rows.is_empty() {
-            return Err(LinalgError::InvalidDimension { op: "from_rows", what: "no rows provided".into() });
+            return Err(LinalgError::InvalidDimension {
+                op: "from_rows",
+                what: "no rows provided".into(),
+            });
         }
         let cols = rows[0].len();
         if cols == 0 {
-            return Err(LinalgError::InvalidDimension { op: "from_rows", what: "rows have zero length".into() });
+            return Err(LinalgError::InvalidDimension {
+                op: "from_rows",
+                what: "rows have zero length".into(),
+            });
         }
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, row) in rows.iter().enumerate() {
@@ -294,7 +303,8 @@ impl Matrix {
     }
 
     fn matmul_parallel(&self, rhs: &Matrix, out: &mut Matrix) {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(self.rows);
+        let threads =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(self.rows);
         let chunk = self.rows.div_ceil(threads);
         let k = self.cols;
         let n = rhs.cols;
@@ -348,7 +358,8 @@ impl Matrix {
             }
         };
         if work >= PARALLEL_MATMUL_THRESHOLD && self.rows >= 2 {
-            let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(self.rows);
+            let threads =
+                std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(self.rows);
             let chunk = self.rows.div_ceil(threads);
             let lhs_data = &self.data;
             let out_chunks: Vec<&mut [f64]> = out.data.chunks_mut(chunk * n).collect();
@@ -409,7 +420,11 @@ impl Matrix {
 
     /// Returns a new matrix with every element multiplied by `s`.
     pub fn scaled(&self, s: f64) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| v * s).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v * s).collect(),
+        }
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -478,7 +493,11 @@ impl Matrix {
     /// Returns [`LinalgError::ShapeMismatch`] if the row counts differ.
     pub fn hcat(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
         if self.rows != rhs.rows {
-            return Err(LinalgError::ShapeMismatch { op: "hcat", lhs: self.shape(), rhs: rhs.shape() });
+            return Err(LinalgError::ShapeMismatch {
+                op: "hcat",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
         for r in 0..self.rows {
@@ -495,7 +514,11 @@ impl Matrix {
     /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ.
     pub fn vcat(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
         if self.cols != rhs.cols {
-            return Err(LinalgError::ShapeMismatch { op: "vcat", lhs: self.shape(), rhs: rhs.shape() });
+            return Err(LinalgError::ShapeMismatch {
+                op: "vcat",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         let mut data = Vec::with_capacity(self.data.len() + rhs.data.len());
         data.extend_from_slice(&self.data);
@@ -534,7 +557,15 @@ impl Matrix {
 
 /// Serial row-range matmul kernel: `out[r0..r1] = lhs[r0..r1] * rhs`,
 /// with `lhs` given as a slice whose row 0 corresponds to `out` row 0.
-fn matmul_rows(lhs: &[f64], rhs: &[f64], out: &mut [f64], k: usize, n: usize, r0: usize, r1: usize) {
+fn matmul_rows(
+    lhs: &[f64],
+    rhs: &[f64],
+    out: &mut [f64],
+    k: usize,
+    n: usize,
+    r0: usize,
+    r1: usize,
+) {
     for r in r0..r1 {
         let a_row = &lhs[r * k..(r + 1) * k];
         let o_row = &mut out[r * n..(r + 1) * n];
@@ -554,14 +585,24 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -40,7 +40,12 @@ impl CooMatrix {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "coo entry ({row}, {col}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "coo entry ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.entries.push((row, col, value));
     }
 
@@ -57,7 +62,7 @@ impl CooMatrix {
     /// Converts to compressed sparse row form, summing duplicates.
     pub fn to_csr(&self) -> CsrMatrix {
         let mut entries = self.entries.clone();
-        entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        entries.sort_unstable_by_key(|e| (e.0, e.1));
         let mut col_idx: Vec<usize> = Vec::with_capacity(entries.len());
         let mut values: Vec<f64> = Vec::with_capacity(entries.len());
         let mut merged_rows: Vec<usize> = Vec::with_capacity(entries.len());
@@ -130,10 +135,16 @@ impl CsrMatrix {
             });
         }
         if row_ptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(LinalgError::InvalidDimension { op: "csr from_raw", what: "row_ptr is not monotone".into() });
+            return Err(LinalgError::InvalidDimension {
+                op: "csr from_raw",
+                what: "row_ptr is not monotone".into(),
+            });
         }
         if col_idx.iter().any(|&c| c >= cols) {
-            return Err(LinalgError::InvalidDimension { op: "csr from_raw", what: "column index out of range".into() });
+            return Err(LinalgError::InvalidDimension {
+                op: "csr from_raw",
+                what: "column index out of range".into(),
+            });
         }
         Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
     }
@@ -204,10 +215,18 @@ impl CsrMatrix {
     /// `y.len() != self.rows()`.
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
         if x.len() != self.cols {
-            return Err(LinalgError::ShapeMismatch { op: "spmv", lhs: self.shape(), rhs: (x.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmv",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
         }
         if y.len() != self.rows {
-            return Err(LinalgError::ShapeMismatch { op: "spmv", lhs: self.shape(), rhs: (y.len(), 1) });
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmv",
+                lhs: self.shape(),
+                rhs: (y.len(), 1),
+            });
         }
         for r in 0..self.rows {
             let start = self.row_ptr[r];

@@ -95,7 +95,7 @@ proptest! {
         let a = coo.to_csr();
         let b = a.spmv(&x).unwrap();
         let pre = JacobiPreconditioner::new(&a).unwrap();
-        let out = conjugate_gradient(&a, &b, None, &pre, CgOptions { max_iterations: 2000, tolerance: 1e-12 }).unwrap();
+        let out = conjugate_gradient(&a, &b, None, &pre, CgOptions { max_iterations: 2000, tolerance: 1e-12, ..CgOptions::default() }).unwrap();
         for (s, t) in out.solution.iter().zip(&x) {
             prop_assert!((s - t).abs() < 1e-6, "{s} vs {t}");
         }

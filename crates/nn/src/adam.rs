@@ -1,5 +1,6 @@
 use deepoheat_autodiff::Gradients;
 use deepoheat_linalg::Matrix;
+use deepoheat_telemetry as telemetry;
 
 use crate::{BoundParameters, LrSchedule, NnError, Parameterized};
 
@@ -75,18 +76,37 @@ impl Adam {
     /// (or differ from an earlier step's), and
     /// [`NnError::InvalidArchitecture`] if a gradient's shape does not
     /// match its parameter.
-    pub fn step_slices(&mut self, parameters: &mut [&mut Matrix], gradients: &[&Matrix]) -> Result<(), NnError> {
+    pub fn step_slices(
+        &mut self,
+        parameters: &mut [&mut Matrix],
+        gradients: &[&Matrix],
+    ) -> Result<(), NnError> {
         if parameters.len() != gradients.len() {
-            return Err(NnError::ParameterMismatch { model: parameters.len(), supplied: gradients.len() });
+            return Err(NnError::ParameterMismatch {
+                model: parameters.len(),
+                supplied: gradients.len(),
+            });
         }
         if self.first_moment.is_empty() {
-            self.first_moment = parameters.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.first_moment =
+                parameters.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
             self.second_moment = self.first_moment.clone();
         } else if self.first_moment.len() != parameters.len() {
-            return Err(NnError::ParameterMismatch { model: self.first_moment.len(), supplied: parameters.len() });
+            return Err(NnError::ParameterMismatch {
+                model: self.first_moment.len(),
+                supplied: parameters.len(),
+            });
         }
 
         let lr = self.config.schedule.learning_rate(self.step);
+        if telemetry::is_enabled() {
+            // The global L2 gradient norm is telemetry-only, so its O(n)
+            // pass is skipped entirely when no recorder is installed.
+            let sq_sum: f64 = gradients.iter().flat_map(|g| g.iter()).map(|g| g * g).sum();
+            telemetry::gauge("nn.adam.lr", lr);
+            telemetry::gauge("nn.adam.grad_norm", sq_sum.sqrt());
+            telemetry::counter("nn.adam.steps.count", 1);
+        }
         let t = (self.step + 1) as i32;
         let bc1 = 1.0 - self.config.beta1.powi(t);
         let bc2 = 1.0 - self.config.beta2.powi(t);
@@ -106,10 +126,8 @@ impl Adam {
             }
             let m = &mut self.first_moment[i];
             let v = &mut self.second_moment[i];
-            for ((p, g), (mi, vi)) in param
-                .iter_mut()
-                .zip(grad.iter())
-                .zip(m.iter_mut().zip(v.iter_mut()))
+            for ((p, g), (mi, vi)) in
+                param.iter_mut().zip(grad.iter()).zip(m.iter_mut().zip(v.iter_mut()))
             {
                 *mi = b1 * *mi + (1.0 - b1) * g;
                 *vi = b2 * *vi + (1.0 - b2) * g * g;
@@ -130,7 +148,12 @@ impl Adam {
     /// Returns [`NnError::MissingGradient`] if a parameter has no gradient
     /// (it did not influence the loss), plus the errors of
     /// [`Adam::step_slices`].
-    pub fn step_model<M, B>(&mut self, model: &mut M, bound: &B, gradients: &Gradients) -> Result<(), NnError>
+    pub fn step_model<M, B>(
+        &mut self,
+        model: &mut M,
+        bound: &B,
+        gradients: &Gradients,
+    ) -> Result<(), NnError>
     where
         M: Parameterized,
         B: BoundParameters,

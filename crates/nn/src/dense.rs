@@ -36,7 +36,10 @@ pub struct Dense {
 impl Dense {
     /// Creates a layer with Glorot-uniform weights and zero bias.
     pub fn new<R: Rng + ?Sized>(input_dim: usize, output_dim: usize, rng: &mut R) -> Self {
-        Dense { weight: glorot_uniform(input_dim, output_dim, rng), bias: Matrix::zeros(1, output_dim) }
+        Dense {
+            weight: glorot_uniform(input_dim, output_dim, rng),
+            bias: Matrix::zeros(1, output_dim),
+        }
     }
 
     /// Creates a layer from explicit parameter matrices.
@@ -186,13 +189,14 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let layer = Dense::new(2, 2, &mut rng);
         let x = Matrix::from_fn(3, 2, |r, c| 0.5 * r as f64 - 0.3 * c as f64);
-        let report = check_gradients(&[layer.weight().clone(), layer.bias().clone()], |g, leaves| {
-            let x = g.leaf(x.clone(), false);
-            let z = g.matmul(x, leaves[0])?;
-            let z = g.add_row_broadcast(z, leaves[1])?;
-            g.mean_square(z)
-        })
-        .unwrap();
+        let report =
+            check_gradients(&[layer.weight().clone(), layer.bias().clone()], |g, leaves| {
+                let x = g.leaf(x.clone(), false);
+                let z = g.matmul(x, leaves[0])?;
+                let z = g.add_row_broadcast(z, leaves[1])?;
+                g.mean_square(z)
+            })
+            .unwrap();
         assert!(report.passes(1e-6), "{report:?}");
     }
 

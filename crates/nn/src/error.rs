@@ -37,7 +37,9 @@ impl fmt::Display for NnError {
         match self {
             NnError::Autodiff(e) => write!(f, "autodiff failure: {e}"),
             NnError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
-            NnError::InvalidArchitecture { what } => write!(f, "invalid network architecture: {what}"),
+            NnError::InvalidArchitecture { what } => {
+                write!(f, "invalid network architecture: {what}")
+            }
             NnError::ParameterMismatch { model, supplied } => {
                 write!(f, "parameter count mismatch: model has {model}, got {supplied}")
             }

@@ -38,7 +38,12 @@ pub struct FourierFeatures {
 impl FourierFeatures {
     /// Samples a mapping with `n_frequencies` frequencies for
     /// `input_dim`-dimensional inputs; entries of `B` are `N(0, std²)`.
-    pub fn new<R: Rng + ?Sized>(input_dim: usize, n_frequencies: usize, std: f64, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        input_dim: usize,
+        n_frequencies: usize,
+        std: f64,
+        rng: &mut R,
+    ) -> Self {
         FourierFeatures { frequencies: normal_matrix(input_dim, n_frequencies, 0.0, std, rng) }
     }
 
@@ -180,7 +185,8 @@ mod tests {
             let fm = ff.forward_inference(&minus).unwrap();
             for idx in 0..val.len() {
                 let fd1 = (fp.as_slice()[idx] - fm.as_slice()[idx]) / (2.0 * h);
-                let fd2 = (fp.as_slice()[idx] - 2.0 * val.as_slice()[idx] + fm.as_slice()[idx]) / (h * h);
+                let fd2 =
+                    (fp.as_slice()[idx] - 2.0 * val.as_slice()[idx] + fm.as_slice()[idx]) / (h * h);
                 assert!((d1[axis].as_slice()[idx] - fd1).abs() < 1e-6);
                 assert!((d2[axis].as_slice()[idx] - fd2).abs() < 1e-4);
             }

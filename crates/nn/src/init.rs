@@ -33,7 +33,13 @@ pub fn glorot_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) ->
 /// Used for the Fourier-feature frequency matrix, whose entries the paper
 /// samples from a zero-mean normal with standard deviation `2π` (§V.A.3)
 /// or `π` (§V.B).
-pub fn normal_matrix<R: Rng + ?Sized>(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut R) -> Matrix {
+pub fn normal_matrix<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    mean: f64,
+    std: f64,
+    rng: &mut R,
+) -> Matrix {
     let n = rows * cols;
     let mut data = Vec::with_capacity(n);
     while data.len() < n {

@@ -40,7 +40,12 @@ impl Jet3 {
     ///
     /// Panics if `coords` does not have exactly 3 columns.
     pub fn seed_coordinates(graph: &mut Graph, coords: Matrix) -> Jet3 {
-        assert_eq!(coords.cols(), 3, "coordinate matrix must be points x 3, got {:?}", coords.shape());
+        assert_eq!(
+            coords.cols(),
+            3,
+            "coordinate matrix must be points x 3, got {:?}",
+            coords.shape()
+        );
         let n = coords.rows();
         let value = graph.leaf(coords, false);
         let zero = Matrix::zeros(n, 3);
@@ -106,7 +111,11 @@ mod tests {
         coords.matmul(w).unwrap().map(|v| act.eval(0, v))
     }
 
-    fn jet_channels(coords: Matrix, w: &Matrix, act: Activation) -> (Matrix, [Matrix; 3], [Matrix; 3]) {
+    fn jet_channels(
+        coords: Matrix,
+        w: &Matrix,
+        act: Activation,
+    ) -> (Matrix, [Matrix; 3], [Matrix; 3]) {
         let mut g = Graph::new();
         let jet = Jet3::seed_coordinates(&mut g, coords);
         let wv = g.leaf(w.clone(), false);
@@ -147,7 +156,9 @@ mod tests {
                 let f_mid = forward_plain(&coords, &w, act);
                 for idx in 0..value.len() {
                     let fd1 = (f_plus.as_slice()[idx] - f_minus.as_slice()[idx]) / (2.0 * h);
-                    let fd2 = (f_plus.as_slice()[idx] - 2.0 * f_mid.as_slice()[idx] + f_minus.as_slice()[idx]) / (h * h);
+                    let fd2 = (f_plus.as_slice()[idx] - 2.0 * f_mid.as_slice()[idx]
+                        + f_minus.as_slice()[idx])
+                        / (h * h);
                     assert!(
                         (d1[axis].as_slice()[idx] - fd1).abs() < 1e-6,
                         "{act} d1 axis {axis}: {} vs {fd1}",

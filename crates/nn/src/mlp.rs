@@ -30,7 +30,12 @@ pub struct MlpConfig {
 
 impl MlpConfig {
     /// Creates a configuration.
-    pub fn new(input_dim: usize, hidden: &[usize], output_dim: usize, activation: Activation) -> Self {
+    pub fn new(
+        input_dim: usize,
+        hidden: &[usize],
+        output_dim: usize,
+        activation: Activation,
+    ) -> Self {
         MlpConfig { input_dim, hidden: hidden.to_vec(), output_dim, activation }
     }
 
@@ -64,8 +69,10 @@ impl Mlp {
     /// Returns [`NnError::InvalidArchitecture`] if any dimension is zero.
     pub fn new<R: Rng + ?Sized>(config: &MlpConfig, rng: &mut R) -> Result<Self, NnError> {
         let dims = config.layer_dims();
-        if dims.iter().any(|&d| d == 0) {
-            return Err(NnError::InvalidArchitecture { what: format!("zero-width layer in {dims:?}") });
+        if dims.contains(&0) {
+            return Err(NnError::InvalidArchitecture {
+                what: format!("zero-width layer in {dims:?}"),
+            });
         }
         let layers = dims.windows(2).map(|w| Dense::new(w[0], w[1], rng)).collect();
         Ok(Mlp { layers, activation: config.activation })
@@ -79,7 +86,9 @@ impl Mlp {
     /// consecutive layer dimensions do not chain.
     pub fn from_layers(layers: Vec<Dense>, activation: Activation) -> Result<Self, NnError> {
         if layers.is_empty() {
-            return Err(NnError::InvalidArchitecture { what: "mlp needs at least one layer".into() });
+            return Err(NnError::InvalidArchitecture {
+                what: "mlp needs at least one layer".into(),
+            });
         }
         for pair in layers.windows(2) {
             if pair[0].output_dim() != pair[1].input_dim() {
@@ -287,6 +296,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // 4 * 1 documents the (in x out) shape
     fn parameter_traversal_is_stable() {
         let mut r = rng();
         let mut mlp = Mlp::new(&MlpConfig::new(2, &[4], 1, Activation::Swish), &mut r).unwrap();

@@ -1,0 +1,387 @@
+//! Dependency-free structured tracing, metrics, and run manifests for the
+//! DeepOHeat reproduction.
+//!
+//! The paper's claims are quantitative — PDE-residual loss curves, CG
+//! convergence inside the reference solver, end-to-end speedups — so every
+//! layer of the workspace reports into this crate:
+//!
+//! * **Metrics** — named counters, gauges, and fixed-bucket histograms in
+//!   a thread-safe [`MetricRegistry`], snapshotted into the run manifest.
+//!   Names follow `subsystem.name.unit` (`fdm.solve.seconds`,
+//!   `nn.adam.lr`, `linalg.cg.iterations`).
+//! * **Spans** — RAII timers ([`span`]) that record wall time into a
+//!   histogram and emit a `span` event on completion.
+//! * **Events** — structured records ([`event`]) with typed fields, e.g.
+//!   one per training step carrying the per-loss-term breakdown.
+//! * **Sinks** — pluggable outputs: [`ConsoleSink`] for humans,
+//!   [`JsonlSink`] for append-only run logs plus a final
+//!   [`RunManifest`] JSON, [`MemorySink`] for tests.
+//!
+//! Telemetry is **opt-in and near-zero cost when off**: every recording
+//! function first checks one atomic; with no recorder installed the
+//! instrumented hot paths do no other work.
+//!
+//! # Examples
+//!
+//! ```
+//! use deepoheat_telemetry as telemetry;
+//!
+//! let sink = telemetry::MemorySink::new();
+//! telemetry::Recorder::builder("demo")
+//!     .config("iterations", 100)
+//!     .sink(Box::new(sink.clone()))
+//!     .install();
+//!
+//! {
+//!     let _span = telemetry::span("demo.work");
+//!     telemetry::counter("demo.items.count", 3);
+//!     telemetry::gauge("demo.lr", 1e-3);
+//!     telemetry::event("demo.step", &[("loss", 0.5.into())]);
+//! } // span drops here, recording demo.work.seconds
+//!
+//! let manifest = telemetry::finish().expect("recorder was installed");
+//! assert_eq!(manifest.metrics.counters["demo.items.count"], 3);
+//! assert!(manifest.metrics.histograms.contains_key("demo.work.seconds"));
+//! assert!(!telemetry::is_enabled());
+//! ```
+
+mod manifest;
+mod metrics;
+mod sink;
+mod value;
+
+pub use manifest::RunManifest;
+pub use metrics::{Histogram, HistogramSnapshot, MetricRegistry, MetricsSnapshot};
+pub use sink::{ConsoleSink, Event, EventKind, JsonlSink, MemorySink, Sink};
+pub use value::Value;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant, SystemTime};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<Recorder>>> = RwLock::new(None);
+
+/// Whether a recorder is currently installed.
+///
+/// Instrumented code can use this to skip work that only feeds telemetry
+/// (e.g. computing a gradient norm).
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The active telemetry pipeline: run identity, metric registry, and
+/// sinks. Built with [`Recorder::builder`], then [`RecorderBuilder::install`]ed
+/// globally.
+pub struct Recorder {
+    name: String,
+    run_id: String,
+    started_unix_secs: u64,
+    started: Instant,
+    config: BTreeMap<String, String>,
+    registry: MetricRegistry,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("name", &self.name)
+            .field("run_id", &self.run_id)
+            .field("sinks", &self.sinks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// Starts building a recorder for a run called `name`.
+    pub fn builder(name: impl Into<String>) -> RecorderBuilder {
+        RecorderBuilder { name: name.into(), config: BTreeMap::new(), sinks: Vec::new() }
+    }
+
+    /// The metric registry backing [`counter`], [`gauge`], and
+    /// [`observe`].
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    fn emit(&self, kind: EventKind, name: &str, fields: Vec<(String, Value)>) {
+        let event = Event { kind, name: name.to_string(), elapsed: self.started.elapsed(), fields };
+        for sink in &self.sinks {
+            sink.record(&event);
+        }
+    }
+
+    fn into_manifest(self: Arc<Self>) -> RunManifest {
+        let manifest = RunManifest {
+            name: self.name.clone(),
+            run_id: self.run_id.clone(),
+            started_unix_secs: self.started_unix_secs,
+            wall_seconds: self.started.elapsed().as_secs_f64(),
+            config: self.config.clone(),
+            metrics: self.registry.snapshot(),
+        };
+        for sink in &self.sinks {
+            sink.manifest(&manifest);
+            sink.flush();
+        }
+        manifest
+    }
+}
+
+/// Builder for [`Recorder`]; see the [crate-level example](crate).
+pub struct RecorderBuilder {
+    name: String,
+    config: BTreeMap<String, String>,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl RecorderBuilder {
+    /// Records a configuration key/value into the run manifest (values
+    /// are stringified with `Display`).
+    pub fn config(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.config.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Adds a sink.
+    pub fn sink(mut self, sink: Box<dyn Sink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a [`ConsoleSink`].
+    pub fn console(self) -> Self {
+        self.sink(Box::new(ConsoleSink::new()))
+    }
+
+    /// Adds a [`JsonlSink`] writing to `path` (manifest alongside).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn jsonl(self, path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(self.sink(Box::new(JsonlSink::create(path)?)))
+    }
+
+    /// Installs the recorder globally, replacing (and finishing) any
+    /// previous one. Telemetry calls from any thread are live once this
+    /// returns.
+    pub fn install(self) {
+        let now_unix = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let recorder = Arc::new(Recorder {
+            run_id: format!("{now_unix}-{}", std::process::id()),
+            name: self.name,
+            started_unix_secs: now_unix,
+            started: Instant::now(),
+            config: self.config,
+            registry: MetricRegistry::new(),
+            sinks: self.sinks,
+        });
+        let previous = {
+            let mut slot = RECORDER.write().expect("telemetry recorder lock poisoned");
+            let previous = slot.take();
+            *slot = Some(recorder);
+            ENABLED.store(true, Ordering::Relaxed);
+            previous
+        };
+        if let Some(previous) = previous {
+            previous.into_manifest();
+        }
+    }
+}
+
+/// Runs `f` with the installed recorder, if any.
+fn with_recorder<T>(f: impl FnOnce(&Recorder) -> T) -> Option<T> {
+    if !is_enabled() {
+        return None;
+    }
+    let guard = RECORDER.read().expect("telemetry recorder lock poisoned");
+    guard.as_deref().map(f)
+}
+
+/// Finishes the run: snapshots metrics, hands the [`RunManifest`] to every
+/// sink, flushes, and uninstalls the recorder. Returns `None` if no
+/// recorder was installed.
+pub fn finish() -> Option<RunManifest> {
+    let recorder = {
+        let mut slot = RECORDER.write().expect("telemetry recorder lock poisoned");
+        ENABLED.store(false, Ordering::Relaxed);
+        slot.take()
+    }?;
+    Some(recorder.into_manifest())
+}
+
+/// Adds `delta` to the named counter. No-op when telemetry is off.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    with_recorder(|r| r.registry.counter(name, delta));
+}
+
+/// Sets the named gauge and emits a `gauge` event. No-op when telemetry
+/// is off.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    with_recorder(|r| {
+        r.registry.gauge(name, value);
+        r.emit(EventKind::Gauge, name, vec![("value".to_string(), Value::F64(value))]);
+    });
+}
+
+/// Records an observation in the named histogram (registry only — high
+/// frequency observations do not flood the sinks). No-op when telemetry
+/// is off.
+#[inline]
+pub fn observe(name: &str, value: f64) {
+    with_recorder(|r| r.registry.observe(name, value));
+}
+
+/// Emits a structured event with typed fields. No-op when telemetry is
+/// off.
+///
+/// The slice is only materialised when a recorder is installed, so
+/// callers on hot paths should gate any *expensive* field computation on
+/// [`is_enabled`].
+#[inline]
+pub fn event(name: &str, fields: &[(&str, Value)]) {
+    with_recorder(|r| {
+        let fields = fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        r.emit(EventKind::Event, name, fields);
+    });
+}
+
+/// Starts an RAII span timer. On drop it records the wall time into the
+/// `<name>.seconds` histogram and emits a `span` event. Inert (no clock
+/// read) when telemetry is off.
+#[must_use = "a span records its timing when dropped"]
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span { name, start: if is_enabled() { Some(Instant::now()) } else { None } }
+}
+
+/// RAII guard returned by [`span`].
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Elapsed time so far (`None` when telemetry was off at creation).
+    pub fn elapsed(&self) -> Option<Duration> {
+        self.start.map(|s| s.elapsed())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let seconds = start.elapsed().as_secs_f64();
+            with_recorder(|r| {
+                r.registry.observe(&format!("{}.seconds", self.name), seconds);
+                r.emit(
+                    EventKind::Span,
+                    self.name,
+                    vec![("seconds".to_string(), Value::F64(seconds))],
+                );
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The recorder is process-global, so tests that install one must not
+    /// run concurrently.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default_and_calls_are_noops() {
+        let _guard = lock();
+        finish();
+        assert!(!is_enabled());
+        counter("x.count", 1);
+        gauge("x.g", 1.0);
+        observe("x.h", 1.0);
+        event("x.e", &[("a", 1u64.into())]);
+        let span = span("x.span");
+        assert!(span.elapsed().is_none());
+        drop(span);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn full_pipeline_records_and_finishes() {
+        let _guard = lock();
+        let sink = MemorySink::new();
+        Recorder::builder("test-run")
+            .config("mode", "physics")
+            .sink(Box::new(sink.clone()))
+            .install();
+        assert!(is_enabled());
+
+        counter("a.count", 2);
+        gauge("a.lr", 1e-3);
+        observe("a.h", 0.5);
+        event("a.step", &[("loss", 0.25.into()), ("iteration", 7u64.into())]);
+        {
+            let _span = span("a.work");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let manifest = finish().expect("recorder installed");
+        assert!(!is_enabled());
+        assert_eq!(manifest.name, "test-run");
+        assert_eq!(manifest.config["mode"], "physics");
+        assert_eq!(manifest.metrics.counters["a.count"], 2);
+        assert_eq!(manifest.metrics.gauges["a.lr"], 1e-3);
+        let work = &manifest.metrics.histograms["a.work.seconds"];
+        assert_eq!(work.count, 1);
+        assert!(work.max >= 0.002);
+
+        let events = sink.events();
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Gauge));
+        assert!(kinds.contains(&EventKind::Event));
+        assert!(kinds.contains(&EventKind::Span));
+        let manifest_copy = sink.take_manifest().expect("manifest delivered to sink");
+        assert_eq!(manifest_copy.metrics, manifest.metrics);
+    }
+
+    #[test]
+    fn reinstall_finishes_previous_run() {
+        let _guard = lock();
+        let first = MemorySink::new();
+        Recorder::builder("one").sink(Box::new(first.clone())).install();
+        counter("one.count", 1);
+        Recorder::builder("two").install();
+        // Installing "two" finished "one" and delivered its manifest.
+        let manifest = first.take_manifest().expect("previous run finished");
+        assert_eq!(manifest.name, "one");
+        assert_eq!(manifest.metrics.counters["one.count"], 1);
+        assert!(finish().is_some());
+    }
+
+    #[test]
+    fn span_timings_accumulate_in_named_histogram() {
+        let _guard = lock();
+        Recorder::builder("spans").install();
+        for _ in 0..3 {
+            let _span = span("unit.op");
+        }
+        let manifest = finish().unwrap();
+        assert_eq!(manifest.metrics.histograms["unit.op.seconds"].count, 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! The run manifest: a machine-comparable JSON summary of one run.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::MetricsSnapshot;
+use crate::value::{write_json_f64, write_json_string};
+
+/// Summary of a finished run: identity, configuration, wall time, and a
+/// final snapshot of every metric.
+///
+/// Bench binaries write one of these per run (`BENCH_*.json`) so results
+/// stay machine-comparable across commits; see `TELEMETRY.md` for the
+/// schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Run name (e.g. the binary or experiment name).
+    pub name: String,
+    /// Unique-ish id: unix seconds + pid.
+    pub run_id: String,
+    /// Unix timestamp (seconds) when the recorder was installed.
+    pub started_unix_secs: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_seconds: f64,
+    /// Free-form configuration key/values captured at install time.
+    pub config: BTreeMap<String, String>,
+    /// Final snapshot of counters, gauges, and histograms.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunManifest {
+    /// Renders the manifest as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"name\":");
+        write_json_string(&mut out, &self.name);
+        out.push_str(",\"run_id\":");
+        write_json_string(&mut out, &self.run_id);
+        out.push_str(",\"started_unix_secs\":");
+        out.push_str(&self.started_unix_secs.to_string());
+        out.push_str(",\"wall_seconds\":");
+        write_json_f64(&mut out, self.wall_seconds);
+        out.push_str(",\"config\":{");
+        for (i, (key, value)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, key);
+            out.push(':');
+            write_json_string(&mut out, value);
+        }
+        out.push_str("},\"metrics\":");
+        self.metrics.write_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// An empty manifest for sink tests.
+    #[doc(hidden)]
+    pub fn empty_for_tests(name: &str) -> Self {
+        RunManifest {
+            name: name.to_string(),
+            run_id: "test".to_string(),
+            started_unix_secs: 0,
+            wall_seconds: 0.0,
+            config: BTreeMap::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_json_contains_all_sections() {
+        let mut manifest = RunManifest::empty_for_tests("bench");
+        manifest.config.insert("iterations".into(), "100".into());
+        manifest.wall_seconds = 1.25;
+        let json = manifest.to_json();
+        assert!(json.contains("\"name\":\"bench\""));
+        assert!(json.contains("\"wall_seconds\":1.25"));
+        assert!(json.contains("\"iterations\":\"100\""));
+        assert!(json.contains("\"counters\":{}"));
+        assert!(json.contains("\"histograms\":{}"));
+    }
+}

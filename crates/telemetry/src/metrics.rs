@@ -1,0 +1,379 @@
+//! Thread-safe metric primitives: counters, gauges, and fixed-bucket
+//! histograms, collected in a [`MetricRegistry`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::value::write_json_f64;
+
+/// A fixed-bucket histogram.
+///
+/// Bucket semantics: an observation `v` is counted in the **first** bucket
+/// whose upper bound satisfies `v <= bound` (upper bounds are *inclusive*,
+/// lower bounds *exclusive*); observations greater than the last bound go
+/// to the overflow bucket. Bounds must be strictly increasing and finite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite, or not strictly
+    /// increasing.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        for w in bounds.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "histogram bounds must be strictly increasing: {} !< {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(bounds.iter().all(|b| b.is_finite()), "histogram bounds must be finite");
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Default buckets for span durations in seconds: a 1–2–5 series from
+    /// 1 µs to 100 s.
+    pub fn time_buckets() -> Self {
+        let mut bounds = Vec::new();
+        let mut decade = 1e-6;
+        while decade <= 100.0 {
+            for mult in [1.0, 2.0, 5.0] {
+                bounds.push(decade * mult);
+            }
+            decade *= 10.0;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// The inclusive upper bounds (one per non-overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Records one observation. Non-finite observations count toward
+    /// `count` (so they are visible) but not toward any bucket.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        if !v.is_finite() {
+            return;
+        }
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let bucket = self.bounds.partition_point(|&b| b < v);
+        self.counts[bucket] += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// An immutable summary of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.min.is_finite() { self.min } else { 0.0 },
+            max: if self.max.is_finite() { self.max } else { 0.0 },
+            buckets: self.bounds.iter().copied().zip(self.counts.iter().copied()).collect(),
+            overflow: *self.counts.last().expect("counts has bounds.len() + 1 entries"),
+        }
+    }
+}
+
+/// A point-in-time summary of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations (including non-finite ones).
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Smallest finite observation (0 when empty).
+    pub min: f64,
+    /// Largest finite observation (0 when empty).
+    pub max: f64,
+    /// `(inclusive upper bound, count)` per bucket.
+    pub buckets: Vec<(f64, u64)>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the finite observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let finite: u64 = self.buckets.iter().map(|(_, c)| c).sum::<u64>() + self.overflow;
+        if finite == 0 {
+            0.0
+        } else {
+            self.sum / finite as f64
+        }
+    }
+}
+
+/// A thread-safe collection of named counters, gauges, and histograms.
+///
+/// Metric names follow the `subsystem.name.unit` convention documented in
+/// `TELEMETRY.md` (e.g. `fdm.solve.seconds`, `nn.adam.steps`).
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn counter(&self, name: &str, delta: u64) {
+        let mut counters = self.counters.lock().expect("counter map poisoned");
+        *counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        let mut gauges = self.gauges.lock().expect("gauge map poisoned");
+        gauges.insert(name.to_string(), value);
+    }
+
+    /// Records an observation in the named histogram, creating it with
+    /// [`Histogram::time_buckets`] on first use.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut histograms = self.histograms.lock().expect("histogram map poisoned");
+        histograms.entry(name.to_string()).or_insert_with(Histogram::time_buckets).observe(value);
+    }
+
+    /// Registers a histogram with custom bucket bounds (replacing any
+    /// recorded data under that name).
+    pub fn register_histogram(&self, name: &str, histogram: Histogram) {
+        let mut histograms = self.histograms.lock().expect("histogram map poisoned");
+        histograms.insert(name.to_string(), histogram);
+    }
+
+    /// Takes a consistent point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().expect("counter map poisoned").clone(),
+            gauges: self.gauges.lock().expect("gauge map poisoned").clone(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histogram map poisoned")
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`MetricRegistry`], embedded into the run
+/// manifest.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Writes the snapshot as a JSON object into `out`.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::value::write_json_string(out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::value::write_json_string(out, name);
+            out.push(':');
+            write_json_f64(out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::value::write_json_string(out, name);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            write_json_f64(out, h.sum);
+            out.push_str(",\"min\":");
+            write_json_f64(out, h.min);
+            out.push_str(",\"max\":");
+            write_json_f64(out, h.max);
+            out.push_str(",\"mean\":");
+            write_json_f64(out, h.mean());
+            out.push_str(",\"buckets\":[");
+            let mut first = true;
+            for &(bound, count) in &h.buckets {
+                if count == 0 {
+                    continue; // sparse encoding: empty buckets are elided
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("{\"le\":");
+                write_json_f64(out, bound);
+                out.push_str(",\"count\":");
+                out.push_str(&count.to_string());
+                out.push('}');
+            }
+            if h.overflow > 0 {
+                if !first {
+                    out.push(',');
+                }
+                out.push_str("{\"le\":null,\"count\":");
+                out.push_str(&h.overflow.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_upper_inclusive() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 5.0]);
+        h.observe(1.0); // lands in le=1.0 (inclusive upper bound)
+        h.observe(1.0000001); // lands in le=2.0
+        h.observe(5.0); // lands in le=5.0
+        h.observe(5.1); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(1.0, 1), (2.0, 1), (5.0, 1)]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn time_buckets_are_monotone_and_span_microseconds_to_minutes() {
+        let h = Histogram::time_buckets();
+        let bounds = h.bounds();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        assert!(bounds[0] <= 1e-6);
+        assert!(*bounds.last().unwrap() >= 100.0);
+        assert!(bounds.iter().all(|b| b.is_finite() && *b > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_bounds_are_rejected() {
+        Histogram::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn non_finite_observations_count_but_do_not_bucket() {
+        let mut h = Histogram::new(vec![1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[0].1, 0);
+        assert_eq!(s.overflow, 0);
+        assert_eq!(s.sum, 0.0);
+    }
+
+    #[test]
+    fn snapshot_statistics() {
+        let mut h = Histogram::new(vec![10.0]);
+        for v in [1.0, 2.0, 3.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.sum, 6.0);
+        assert!((s.mean() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn registry_accumulates_all_metric_kinds() {
+        let r = MetricRegistry::new();
+        r.counter("a.b.count", 2);
+        r.counter("a.b.count", 3);
+        r.gauge("a.lr", 0.1);
+        r.gauge("a.lr", 0.05);
+        r.observe("a.step.seconds", 0.002);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a.b.count"], 5);
+        assert_eq!(s.gauges["a.lr"], 0.05);
+        assert_eq!(s.histograms["a.step.seconds"].count, 1);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let r = std::sync::Arc::new(MetricRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter("t.ops.count", 1);
+                        r.observe("t.op.seconds", 1e-4);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counters["t.ops.count"], 4000);
+        assert_eq!(s.histograms["t.op.seconds"].count, 4000);
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed() {
+        let r = MetricRegistry::new();
+        r.counter("c.x.count", 1);
+        r.gauge("g.y", 2.5);
+        r.observe("h.z.seconds", 0.5);
+        let mut json = String::new();
+        r.snapshot().write_json(&mut json);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"c.x.count\":1"));
+        assert!(json.contains("\"g.y\":2.5"));
+        assert!(json.contains("\"le\":0.5"));
+    }
+}

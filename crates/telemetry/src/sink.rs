@@ -1,0 +1,331 @@
+//! Pluggable telemetry sinks: console, JSONL run logs, and an in-memory
+//! sink for tests.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::manifest::RunManifest;
+use crate::value::{write_json_f64, write_json_string, Value};
+
+/// The kind of a telemetry [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span with its duration.
+    Span,
+    /// A gauge update.
+    Gauge,
+    /// A structured application event (e.g. one training step).
+    Event,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in the JSONL `kind` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Gauge => "gauge",
+            EventKind::Event => "event",
+        }
+    }
+}
+
+/// One telemetry record delivered to every installed sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// What produced the record.
+    pub kind: EventKind,
+    /// Dotted `subsystem.name` identifier.
+    pub name: String,
+    /// Time since the recorder was installed.
+    pub elapsed: Duration,
+    /// Typed payload fields.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Writes the event as one JSON object (no trailing newline).
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"t\":");
+        write_json_f64(out, self.elapsed.as_secs_f64());
+        out.push_str(",\"kind\":");
+        write_json_string(out, self.kind.name());
+        out.push_str(",\"name\":");
+        write_json_string(out, &self.name);
+        for (key, value) in &self.fields {
+            out.push(',');
+            write_json_string(out, key);
+            out.push(':');
+            value.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+/// A destination for telemetry events and the final run manifest.
+///
+/// Sinks must be cheap and infallible from the caller's point of view:
+/// recording failures (e.g. a full disk) are swallowed after being
+/// reported once to stderr, never propagated into instrumented code.
+pub trait Sink: Send + Sync {
+    /// Receives one event.
+    fn record(&self, event: &Event);
+
+    /// Receives the final manifest when the run finishes.
+    fn manifest(&self, _manifest: &RunManifest) {}
+
+    /// Flushes buffered output.
+    fn flush(&self) {}
+}
+
+/// Human-readable sink writing aligned lines to stderr.
+///
+/// ```text
+/// [   0.123s] span  fdm.solve seconds=0.0871
+/// [   1.456s] event train.step iteration=100 loss=3.2e-2 ...
+/// ```
+#[derive(Debug, Default)]
+pub struct ConsoleSink {
+    prefixes: Option<Vec<String>>,
+}
+
+impl ConsoleSink {
+    /// Creates a console sink printing every event.
+    pub fn new() -> Self {
+        ConsoleSink { prefixes: None }
+    }
+
+    /// Creates a console sink printing only events whose name starts
+    /// with one of `prefixes`.
+    ///
+    /// Useful when a per-iteration instrumented run (which may emit
+    /// thousands of events) should surface only coarse progress on the
+    /// terminal, e.g. `&["train.loss", "fdm."]`.
+    pub fn with_prefixes(prefixes: &[&str]) -> Self {
+        ConsoleSink { prefixes: Some(prefixes.iter().map(|p| p.to_string()).collect()) }
+    }
+}
+
+impl Sink for ConsoleSink {
+    fn record(&self, event: &Event) {
+        if let Some(prefixes) = &self.prefixes {
+            if !prefixes.iter().any(|p| event.name.starts_with(p.as_str())) {
+                return;
+            }
+        }
+        let mut line = format!(
+            "[{:>9.3}s] {:<5} {}",
+            event.elapsed.as_secs_f64(),
+            event.kind.name(),
+            event.name
+        );
+        for (key, value) in &event.fields {
+            line.push_str(&format!(" {key}={value}"));
+        }
+        eprintln!("{line}");
+    }
+
+    fn manifest(&self, manifest: &RunManifest) {
+        eprintln!(
+            "[{:>9.3}s] run '{}' finished: {} counters, {} gauges, {} histograms",
+            manifest.wall_seconds,
+            manifest.name,
+            manifest.metrics.counters.len(),
+            manifest.metrics.gauges.len(),
+            manifest.metrics.histograms.len(),
+        );
+    }
+}
+
+/// Append-only JSONL event log plus a run-manifest JSON written on finish.
+///
+/// Events go to `<path>`, one JSON object per line; the manifest goes to
+/// `<path>` with the extension replaced by `manifest.json` (or a custom
+/// path set with [`JsonlSink::with_manifest_path`]).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    manifest_path: PathBuf,
+    errored: std::sync::atomic::AtomicBool,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            manifest_path: path.with_extension("manifest.json"),
+            errored: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Overrides where the final run manifest is written.
+    pub fn with_manifest_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.manifest_path = path.into();
+        self
+    }
+
+    /// Where the final run manifest will be written.
+    pub fn manifest_path(&self) -> &Path {
+        &self.manifest_path
+    }
+
+    fn report_error(&self, what: &str, err: &std::io::Error) {
+        use std::sync::atomic::Ordering;
+        if !self.errored.swap(true, Ordering::Relaxed) {
+            eprintln!("telemetry: {what} failed, further errors suppressed: {err}");
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut line = String::with_capacity(128);
+        event.write_json(&mut line);
+        line.push('\n');
+        let mut writer = self.writer.lock().expect("jsonl writer poisoned");
+        if let Err(err) = writer.write_all(line.as_bytes()) {
+            self.report_error("event write", &err);
+        }
+    }
+
+    fn manifest(&self, manifest: &RunManifest) {
+        if let Err(err) = std::fs::write(&self.manifest_path, manifest.to_json()) {
+            self.report_error("manifest write", &err);
+        }
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().expect("jsonl writer poisoned");
+        if let Err(err) = writer.flush() {
+            self.report_error("flush", &err);
+        }
+    }
+}
+
+/// Test sink capturing events (and the manifest) in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+    manifest: Mutex<Option<RunManifest>>,
+}
+
+impl MemorySink {
+    /// Creates an empty memory sink; keep an `Arc` to inspect it later.
+    pub fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(MemorySink::default())
+    }
+
+    /// A copy of the captured events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// The captured manifest, if the run has finished.
+    pub fn take_manifest(&self) -> Option<RunManifest> {
+        self.manifest.lock().expect("memory sink poisoned").take()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().expect("memory sink poisoned").push(event.clone());
+    }
+
+    fn manifest(&self, manifest: &RunManifest) {
+        *self.manifest.lock().expect("memory sink poisoned") = Some(manifest.clone());
+    }
+}
+
+impl<S: Sink + ?Sized> Sink for std::sync::Arc<S> {
+    fn record(&self, event: &Event) {
+        (**self).record(event);
+    }
+
+    fn manifest(&self, manifest: &RunManifest) {
+        (**self).manifest(manifest);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> Event {
+        Event {
+            kind: EventKind::Event,
+            name: "train.step".into(),
+            elapsed: Duration::from_millis(1500),
+            fields: vec![("iteration".into(), Value::U64(3)), ("loss".into(), Value::F64(0.25))],
+        }
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let mut out = String::new();
+        sample_event().write_json(&mut out);
+        assert_eq!(
+            out,
+            r#"{"t":1.5,"kind":"event","name":"train.step","iteration":3,"loss":0.25}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_appends_lines_and_writes_manifest() {
+        let dir =
+            std::env::temp_dir().join(format!("deepoheat-telemetry-test-{}", std::process::id()));
+        let path = dir.join("run.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&sample_event());
+        sink.record(&sample_event());
+        sink.flush();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 2);
+        assert!(contents.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+
+        let manifest = RunManifest::empty_for_tests("demo");
+        sink.manifest(&manifest);
+        let manifest_json = std::fs::read_to_string(sink.manifest_path()).unwrap();
+        assert!(manifest_json.contains("\"name\":\"demo\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_sink_captures_events() {
+        let sink = MemorySink::new();
+        sink.record(&sample_event());
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events()[0].name, "train.step");
+        assert!(sink.take_manifest().is_none());
+    }
+
+    #[test]
+    fn console_prefix_filter_matches_name_prefixes() {
+        let sink = ConsoleSink::with_prefixes(&["train.loss", "fdm."]);
+        let matches = |name: &str| {
+            sink.prefixes.as_ref().unwrap().iter().any(|p| name.starts_with(p.as_str()))
+        };
+        assert!(matches("train.loss"));
+        assert!(matches("fdm.solve"));
+        assert!(!matches("train.step"));
+        assert!(!matches("nn.adam.lr"));
+        assert!(ConsoleSink::new().prefixes.is_none());
+    }
+}

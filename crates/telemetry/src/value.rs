@@ -1,0 +1,203 @@
+//! Field values carried by telemetry events, with JSON rendering.
+
+use std::fmt;
+
+/// A single typed field value attached to an [`crate::Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer (counters, iteration indices).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number (losses, residuals, seconds).
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A string (modes, labels).
+    Str(String),
+    /// A list of floats (residual histories, loss curves).
+    F64List(Vec<f64>),
+}
+
+impl Value {
+    /// Writes the value as JSON into `out`.
+    ///
+    /// Non-finite floats have no JSON representation and are rendered as
+    /// `null` (matching what `serde_json` does by default).
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+            }
+            Value::I64(v) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+            }
+            Value::F64(v) => write_json_f64(out, *v),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => write_json_string(out, s),
+            Value::F64List(vs) => {
+                out.push('[');
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_f64(out, *v);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::F64List(v)
+    }
+}
+
+impl From<&[f64]> for Value {
+    fn from(v: &[f64]) -> Self {
+        Value::F64List(v.to_vec())
+    }
+}
+
+impl fmt::Display for Value {
+    /// Human-readable rendering used by the console sink.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => {
+                if *v == 0.0 || (1e-3..1e6).contains(&v.abs()) {
+                    write!(f, "{v:.6}")
+                } else {
+                    write!(f, "{v:.4e}")
+                }
+            }
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::F64List(vs) => write!(f, "[{} values]", vs.len()),
+        }
+    }
+}
+
+/// Writes an `f64` as JSON (non-finite becomes `null`).
+pub(crate) fn write_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{v:?}` keeps round-trip precision and always includes a `.0`
+        // or exponent so the token re-parses as a float.
+        let _ = fmt::Write::write_fmt(out, format_args!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Writes a JSON string literal with the mandatory escapes.
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(v: &Value) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalar_json_forms() {
+        assert_eq!(json(&Value::U64(7)), "7");
+        assert_eq!(json(&Value::I64(-3)), "-3");
+        assert_eq!(json(&Value::Bool(true)), "true");
+        assert_eq!(json(&Value::F64(1.5)), "1.5");
+        assert_eq!(json(&Value::F64(f64::NAN)), "null");
+        assert_eq!(json(&Value::F64(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json(&Value::Str("a\"b\\c\nd".into())), r#""a\"b\\c\nd""#);
+        assert_eq!(json(&Value::Str("\u{1}".into())), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn lists_render_as_arrays() {
+        assert_eq!(json(&Value::F64List(vec![1.0, 0.5])), "[1.0,0.5]");
+        assert_eq!(json(&Value::F64List(vec![])), "[]");
+    }
+
+    #[test]
+    fn floats_round_trip_through_json() {
+        for &v in &[1e-300, 0.1 + 0.2, 123456.789, -4.2e17] {
+            let s = json(&Value::F64(v));
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back, v, "{s}");
+        }
+    }
+
+    #[test]
+    fn from_impls_choose_expected_variants() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(vec![1.0]), Value::F64List(vec![1.0]));
+    }
+}

@@ -8,11 +8,18 @@
 //! ```
 
 use deepoheat::experiments::{HtcExperiment, HtcExperimentConfig};
+use deepoheat_telemetry::{self as telemetry, ConsoleSink};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Training progress (the train.loss gauge, emitted at every log
+    // point) streams to stderr through the console sink.
+    telemetry::Recorder::builder("htc_sweep")
+        .sink(Box::new(ConsoleSink::with_prefixes(&["train.loss", "fdm."])))
+        .install();
+
     println!("training dual-input DeepOHeat (supervised mode, 100 reference solves)…");
     let mut experiment = HtcExperiment::new(HtcExperimentConfig::default().supervised(100))?;
-    experiment.run(2000, 400, |r| println!("  iter {:>5}  loss {:.4e}", r.iteration, r.loss))?;
+    experiment.run(2000, 400, |_| {})?;
 
     // Sweep a 6x6 grid of (h_top, h_bot) pairs with the surrogate.
     let values = [333.33, 466.67, 600.0, 733.33, 866.67, 1000.0];
@@ -51,5 +58,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "coolest design: h_top = {:.0}, h_bot = {:.0} -> surrogate peak {:.3} K, reference peak {:.3} K",
         best.1, best.2, best.0, ref_peak
     );
+    telemetry::finish();
     Ok(())
 }

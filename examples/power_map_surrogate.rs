@@ -15,16 +15,19 @@ use deepoheat::metrics::FieldErrors;
 use deepoheat::report::side_by_side;
 use deepoheat_grf::TilePowerMap;
 use deepoheat_linalg::Matrix;
+use deepoheat_telemetry::{self as telemetry, ConsoleSink};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let iterations: usize =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(800);
+    let iterations: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(800);
+
+    telemetry::Recorder::builder("power_map_surrogate")
+        .config("iterations", iterations)
+        .sink(Box::new(ConsoleSink::with_prefixes(&["train.loss", "fdm."])))
+        .install();
 
     println!("training physics-informed DeepOHeat for {iterations} iterations…");
     let mut experiment = PowerMapExperiment::new(PowerMapExperimentConfig::default())?;
-    experiment.run(iterations, (iterations / 8).max(1), |r| {
-        println!("  iter {:>5}  physics loss {:.4e}", r.iteration, r.loss);
-    })?;
+    experiment.run(iterations, (iterations / 8).max(1), |_| {})?;
 
     // A custom two-block floorplan the model never saw.
     let mut layout = TilePowerMap::new(20, 20);
@@ -45,5 +48,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Matrix::from_fn(grid.nx(), grid.ny(), |i, j| field[grid.index(i, j, grid.nz() - 1)])
     };
     println!("{}", side_by_side("reference", &top(&reference), "surrogate", &top(&predicted)));
+    telemetry::finish();
     Ok(())
 }

@@ -16,6 +16,7 @@ use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
 use deepoheat::report::ascii_heatmap;
 use deepoheat_grf::TilePowerMap;
 use deepoheat_linalg::Matrix;
+use deepoheat_telemetry::{self as telemetry, ConsoleSink};
 use rand::{Rng, SeedableRng};
 
 /// A candidate placement: the top-left tile of each of the four blocks.
@@ -46,19 +47,24 @@ impl Placement {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let candidates: usize =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(400);
+    let candidates: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(400);
+
+    telemetry::Recorder::builder("thermal_optimization")
+        .config("candidates", candidates)
+        .sink(Box::new(ConsoleSink::with_prefixes(&["train.loss", "fdm."])))
+        .install();
 
     // Supervised training gives the sharpest surrogate for optimisation.
     println!("training surrogate (supervised mode)…");
     let mut experiment =
         PowerMapExperiment::new(PowerMapExperimentConfig::default().supervised(200))?;
-    experiment.run(2500, 500, |r| println!("  iter {:>5}  loss {:.4e}", r.iteration, r.loss))?;
+    experiment.run(2500, 500, |_| {})?;
 
-    let peak_of = |exp: &PowerMapExperiment, map: &Matrix| -> Result<f64, Box<dyn std::error::Error>> {
-        let field = exp.predict_field(map)?;
-        Ok(field.iter().copied().fold(f64::NEG_INFINITY, f64::max))
-    };
+    let peak_of =
+        |exp: &PowerMapExperiment, map: &Matrix| -> Result<f64, Box<dyn std::error::Error>> {
+            let field = exp.predict_field(map)?;
+            Ok(field.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        };
 
     println!("\nsearching {candidates} random placements of four 5x5 blocks…");
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
@@ -90,9 +96,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid_map = best_map.to_grid(21);
     let reference = experiment.reference_field(&grid_map)?;
     let ref_peak = reference.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    println!("reference check of the winner: peak {ref_peak:.2} K (surrogate said {best_peak:.2} K)");
+    println!(
+        "reference check of the winner: peak {ref_peak:.2} K (surrogate said {best_peak:.2} K)"
+    );
 
     println!("\nwinning floorplan (tile powers):");
     println!("{}", ascii_heatmap(best_map.tiles()));
+    telemetry::finish();
     Ok(())
 }

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n   time (s)   hot-spot T (K)   % of steady rise");
     let steady_peak = steady.max_temperature();
     for (time, field) in transient.times().iter().zip(transient.fields()) {
-        if (time / 0.25).round() as usize % 6 != 0 {
+        if !((time / 0.25).round() as usize).is_multiple_of(6) {
             continue; // print every 1.5 s
         }
         let peak = field.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -15,18 +15,28 @@ use deepoheat::experiments::{
 };
 use deepoheat::report::side_by_side;
 use deepoheat_linalg::Matrix;
+use deepoheat_telemetry::{self as telemetry, ConsoleSink};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = VolumetricExperimentConfig::default();
     let (nx, ny, nz) = (config.nx, config.ny, config.nz);
+
+    telemetry::Recorder::builder("volumetric_power")
+        .config("sensors", format!("{nx}x{ny}x{nz}"))
+        .sink(Box::new(ConsoleSink::with_prefixes(&["train.loss", "fdm."])))
+        .install();
+
     println!("training volumetric-power DeepOHeat ({}x{}x{} sensors)…", nx, ny, nz);
     let mut experiment = VolumetricExperiment::new(config)?;
-    experiment.run(2000, 400, |r| println!("  iter {:>5}  loss {:.4e}", r.iteration, r.loss))?;
+    experiment.run(2000, 400, |_| {})?;
 
     let grid = *experiment.chip().grid();
     for (name, map) in volumetric_test_suite(nx, ny, nz) {
         let errors = experiment.evaluate_units(&map)?;
-        println!("\n{name}: MAPE {:.3}%  PAPE {:.3}%  peak |err| {:.3} K", errors.mape, errors.pape, errors.peak_abs);
+        println!(
+            "\n{name}: MAPE {:.3}%  PAPE {:.3}%  peak |err| {:.3} K",
+            errors.mape, errors.pape, errors.peak_abs
+        );
 
         // Show the mid-height slice of reference vs prediction.
         let reference = experiment.reference_field(&map)?;
@@ -36,5 +46,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pred_slice = Matrix::from_fn(nx, ny, |i, j| predicted[grid.index(i, j, mid)]);
         println!("{}", side_by_side("reference (mid slice)", &ref_slice, "surrogate", &pred_slice));
     }
+    telemetry::finish();
     Ok(())
 }

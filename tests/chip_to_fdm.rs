@@ -18,7 +18,8 @@ fn every_test_map_solves_and_is_physical() {
     for (name, map) in paper_test_suite(20) {
         let mut chip = paper_chip();
         chip.set_top_power_map_units(&map.to_grid(21)).expect("power map");
-        let solution = chip.heat_problem().expect("problem").solve(SolveOptions::default()).expect("solve");
+        let solution =
+            chip.heat_problem().expect("problem").solve(SolveOptions::default()).expect("solve");
 
         // With only heating and convection cooling, the field must sit at
         // or above ambient and must be bounded (sanity on the hottest map).
@@ -70,7 +71,8 @@ fn hottest_point_sits_under_the_strongest_source() {
     let (_, map) = paper_test_suite(20).remove(9);
     let mut chip = paper_chip();
     chip.set_top_power_map_units(&map.to_grid(21)).expect("power map");
-    let solution = chip.heat_problem().expect("problem").solve(SolveOptions::default()).expect("solve");
+    let solution =
+        chip.heat_problem().expect("problem").solve(SolveOptions::default()).expect("solve");
     let top = solution.face_temperatures(Face::ZMax);
     let mut peak = (0usize, 0usize);
     for i in 0..21 {
@@ -105,7 +107,8 @@ fn layered_chip_round_trips_through_solver() {
         .expect("bc");
     chip.set_boundary(Face::ZMax, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
         .expect("bc");
-    let solution = chip.heat_problem().expect("problem").solve(SolveOptions::default()).expect("solve");
+    let solution =
+        chip.heat_problem().expect("problem").solve(SolveOptions::default()).expect("solve");
     // 0.625 mW into two parallel 500 W/m²K films over 1 mm²:
     // mean surface rise ≈ 0.625 K; peak should be in the powered layer.
     assert!(solution.max_temperature() > 298.7);

@@ -46,11 +46,14 @@ fn surrogate_residuals_agree_with_solver_on_the_slab_problem() {
     // Reference solve.
     let grid = StructuredGrid::new(9, 9, 7, extents[0], extents[1], extents[2]).expect("grid");
     let mut problem = HeatProblem::new(grid, k);
-    problem.set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(q) }).expect("bc");
+    problem
+        .set_boundary(Face::ZMax, BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(q) })
+        .expect("bc");
     problem
         .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: h, ambient: t_amb })
         .expect("bc");
-    let solution = problem.solve(SolveOptions { tolerance: 1e-12, ..Default::default() }).expect("solve");
+    let solution =
+        problem.solve(SolveOptions { tolerance: 1e-12, ..Default::default() }).expect("solve");
 
     // Build θ jets of the solver's own field (linear in z, so the exact
     // derivative channels are constants).
@@ -67,8 +70,14 @@ fn surrogate_residuals_agree_with_solver_on_the_slab_problem() {
         d1: [zeros, zeros, mk(&mut g, slope)],
         d2: [zeros; 3],
     };
-    let r = physics::convection_residual(&mut g, &bottom_jet, Face::ZMin, &scales, &HtcInput::Uniform(h))
-        .expect("residual");
+    let r = physics::convection_residual(
+        &mut g,
+        &bottom_jet,
+        Face::ZMin,
+        &scales,
+        &HtcInput::Uniform(h),
+    )
+    .expect("residual");
     for v in g.value(r).iter() {
         assert!(v.abs() < 1e-9, "convection residual {v} against solver field");
     }
@@ -80,7 +89,8 @@ fn surrogate_residuals_agree_with_solver_on_the_slab_problem() {
         d2: [zeros; 3],
     };
     let flux_target = Matrix::filled(1, n, q);
-    let r = physics::flux_residual(&mut g, &top_jet, Face::ZMax, &scales, &flux_target).expect("residual");
+    let r = physics::flux_residual(&mut g, &top_jet, Face::ZMax, &scales, &flux_target)
+        .expect("residual");
     for v in g.value(r).iter() {
         assert!(v.abs() < 1e-9, "flux residual {v} against solver field");
     }

@@ -1,0 +1,222 @@
+//! Offline vendored stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset the workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, [`BenchmarkId::new`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Instead of criterion's statistical analysis it times `sample_size`
+//! batches per benchmark and prints min / median / mean wall times — enough
+//! to compare runs by eye or by grepping the output. Respects
+//! `CRITERION_SAMPLE_SIZE` to override sampling globally (handy in CI
+//! smoke runs).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let default_sample_size =
+            std::env::var("CRITERION_SAMPLE_SIZE").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
+        Criterion { default_sample_size }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.default_sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher, input);
+        bencher.report(&full);
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; the shim needs no
+    /// cleanup, the method exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_size` samples (after one
+    /// untimed warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{name:<50} min {:>12} median {:>12} mean {:>12} ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.samples.len(),
+        );
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    bencher.report(name);
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for one or more benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        // 1 warm-up + sample_size timed runs.
+        assert!(runs > 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::new("param", 42), &7usize, |b, &input| {
+            b.iter(|| seen += input)
+        });
+        group.finish();
+        assert_eq!(seen % 7, 0);
+        assert!(seen >= 7 * 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}
