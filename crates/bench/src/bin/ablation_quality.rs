@@ -15,13 +15,17 @@
 use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
 use deepoheat::FourierConfig;
 use deepoheat_autodiff::Activation;
-use deepoheat_bench::{finish_telemetry, init_telemetry, secs, Args};
+use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, secs, Args, BenchError};
 use deepoheat_grf::paper_test_suite;
 
-fn evaluate(config: PowerMapExperimentConfig, iterations: usize, label: &str) {
+fn evaluate(
+    config: PowerMapExperimentConfig,
+    iterations: usize,
+    label: &str,
+) -> Result<(), BenchError> {
     let t0 = std::time::Instant::now();
-    let mut experiment = PowerMapExperiment::new(config).expect("experiment");
-    let records = experiment.run(iterations, iterations.max(1), |_| {}).expect("training");
+    let mut experiment = PowerMapExperiment::new(config)?;
+    let records = experiment.run(iterations, iterations.max(1), |_| {})?;
     let final_loss = records.last().map_or(f64::NAN, |r| r.loss);
 
     // Mean MAPE/PAPE across the ten test maps.
@@ -29,7 +33,7 @@ fn evaluate(config: PowerMapExperimentConfig, iterations: usize, label: &str) {
     let mut pape_max: f64 = 0.0;
     let suite = paper_test_suite(20);
     for (_, map) in &suite {
-        let errors = experiment.evaluate_units(&map.to_grid(21)).expect("evaluation");
+        let errors = experiment.evaluate_units(&map.to_grid(21))?;
         mape_sum += errors.mape;
         pape_max = pape_max.max(errors.pape);
     }
@@ -39,13 +43,18 @@ fn evaluate(config: PowerMapExperimentConfig, iterations: usize, label: &str) {
         pape_max,
         secs(t0.elapsed())
     );
+    Ok(())
 }
 
 fn main() {
+    run_or_exit("ablation_quality", run);
+}
+
+fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
     init_telemetry("ablation_quality", &args);
     let quick = args.flag("quick");
-    let iterations = args.get_usize("iterations", if quick { 60 } else { 800 });
+    let iterations = args.get_usize("iterations", if quick { 60 } else { 800 })?;
 
     let base = || {
         let mut cfg = PowerMapExperimentConfig::default();
@@ -63,7 +72,7 @@ fn main() {
     for act in [Activation::Swish, Activation::Tanh, Activation::Sine] {
         let mut cfg = base();
         cfg.activation = act;
-        evaluate(cfg, iterations, &format!("activation={act}"));
+        evaluate(cfg, iterations, &format!("activation={act}"))?;
     }
 
     for (label, fourier) in [
@@ -79,7 +88,8 @@ fn main() {
     ] {
         let mut cfg = base();
         cfg.fourier = fourier;
-        evaluate(cfg, iterations, &label);
+        evaluate(cfg, iterations, &label)?;
     }
     finish_telemetry();
+    Ok(())
 }

@@ -12,11 +12,15 @@
 
 use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
 use deepoheat::report::{side_by_side, write_csv};
-use deepoheat_bench::{finish_telemetry, init_telemetry, secs, Args};
+use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, secs, Args, BenchError};
 use deepoheat_grf::paper_test_suite;
 use deepoheat_linalg::Matrix;
 
 fn main() {
+    run_or_exit("fig3_fields", run);
+}
+
+fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
     init_telemetry("fig3_fields", &args);
     let mode = args.get_str("mode", "physics");
@@ -28,8 +32,8 @@ fn main() {
         (false, "supervised") => 4000,
         (false, _) => 1500,
     };
-    let iterations = args.get_usize("iterations", default_iterations);
-    let dataset = args.get_usize("dataset", if quick { 20 } else { 300 });
+    let iterations = args.get_usize("iterations", default_iterations)?;
+    let dataset = args.get_usize("dataset", if quick { 20 } else { 300 })?;
     let out_dir = args.get_str("out", "target/fig3");
 
     let mut config = PowerMapExperimentConfig::default();
@@ -50,15 +54,13 @@ fn main() {
 
     println!("== Fig. 3: temperature fields for p1..p10 (§V.A) ==");
     let t0 = std::time::Instant::now();
-    let mut experiment = PowerMapExperiment::new(config).expect("experiment construction");
-    experiment
-        .run(iterations, (iterations / 5).max(1), |r| {
-            eprintln!("  iter {:>5}  loss {:.4e}", r.iteration, r.loss);
-        })
-        .expect("training");
+    let mut experiment = PowerMapExperiment::new(config)?;
+    experiment.run(iterations, (iterations / 5).max(1), |r| {
+        eprintln!("  iter {:>5}  loss {:.4e}", r.iteration, r.loss);
+    })?;
     println!("trained in {}\n", secs(t0.elapsed()));
 
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    std::fs::create_dir_all(&out_dir)?;
     let grid = *experiment.chip().grid();
     let top_plane = |field: &[f64]| {
         Matrix::from_fn(grid.nx(), grid.ny(), |i, j| field[grid.index(i, j, grid.nz() - 1)])
@@ -66,8 +68,8 @@ fn main() {
 
     for (name, map) in paper_test_suite(20) {
         let grid_map = map.to_grid(21);
-        let reference = experiment.reference_field(&grid_map).expect("reference solve");
-        let predicted = experiment.predict_field(&grid_map).expect("prediction");
+        let reference = experiment.reference_field(&grid_map)?;
+        let predicted = experiment.predict_field(&grid_map)?;
         let ref_top = top_plane(&reference);
         let pred_top = top_plane(&predicted);
         let abs_err = Matrix::from_fn(grid.nx(), grid.ny(), |i, j| {
@@ -84,12 +86,11 @@ fn main() {
         );
         println!("{}", side_by_side("reference (top surface)", &ref_top, "deepoheat", &pred_top));
 
-        write_csv(&ref_top, format!("{out_dir}/{name}_reference.csv"))
-            .expect("write reference csv");
-        write_csv(&pred_top, format!("{out_dir}/{name}_predicted.csv"))
-            .expect("write prediction csv");
-        write_csv(&abs_err, format!("{out_dir}/{name}_abs_error.csv")).expect("write error csv");
+        write_csv(&ref_top, format!("{out_dir}/{name}_reference.csv"))?;
+        write_csv(&pred_top, format!("{out_dir}/{name}_predicted.csv"))?;
+        write_csv(&abs_err, format!("{out_dir}/{name}_abs_error.csv"))?;
     }
     println!("CSV fields written to {out_dir}/");
     finish_telemetry();
+    Ok(())
 }

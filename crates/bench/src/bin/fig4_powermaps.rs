@@ -8,32 +8,36 @@
 //! ```
 
 use deepoheat::report::{ascii_heatmap, write_csv};
-use deepoheat_bench::{finish_telemetry, init_telemetry, Args};
+use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, Args, BenchError};
 use deepoheat_grf::{paper_test_suite, GaussianRandomField};
 use rand::SeedableRng;
 
 fn main() {
+    run_or_exit("fig4_powermaps", run);
+}
+
+fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
     init_telemetry("fig4_powermaps", &args);
-    let seed = args.get_usize("seed", 0) as u64;
-    let length_scale = args.get_f64("length-scale", 0.3);
+    let seed = args.get_usize("seed", 0)? as u64;
+    let length_scale = args.get_f64("length-scale", 0.3)?;
     let out_dir = args.get_str("out", "target/fig4");
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    std::fs::create_dir_all(&out_dir)?;
 
     println!("== Fig. 4: training vs test power maps (§V.A.2, §V.A.5) ==\n");
 
     // Left: a GRF training map (length scale 0.3, the paper's choice for
     // "relatively smooth" maps).
-    let grf = GaussianRandomField::on_unit_grid(21, length_scale).expect("grf construction");
+    let grf = GaussianRandomField::on_unit_grid(21, length_scale)?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let training_map = grf.sample_grid(&mut rng).expect("grf sample");
+    let training_map = grf.sample_grid(&mut rng)?;
     println!(
         "training map: GRF sample, length scale {length_scale}, range [{:.2}, {:.2}] units",
         training_map.min(),
         training_map.max()
     );
     println!("{}", ascii_heatmap(&training_map));
-    write_csv(&training_map, format!("{out_dir}/training_grf.csv")).expect("write training csv");
+    write_csv(&training_map, format!("{out_dir}/training_grf.csv"))?;
 
     // Middle: a tile-based test map (Celsius-style blocks; we use p3 as
     // the illustrative map, mirroring the paper's two-block example).
@@ -44,7 +48,7 @@ fn main() {
         tile_map.total_power()
     );
     println!("{}", ascii_heatmap(tile_map.tiles()));
-    write_csv(tile_map.tiles(), format!("{out_dir}/test_tiles.csv")).expect("write tile csv");
+    write_csv(tile_map.tiles(), format!("{out_dir}/test_tiles.csv"))?;
 
     // Right: the same map bilinearly interpolated to the 21x21 grid the
     // branch net consumes.
@@ -55,9 +59,9 @@ fn main() {
         interpolated.max()
     );
     println!("{}", ascii_heatmap(&interpolated));
-    write_csv(&interpolated, format!("{out_dir}/test_interpolated.csv"))
-        .expect("write interpolated csv");
+    write_csv(&interpolated, format!("{out_dir}/test_interpolated.csv"))?;
 
     println!("CSV maps written to {out_dir}/");
     finish_telemetry();
+    Ok(())
 }

@@ -16,18 +16,22 @@
 
 use deepoheat::experiments::{HtcExperiment, HtcExperimentConfig};
 use deepoheat::report::{side_by_side, write_csv};
-use deepoheat_bench::{finish_telemetry, init_telemetry, secs, Args};
+use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, secs, Args, BenchError};
 use deepoheat_linalg::Matrix;
 
 fn main() {
+    run_or_exit("fig5_htc", run);
+}
+
+fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
     init_telemetry("fig5_htc", &args);
     let mode = args.get_str("mode", "supervised");
     let quick = args.flag("quick");
-    let iterations = args.get_usize("iterations", if quick { 200 } else { 3000 });
-    let dataset = args.get_usize("dataset", if quick { 15 } else { 150 });
+    let iterations = args.get_usize("iterations", if quick { 200 } else { 3000 })?;
+    let dataset = args.get_usize("dataset", if quick { 15 } else { 150 })?;
     let out_dir = args.get_str("out", "target/fig5");
-    let seed = args.get_usize("seed", 0) as u64;
+    let seed = args.get_usize("seed", 0)? as u64;
 
     let mut config = HtcExperimentConfig { seed, ..Default::default() };
     if quick {
@@ -41,29 +45,24 @@ fn main() {
     match mode.as_str() {
         "supervised" => config = config.supervised(dataset),
         "physics" => {}
-        other => {
-            eprintln!("unknown --mode {other:?}; use supervised or physics");
-            std::process::exit(2);
-        }
+        other => return Err(format!("unknown --mode {other:?}; use supervised or physics").into()),
     }
 
     println!("== Fig. 5: dual-HTC experiment (§V.B) ==");
     println!("mode: {mode}, iterations: {iterations}");
     let t0 = std::time::Instant::now();
-    let mut experiment = HtcExperiment::new(config).expect("experiment construction");
-    experiment
-        .run(iterations, (iterations / 10).max(1), |r| {
-            eprintln!("  iter {:>5}  loss {:.4e}  lr {:.2e}", r.iteration, r.loss, r.learning_rate);
-        })
-        .expect("training");
+    let mut experiment = HtcExperiment::new(config)?;
+    experiment.run(iterations, (iterations / 10).max(1), |r| {
+        eprintln!("  iter {:>5}  loss {:.4e}  lr {:.2e}", r.iteration, r.loss, r.learning_rate);
+    })?;
     println!("trained in {}\n", secs(t0.elapsed()));
 
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    std::fs::create_dir_all(&out_dir)?;
     for (case, (htc_top, htc_bottom)) in [("case1", (1000.0, 333.33)), ("case2", (500.0, 500.0))] {
-        let errors = experiment.evaluate(htc_top, htc_bottom).expect("evaluation");
-        let reference = experiment.reference_field(htc_top, htc_bottom).expect("reference");
-        let predicted = experiment.predict_field(htc_top, htc_bottom).expect("prediction");
-        let chip = experiment.reference_chip(htc_top, htc_bottom).expect("chip");
+        let errors = experiment.evaluate(htc_top, htc_bottom)?;
+        let reference = experiment.reference_field(htc_top, htc_bottom)?;
+        let predicted = experiment.predict_field(htc_top, htc_bottom)?;
+        let chip = experiment.reference_chip(htc_top, htc_bottom)?;
         let grid = *chip.grid();
 
         let fold = |f: &[f64]| {
@@ -90,10 +89,11 @@ fn main() {
             Matrix::from_fn(grid.nx(), grid.ny(), |i, j| predicted[grid.index(i, j, mid)]);
         println!("{}", side_by_side("reference (mid slice)", &ref_slice, "deepoheat", &pred_slice));
 
-        write_csv(&ref_slice, format!("{out_dir}/{case}_reference_mid.csv")).expect("write csv");
-        write_csv(&pred_slice, format!("{out_dir}/{case}_predicted_mid.csv")).expect("write csv");
+        write_csv(&ref_slice, format!("{out_dir}/{case}_reference_mid.csv"))?;
+        write_csv(&pred_slice, format!("{out_dir}/{case}_predicted_mid.csv"))?;
     }
     println!("paper reports: case1 MAPE 0.032% PAPE 0.043%; case2 MAPE 0.011% PAPE 0.025%");
     println!("CSV slices written to {out_dir}/");
     finish_telemetry();
+    Ok(())
 }

@@ -27,7 +27,7 @@ use std::time::Instant;
 use deepoheat::experiments::{
     HtcExperiment, HtcExperimentConfig, PowerMapExperiment, PowerMapExperimentConfig,
 };
-use deepoheat_bench::{finish_telemetry, init_telemetry, Args};
+use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, Args, BenchError};
 use deepoheat_linalg::Matrix;
 use deepoheat_telemetry as telemetry;
 
@@ -36,44 +36,52 @@ fn median(mut samples: Vec<f64>) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn time_median<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
-    median(
-        (0..repeats)
-            .map(|_| {
-                let t = Instant::now();
-                f();
-                t.elapsed().as_secs_f64()
-            })
-            .collect(),
-    )
+fn time_median<F>(repeats: usize, mut f: F) -> Result<f64, BenchError>
+where
+    F: FnMut() -> Result<(), BenchError>,
+{
+    let mut samples = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f()?;
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    Ok(median(samples))
 }
 
 fn main() {
+    run_or_exit("speedup", run);
+}
+
+fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
     init_telemetry("speedup", &args);
-    let repeats = args.get_usize("repeats", 7);
-    let train = args.get_usize("train", 50);
+    let repeats = args.get_usize("repeats", 7)?;
+    let train = args.get_usize("train", 50)?;
 
     println!("== Speedup: reference solver vs DeepOHeat inference (§V.A.7, §V.B) ==\n");
 
     // --- §V.A configuration -------------------------------------------------
-    let mut pm = PowerMapExperiment::new(PowerMapExperimentConfig::default()).expect("experiment");
-    pm.run(train, train.max(1), |_| {}).expect("training");
+    let mut pm = PowerMapExperiment::new(PowerMapExperimentConfig::default())?;
+    pm.run(train, train.max(1), |_| {})?;
     let map = deepoheat_grf::paper_test_suite(20)[0].1.to_grid(21);
 
     let solve = time_median(repeats, || {
-        pm.reference_field(&map).expect("solve");
-    });
+        pm.reference_field(&map)?;
+        Ok(())
+    })?;
     let infer = time_median(repeats.max(15), || {
-        pm.predict_field(&map).expect("predict");
-    });
+        pm.predict_field(&map)?;
+        Ok(())
+    })?;
     // Batched inference: 50 configurations share one trunk pass.
     let batch = 50usize;
     let batch_inputs = Matrix::from_fn(batch, 441, |i, j| ((i * 7 + j) % 9) as f64 * 0.2);
     let coords = pm.chip().grid().node_positions_normalized();
     let infer_batch = time_median(repeats.max(15), || {
-        pm.model().predict(&[&batch_inputs], &coords).expect("predict");
-    });
+        pm.model().predict(&[&batch_inputs], &coords)?;
+        Ok(())
+    })?;
 
     telemetry::gauge("bench.speedup.va.solve_ms", solve * 1e3);
     telemetry::gauge("bench.speedup.va.infer_ms", infer * 1e3);
@@ -100,22 +108,24 @@ fn main() {
     );
 
     // --- §V.B configuration -------------------------------------------------
-    let mut htc =
-        HtcExperiment::new(HtcExperimentConfig::default().supervised(10)).expect("experiment");
-    htc.run(train, train.max(1), |_| {}).expect("training");
+    let mut htc = HtcExperiment::new(HtcExperimentConfig::default().supervised(10))?;
+    htc.run(train, train.max(1), |_| {})?;
     let solve = time_median(repeats, || {
-        htc.reference_field(700.0, 450.0).expect("solve");
-    });
+        htc.reference_field(700.0, 450.0)?;
+        Ok(())
+    })?;
     let infer = time_median(repeats.max(15), || {
-        htc.predict_field(700.0, 450.0).expect("predict");
-    });
+        htc.predict_field(700.0, 450.0)?;
+        Ok(())
+    })?;
     let h_top = Matrix::from_fn(batch, 1, |i, _| 0.4 + 0.01 * i as f64);
     let h_bot = Matrix::from_fn(batch, 1, |i, _| 0.9 - 0.01 * i as f64);
-    let chip = htc.reference_chip(500.0, 500.0).expect("chip");
+    let chip = htc.reference_chip(500.0, 500.0)?;
     let htc_coords = chip.grid().node_positions_normalized();
     let infer_batch = time_median(repeats.max(15), || {
-        htc.model().predict(&[&h_top, &h_bot], &htc_coords).expect("predict");
-    });
+        htc.model().predict(&[&h_top, &h_bot], &htc_coords)?;
+        Ok(())
+    })?;
 
     telemetry::gauge("bench.speedup.vb.solve_ms", solve * 1e3);
     telemetry::gauge("bench.speedup.vb.infer_ms", infer * 1e3);
@@ -154,29 +164,31 @@ fn main() {
         use deepoheat_fdm::{
             BoundaryCondition, Face, FluxMap, HeatProblem, SolveOptions, StructuredGrid,
         };
-        let grid = StructuredGrid::new(n, n, nz, 1e-3, 1e-3, 0.5e-3).expect("grid");
+        let grid = StructuredGrid::new(n, n, nz, 1e-3, 1e-3, 0.5e-3)?;
         let mut problem = HeatProblem::new(grid, 0.1);
-        problem
-            .set_boundary(
-                Face::ZMax,
-                BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(2500.0) },
-            )
-            .expect("bc");
-        problem
-            .set_boundary(Face::ZMin, BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 })
-            .expect("bc");
+        problem.set_boundary(
+            Face::ZMax,
+            BoundaryCondition::HeatFlux { flux: FluxMap::Uniform(2500.0) },
+        )?;
+        problem.set_boundary(
+            Face::ZMin,
+            BoundaryCondition::Convection { htc: 500.0, ambient: 298.15 },
+        )?;
         let solve_ms = time_median(3, || {
-            problem.solve(SolveOptions::default()).expect("solve");
-        }) * 1e3;
+            problem.solve(SolveOptions::default())?;
+            Ok(())
+        })? * 1e3;
 
         let sweep_coords = grid.node_positions_normalized();
         let one = Matrix::zeros(1, 441);
         let infer_ms = time_median(5, || {
-            pm.model().predict(&[&one], &sweep_coords).expect("predict");
-        }) * 1e3;
+            pm.model().predict(&[&one], &sweep_coords)?;
+            Ok(())
+        })? * 1e3;
         let batch_ms = time_median(3, || {
-            pm.model().predict(&[&batch_inputs], &sweep_coords).expect("predict");
-        }) * 1e3
+            pm.model().predict(&[&batch_inputs], &sweep_coords)?;
+            Ok(())
+        })? * 1e3
             / batch as f64;
         telemetry::event(
             "bench.speedup.sweep",
@@ -196,4 +208,5 @@ fn main() {
         );
     }
     finish_telemetry();
+    Ok(())
 }

@@ -15,11 +15,15 @@
 
 use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
 use deepoheat::report::table_row;
-use deepoheat_bench::{finish_telemetry, init_telemetry, secs, Args};
+use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, secs, Args, BenchError};
 use deepoheat_grf::paper_test_suite;
 use deepoheat_telemetry as telemetry;
 
 fn main() {
+    run_or_exit("table1", run);
+}
+
+fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
     init_telemetry("table1", &args);
     let mode = args.get_str("mode", "physics");
@@ -31,9 +35,9 @@ fn main() {
         (false, "supervised") => 4000,
         (false, _) => 1500,
     };
-    let iterations = args.get_usize("iterations", default_iterations);
-    let dataset = args.get_usize("dataset", if quick { 20 } else { 300 });
-    let seed = args.get_usize("seed", 0) as u64;
+    let iterations = args.get_usize("iterations", default_iterations)?;
+    let dataset = args.get_usize("dataset", if quick { 20 } else { 300 })?;
+    let seed = args.get_usize("seed", 0)? as u64;
 
     let mut config = PowerMapExperimentConfig { seed, ..Default::default() };
     if quick {
@@ -50,20 +54,17 @@ fn main() {
                 Some(deepoheat::FourierConfig { n_frequencies: 32, std: std::f64::consts::TAU });
         }
     } else if mode != "physics" {
-        eprintln!("unknown --mode {mode:?}; use physics or supervised");
-        std::process::exit(2);
+        return Err(format!("unknown --mode {mode:?}; use physics or supervised").into());
     }
 
     println!("== Table I: 2-D power map experiment (§V.A) ==");
     println!("mode: {mode}, iterations: {iterations}, seed: {seed}");
     let t0 = std::time::Instant::now();
-    let mut experiment = PowerMapExperiment::new(config).expect("experiment construction");
+    let mut experiment = PowerMapExperiment::new(config)?;
     let train_span = telemetry::span("bench.table1.train");
-    experiment
-        .run(iterations, (iterations / 10).max(1), |r| {
-            eprintln!("  iter {:>5}  loss {:.4e}  lr {:.2e}", r.iteration, r.loss, r.learning_rate);
-        })
-        .expect("training");
+    experiment.run(iterations, (iterations / 10).max(1), |r| {
+        eprintln!("  iter {:>5}  loss {:.4e}  lr {:.2e}", r.iteration, r.loss, r.learning_rate);
+    })?;
     drop(train_span);
     println!("trained in {}", secs(t0.elapsed()));
 
@@ -73,7 +74,7 @@ fn main() {
     let mut header = String::from("            ");
     for (name, map) in &suite {
         let grid_map = map.to_grid(21);
-        let errors = experiment.evaluate_units(&grid_map).expect("evaluation");
+        let errors = experiment.evaluate_units(&grid_map)?;
         telemetry::event(
             "bench.table1.result",
             &[
@@ -100,4 +101,5 @@ fn main() {
     println!("\npaper reports: MAPE 0.03/0.03/0.02/0.05/0.14/0.04/0.13/0.07/0.16/0.08");
     println!("               PAPE 0.10/0.20/0.24/0.38/0.52/0.49/0.71/0.66/1.00/0.40");
     finish_telemetry();
+    Ok(())
 }

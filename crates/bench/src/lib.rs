@@ -14,6 +14,21 @@
 
 use std::collections::HashMap;
 
+/// Boxed error type shared by the harness binaries' fallible bodies.
+pub type BenchError = Box<dyn std::error::Error>;
+
+/// Entry-point wrapper for the harness binaries: runs `body` and, on
+/// error, flushes telemetry, prints a one-line `name: error: …`
+/// diagnostic to stderr, and exits with a nonzero status instead of
+/// panicking.
+pub fn run_or_exit(name: &str, body: impl FnOnce() -> Result<(), BenchError>) {
+    if let Err(err) = body() {
+        finish_telemetry();
+        eprintln!("{name}: error: {err}");
+        std::process::exit(1);
+    }
+}
+
 /// Minimal `--key value` / `--flag` argument parser for the harness
 /// binaries (avoids a CLI dependency).
 ///
@@ -22,9 +37,10 @@ use std::collections::HashMap;
 /// ```
 /// use deepoheat_bench::Args;
 /// let args = Args::from_iter(["--iterations", "100", "--quick"].iter().map(|s| s.to_string()));
-/// assert_eq!(args.get_usize("iterations", 5), 100);
+/// assert_eq!(args.get_usize("iterations", 5)?, 100);
 /// assert!(args.flag("quick"));
 /// assert_eq!(args.get_str("mode", "physics"), "physics");
+/// # Ok::<(), deepoheat_bench::BenchError>(())
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -59,27 +75,27 @@ impl Args {
 
     /// Returns a `usize` option or the default.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message if the value does not parse.
-    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+    /// Returns a usage message if the value does not parse.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, BenchError> {
         match self.values.get(key) {
             Some(v) => {
-                v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+                v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}").into())
             }
-            None => default,
+            None => Ok(default),
         }
     }
 
     /// Returns an `f64` option or the default.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message if the value does not parse.
-    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+    /// Returns a usage message if the value does not parse.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, BenchError> {
         match self.values.get(key) {
-            Some(v) => v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")),
-            None => default,
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}").into()),
+            None => Ok(default),
         }
     }
 
@@ -153,12 +169,12 @@ mod tests {
                 .iter()
                 .map(|s| s.to_string()),
         );
-        assert_eq!(a.get_usize("iterations", 0), 42);
+        assert_eq!(a.get_usize("iterations", 0).unwrap(), 42);
         assert_eq!(a.get_str("mode", "x"), "supervised");
-        assert!((a.get_f64("scale", 0.0) - 2.5).abs() < 1e-12);
+        assert!((a.get_f64("scale", 0.0).unwrap() - 2.5).abs() < 1e-12);
         assert!(a.flag("quick"));
         assert!(!a.flag("missing"));
-        assert_eq!(a.get_usize("absent", 7), 7);
+        assert_eq!(a.get_usize("absent", 7).unwrap(), 7);
     }
 
     #[test]
@@ -168,9 +184,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expects an integer")]
-    fn bad_integer_panics() {
+    fn bad_integer_is_a_one_line_error() {
         let a = Args::from_iter(["--n", "abc"].iter().map(|s| s.to_string()));
-        a.get_usize("n", 0);
+        let err = a.get_usize("n", 0).unwrap_err().to_string();
+        assert!(err.contains("expects an integer"), "{err}");
+        assert!(!err.contains('\n'), "diagnostics must be one line: {err}");
     }
 }

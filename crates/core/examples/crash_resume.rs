@@ -1,0 +1,74 @@
+//! Crash-resume smoke driver used by CI (and by hand):
+//!
+//! ```text
+//! cargo run --release --example crash_resume -- \
+//!     [CHECKPOINT_PATH] [--iterations N] [--crash-at I]
+//! ```
+//!
+//! Trains a tiny volumetric experiment with a checkpoint every 5 steps.
+//! With `--crash-at I` the process hard-aborts (no destructors, no
+//! flushing — a genuine crash) right after logging iteration `I`. A
+//! second invocation with the same checkpoint path resumes from the last
+//! durable checkpoint and finishes, printing `training complete`.
+
+use deepoheat::experiments::{TrainingMode, VolumetricExperiment, VolumetricExperimentConfig};
+use deepoheat::ResilienceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.first() {
+        Some(p) if !p.starts_with("--") => p.clone(),
+        _ => "target/crash_resume.ckpt".to_string(),
+    };
+    let mut iterations = 60usize;
+    let mut crash_at: Option<usize> = None;
+    let mut i = usize::from(!path.starts_with("--") && !args.is_empty());
+    while i < args.len() {
+        let value = || args.get(i + 1).ok_or(format!("{} expects a value", args[i]));
+        match args[i].as_str() {
+            "--iterations" => iterations = value()?.parse()?,
+            "--crash-at" => crash_at = Some(value()?.parse()?),
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+        i += 2;
+    }
+
+    let mut exp = VolumetricExperiment::new(VolumetricExperimentConfig {
+        nx: 7,
+        ny: 7,
+        nz: 5,
+        branch_hidden: vec![24, 24],
+        trunk_hidden: vec![16, 16],
+        fourier: None,
+        latent_dim: 12,
+        mode: TrainingMode::Supervised { dataset_size: 6 },
+        seed: 17,
+        ..Default::default()
+    })?;
+
+    if std::path::Path::new(&path).exists() {
+        let at = exp.resume_from(&path)?;
+        println!("resumed at iteration {at}");
+    }
+
+    let remaining = iterations.saturating_sub(exp.iterations_done());
+    let config = ResilienceConfig {
+        checkpoint_every: 5,
+        checkpoint_path: Some(path.clone().into()),
+        ..Default::default()
+    };
+    let report = exp.run_with_checkpoints(remaining, 1, &config, |r| {
+        println!("iter {:>4}  loss {:.4e}", r.iteration, r.loss);
+        if Some(r.iteration) == crash_at {
+            eprintln!("simulating hard crash at iteration {}", r.iteration);
+            std::process::abort();
+        }
+    })?;
+    println!(
+        "training complete: {} iterations, {} checkpoints written, final loss {:.4e}",
+        exp.iterations_done(),
+        report.checkpoints_written,
+        report.records.last().map_or(f64::NAN, |r| r.loss)
+    );
+    Ok(())
+}

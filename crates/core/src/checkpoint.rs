@@ -1,0 +1,504 @@
+//! Crash-safe training checkpoints.
+//!
+//! A checkpoint captures everything needed to resume a training run
+//! **bit-identically**: the model weights, the Adam moments/step/LR
+//! backoff, the training RNG state and the iteration counter. Files are
+//! written atomically (temp file + fsync + rename), so a crash mid-write
+//! leaves the previous checkpoint intact, and every load verifies a CRC-32
+//! over the payload so corrupt files are rejected with a typed error
+//! instead of producing a silently-wrong model.
+//!
+//! # Format (version 1)
+//!
+//! All integers little-endian.
+//!
+//! ```text
+//! magic        "DOHC"                      4 bytes
+//! version      u32                         (currently 1)
+//! payload_len  u64                         length of `payload`
+//! crc32        u32                         CRC-32 (IEEE) of `payload`
+//! payload:
+//!   iteration          u64
+//!   rng state          4 × u64             (xoshiro256++, never all-zero)
+//!   adam step          u64
+//!   adam lr_scale      f64                 (finite, > 0)
+//!   moment count       u64                 number of moment matrix pairs
+//!   moments × count:
+//!     rows, cols       2 × u64
+//!     first moment     f64 × rows·cols
+//!     second moment    f64 × rows·cols
+//!   model blob length  u64
+//!   model blob         bytes               (the `model_io` "DOHM" format)
+//! ```
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use deepoheat::experiments::{Trainable, VolumetricExperiment, VolumetricExperimentConfig};
+//! use deepoheat::checkpoint;
+//!
+//! let mut exp = VolumetricExperiment::new(VolumetricExperimentConfig::default())?;
+//! exp.train_step()?;
+//! checkpoint::save_to_path(&exp.snapshot(), "run.dohc")?;
+//! let snapshot = checkpoint::load_from_path("run.dohc")?;
+//! exp.restore(&snapshot)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::io::Write;
+use std::path::Path;
+
+use deepoheat_linalg::Matrix;
+use deepoheat_nn::AdamState;
+
+use crate::model_io::{self, ModelIoError};
+use crate::DeepOHeat;
+
+const MAGIC: &[u8; 4] = b"DOHC";
+const VERSION: u32 = 1;
+/// Upper bound on the declared payload length (4 GiB).
+const MAX_PAYLOAD: u64 = 1 << 32;
+/// Upper bound on the declared moment-pair count.
+const MAX_MOMENTS: u64 = 1 << 16;
+/// Upper bound on elements per moment matrix.
+const MAX_ELEMENTS: u64 = 1 << 26;
+
+/// Everything needed to resume a training run bit-identically.
+#[derive(Debug, Clone)]
+pub struct TrainingSnapshot {
+    /// The model weights at the snapshot point.
+    pub model: DeepOHeat,
+    /// The optimiser state (step counter, LR backoff, moments).
+    pub adam: AdamState,
+    /// The training RNG state (xoshiro256++ words).
+    pub rng: [u64; 4],
+    /// Training iterations completed when the snapshot was captured.
+    pub iteration: usize,
+}
+
+/// Errors produced by checkpoint (de)serialisation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The data is not a checkpoint file, is from an unsupported version,
+    /// or decodes to implausible values.
+    BadFormat {
+        /// Description of what was wrong.
+        what: String,
+    },
+    /// The payload bytes do not match the stored CRC-32 — the file was
+    /// corrupted after it was written.
+    ChecksumMismatch {
+        /// CRC stored in the header.
+        expected: u32,
+        /// CRC computed over the payload actually read.
+        actual: u32,
+    },
+    /// The embedded model blob failed to decode or was inconsistent.
+    Model(ModelIoError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o failure: {e}"),
+            CheckpointError::BadFormat { what } => write!(f, "bad checkpoint file: {what}"),
+            CheckpointError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint payload is corrupt: crc32 {actual:#010x} != stored {expected:#010x}"
+            ),
+            CheckpointError::Model(e) => write!(f, "checkpoint model blob: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<ModelIoError> for CheckpointError {
+    fn from(e: ModelIoError) -> Self {
+        CheckpointError::Model(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the standard
+/// zlib/PNG checksum, computed bitwise to avoid a table.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialises a snapshot to bytes in the format described in the module
+/// docs.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadFormat`] if the snapshot itself is
+/// malformed (mismatched moment pairs) and [`CheckpointError::Model`] if
+/// the model cannot be serialised.
+pub fn to_bytes(snapshot: &TrainingSnapshot) -> Result<Vec<u8>, CheckpointError> {
+    if snapshot.adam.first_moment.len() != snapshot.adam.second_moment.len() {
+        return Err(CheckpointError::BadFormat {
+            what: format!(
+                "snapshot has {} first moments but {} second moments",
+                snapshot.adam.first_moment.len(),
+                snapshot.adam.second_moment.len()
+            ),
+        });
+    }
+    let mut payload = Vec::new();
+    push_u64(&mut payload, snapshot.iteration as u64);
+    for word in snapshot.rng {
+        push_u64(&mut payload, word);
+    }
+    push_u64(&mut payload, snapshot.adam.step as u64);
+    push_f64(&mut payload, snapshot.adam.lr_scale);
+    push_u64(&mut payload, snapshot.adam.first_moment.len() as u64);
+    for (m, v) in snapshot.adam.first_moment.iter().zip(&snapshot.adam.second_moment) {
+        if m.shape() != v.shape() {
+            return Err(CheckpointError::BadFormat {
+                what: format!("moment pair shapes disagree: {:?} vs {:?}", m.shape(), v.shape()),
+            });
+        }
+        push_u64(&mut payload, m.rows() as u64);
+        push_u64(&mut payload, m.cols() as u64);
+        for &x in m.iter() {
+            push_f64(&mut payload, x);
+        }
+        for &x in v.iter() {
+            push_f64(&mut payload, x);
+        }
+    }
+    let mut blob = Vec::new();
+    model_io::save(&snapshot.model, &mut blob)?;
+    push_u64(&mut payload, blob.len() as u64);
+    payload.extend_from_slice(&blob);
+
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// A bounds-checked forward cursor over the payload bytes.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len()).ok_or_else(|| {
+            CheckpointError::BadFormat { what: format!("payload truncated reading {what}") }
+        })?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+}
+
+fn read_moment(cursor: &mut Cursor<'_>, index: usize) -> Result<(Matrix, Matrix), CheckpointError> {
+    let rows = cursor.u64("moment rows")?;
+    let cols = cursor.u64("moment cols")?;
+    let elements = rows.checked_mul(cols).filter(|&n| n <= MAX_ELEMENTS).ok_or_else(|| {
+        CheckpointError::BadFormat {
+            what: format!("moment {index} claims implausible shape {rows}x{cols}"),
+        }
+    })?;
+    let mut read_matrix = |what: &str| -> Result<Matrix, CheckpointError> {
+        let mut data = Vec::with_capacity(elements as usize);
+        for _ in 0..elements {
+            data.push(cursor.f64(what)?);
+        }
+        Matrix::from_vec(rows as usize, cols as usize, data)
+            .map_err(|e| CheckpointError::BadFormat { what: format!("{what}: {e}") })
+    };
+    Ok((read_matrix("first moment")?, read_matrix("second moment")?))
+}
+
+/// Deserialises a snapshot from bytes, verifying the CRC-32 first.
+///
+/// # Errors
+///
+/// * [`CheckpointError::BadFormat`] for wrong magic/version, truncated
+///   data or implausible declared sizes.
+/// * [`CheckpointError::ChecksumMismatch`] if the payload was corrupted.
+/// * [`CheckpointError::Model`] if the embedded model blob is invalid.
+pub fn from_bytes(bytes: &[u8]) -> Result<TrainingSnapshot, CheckpointError> {
+    if bytes.len() < 20 {
+        return Err(CheckpointError::BadFormat { what: "file shorter than the header".into() });
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(CheckpointError::BadFormat { what: "missing DOHC magic".into() });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(CheckpointError::BadFormat { what: format!("unsupported version {version}") });
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if payload_len > MAX_PAYLOAD {
+        return Err(CheckpointError::BadFormat {
+            what: format!("declared payload length {payload_len} is implausible"),
+        });
+    }
+    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let payload = &bytes[20..];
+    if payload.len() as u64 != payload_len {
+        return Err(CheckpointError::BadFormat {
+            what: format!(
+                "payload is {} bytes but the header declares {payload_len}",
+                payload.len()
+            ),
+        });
+    }
+    let actual_crc = crc32(payload);
+    if actual_crc != stored_crc {
+        return Err(CheckpointError::ChecksumMismatch { expected: stored_crc, actual: actual_crc });
+    }
+
+    let mut cursor = Cursor { data: payload, pos: 0 };
+    let iteration = cursor.u64("iteration")? as usize;
+    let mut rng = [0u64; 4];
+    for word in &mut rng {
+        *word = cursor.u64("rng state")?;
+    }
+    if rng == [0; 4] {
+        // The all-zero state is a fixed point of xoshiro256++ and can never
+        // be produced by a real run; it indicates a zeroed-out file.
+        return Err(CheckpointError::BadFormat { what: "rng state is all zeros".into() });
+    }
+    let step = cursor.u64("adam step")? as usize;
+    let lr_scale = cursor.f64("adam lr scale")?;
+    if !(lr_scale.is_finite() && lr_scale > 0.0) {
+        return Err(CheckpointError::BadFormat {
+            what: format!("lr scale {lr_scale} is not a positive finite number"),
+        });
+    }
+    let n_moments = cursor.u64("moment count")?;
+    if n_moments > MAX_MOMENTS {
+        return Err(CheckpointError::BadFormat {
+            what: format!("declared moment count {n_moments} is implausible"),
+        });
+    }
+    let mut first_moment = Vec::with_capacity(n_moments as usize);
+    let mut second_moment = Vec::with_capacity(n_moments as usize);
+    for i in 0..n_moments {
+        let (m, v) = read_moment(&mut cursor, i as usize)?;
+        first_moment.push(m);
+        second_moment.push(v);
+    }
+    let blob_len = cursor.u64("model blob length")? as usize;
+    let blob = cursor.take(blob_len, "model blob")?;
+    if cursor.pos != payload.len() {
+        return Err(CheckpointError::BadFormat {
+            what: format!("{} trailing bytes after the model blob", payload.len() - cursor.pos),
+        });
+    }
+    let model = model_io::load(blob)?;
+
+    Ok(TrainingSnapshot {
+        model,
+        adam: AdamState { step, lr_scale, first_moment, second_moment },
+        rng,
+        iteration,
+    })
+}
+
+/// Writes a snapshot to `path` atomically: the bytes are written to a
+/// sibling temp file, fsynced, and renamed over the target, so a crash at
+/// any point leaves either the old checkpoint or the new one — never a
+/// torn file.
+///
+/// # Errors
+///
+/// As [`to_bytes`], plus [`CheckpointError::Io`] for filesystem failures.
+pub fn save_to_path<P: AsRef<Path>>(
+    snapshot: &TrainingSnapshot,
+    path: P,
+) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let bytes = to_bytes(snapshot)?;
+    let file_name = path.file_name().ok_or_else(|| {
+        CheckpointError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("checkpoint path {} has no file name", path.display()),
+        ))
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| -> Result<(), CheckpointError> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Reads and verifies a snapshot from `path`.
+///
+/// # Errors
+///
+/// As [`from_bytes`], plus [`CheckpointError::Io`] for filesystem
+/// failures.
+pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<TrainingSnapshot, CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeepOHeatConfig;
+    use rand::SeedableRng;
+
+    fn sample_snapshot() -> TrainingSnapshot {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let model =
+            DeepOHeat::new(&DeepOHeatConfig::single_branch(4, &[6], &[6], 5), &mut rng).unwrap();
+        let adam = AdamState {
+            step: 17,
+            lr_scale: 0.25,
+            first_moment: vec![Matrix::from_fn(2, 3, |i, j| (i + j) as f64)],
+            second_moment: vec![Matrix::from_fn(2, 3, |i, j| (i * j) as f64 + 0.5)],
+        };
+        TrainingSnapshot { model, adam, rng: [1, 2, 3, 4], iteration: 42 }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_everything() {
+        let snap = sample_snapshot();
+        let bytes = to_bytes(&snap).unwrap();
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(restored.iteration, 42);
+        assert_eq!(restored.rng, [1, 2, 3, 4]);
+        assert_eq!(restored.adam, snap.adam);
+        let u = Matrix::from_fn(2, 4, |i, j| 0.1 * (i + j) as f64);
+        let y = Matrix::from_fn(5, 3, |i, j| ((i + j) % 7) as f64 / 7.0);
+        assert_eq!(
+            restored.model.predict(&[&u], &y).unwrap(),
+            snap.model.predict(&[&u], &y).unwrap()
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_byte_is_a_checksum_mismatch() {
+        let mut bytes = to_bytes(&sample_snapshot()).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xFF;
+        assert!(matches!(from_bytes(&bytes), Err(CheckpointError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let bytes = to_bytes(&sample_snapshot()).unwrap();
+        for keep in [0, 3, 10, 19, bytes.len() / 2] {
+            let err = from_bytes(&bytes[..keep]).unwrap_err();
+            assert!(matches!(err, CheckpointError::BadFormat { .. }), "keep={keep}: {err}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let mut bytes = to_bytes(&sample_snapshot()).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(CheckpointError::BadFormat { .. })));
+        let mut bytes = to_bytes(&sample_snapshot()).unwrap();
+        bytes[4] = 9;
+        assert!(matches!(from_bytes(&bytes), Err(CheckpointError::BadFormat { .. })));
+    }
+
+    #[test]
+    fn implausible_declared_sizes_are_rejected_before_allocation() {
+        let mut bytes = to_bytes(&sample_snapshot()).unwrap();
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(from_bytes(&bytes), Err(CheckpointError::BadFormat { .. })));
+    }
+
+    #[test]
+    fn all_zero_rng_state_is_rejected() {
+        let mut snap = sample_snapshot();
+        snap.rng = [0; 4];
+        let bytes = to_bytes(&snap).unwrap();
+        assert!(matches!(from_bytes(&bytes), Err(CheckpointError::BadFormat { .. })));
+    }
+
+    #[test]
+    fn atomic_save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("doh_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.dohc");
+        let snap = sample_snapshot();
+        save_to_path(&snap, &path).unwrap();
+        // No temp file left behind.
+        assert!(!dir.join("run.dohc.tmp").exists());
+        let restored = load_from_path(&path).unwrap();
+        assert_eq!(restored.iteration, snap.iteration);
+        assert_eq!(restored.rng, snap.rng);
+        // Overwriting an existing checkpoint is also atomic.
+        save_to_path(&restored, &path).unwrap();
+        assert!(load_from_path(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_to_directoryless_path_fails_with_io_error() {
+        let snap = sample_snapshot();
+        let err = save_to_path(&snap, "/nonexistent-dir-xyz/run.dohc").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+}

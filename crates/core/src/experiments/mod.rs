@@ -22,7 +22,139 @@ pub use power_map::{PowerMapExperiment, PowerMapExperimentConfig};
 pub use volumetric::{volumetric_test_suite, VolumetricExperiment, VolumetricExperimentConfig};
 
 use deepoheat_linalg::Matrix;
+use deepoheat_telemetry as telemetry;
 use rand::Rng;
+
+use crate::checkpoint::TrainingSnapshot;
+use crate::DeepOHeatError;
+
+/// Seed salt for the dedicated dataset RNG: supervised datasets are drawn
+/// from `seed ^ DATASET_SEED_SALT` instead of the training RNG, so a
+/// resumed process rebuilds the identical dataset without perturbing the
+/// training stream (required for bit-identical resume).
+pub(crate) const DATASET_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The uniform training interface shared by all three experiments,
+/// providing everything the resilience layer ([`crate::resilience`] and
+/// [`crate::checkpoint`]) needs: stepping, snapshot/restore, and the
+/// learning-rate backoff knob.
+pub trait Trainable {
+    /// Runs one training step, returning the loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph/optimiser errors; reports
+    /// [`DeepOHeatError::Diverged`] on a non-finite loss.
+    fn train_step(&mut self) -> Result<f64, DeepOHeatError>;
+
+    /// Training iterations completed so far.
+    fn iterations_done(&self) -> usize;
+
+    /// The learning rate the next step will use (schedule × backoff).
+    fn learning_rate(&self) -> f64;
+
+    /// The divergence-backoff multiplier currently applied on top of the
+    /// schedule (1.0 until a recovery decays it).
+    fn learning_rate_scale(&self) -> f64;
+
+    /// Sets the divergence-backoff multiplier.
+    fn set_learning_rate_scale(&mut self, scale: f64);
+
+    /// Captures the full mutable training state.
+    fn snapshot(&self) -> TrainingSnapshot;
+
+    /// Restores a snapshot captured from a compatible experiment,
+    /// rewinding model, optimiser, RNG and iteration counter so the
+    /// trajectory replays bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepOHeatError::InputMismatch`] if the snapshot's model
+    /// does not fit this experiment and propagates optimiser-state
+    /// mismatches.
+    fn restore(&mut self, snapshot: &TrainingSnapshot) -> Result<(), DeepOHeatError>;
+
+    /// Mutable access to the model, for fault injection and advanced
+    /// surgery. Mutating weights invalidates the optimiser moments'
+    /// correspondence; prefer [`Trainable::restore`] for state changes.
+    fn model_mut(&mut self) -> &mut crate::DeepOHeat;
+
+    /// Fault-injection hook: poisons one model weight with NaN so the next
+    /// step's loss is non-finite. Deterministic; used by the resilience
+    /// tests to exercise the divergence guard.
+    fn inject_nan_parameter(&mut self) {
+        use deepoheat_nn::Parameterized;
+        if let Some(p) = self.model_mut().parameters_mut().into_iter().next() {
+            if p.rows() > 0 && p.cols() > 0 {
+                p[(0, 0)] = f64::NAN;
+            }
+        }
+    }
+}
+
+/// Checks that a snapshot's model is interchangeable with the
+/// experiment's current one (same branch arity and input widths).
+pub(crate) fn check_snapshot_model(
+    current: &crate::DeepOHeat,
+    snapshot: &TrainingSnapshot,
+) -> Result<(), DeepOHeatError> {
+    if snapshot.model.branch_count() != current.branch_count() {
+        return Err(DeepOHeatError::InputMismatch {
+            what: format!(
+                "snapshot model has {} branches, experiment expects {}",
+                snapshot.model.branch_count(),
+                current.branch_count()
+            ),
+        });
+    }
+    for i in 0..current.branch_count() {
+        if snapshot.model.branch_input_dim(i) != current.branch_input_dim(i) {
+            return Err(DeepOHeatError::InputMismatch {
+                what: format!(
+                    "snapshot branch {i} takes {} inputs, experiment expects {}",
+                    snapshot.model.branch_input_dim(i),
+                    current.branch_input_dim(i)
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The shared training loop behind every experiment's `run`: steps,
+/// enforces loss finiteness uniformly, and logs records every `log_every`
+/// steps (and on the final step).
+pub(crate) fn run_training_loop<T, F>(
+    exp: &mut T,
+    iterations: usize,
+    log_every: usize,
+    mut progress: F,
+) -> Result<Vec<TrainingRecord>, DeepOHeatError>
+where
+    T: Trainable + ?Sized,
+    F: FnMut(&TrainingRecord),
+{
+    let mut records = Vec::new();
+    for step in 0..iterations {
+        let lr = exp.learning_rate();
+        let loss = exp.train_step()?;
+        if !loss.is_finite() {
+            // Every step implementation already reports divergence, but the
+            // loop is the single enforcement point for all experiments.
+            return Err(DeepOHeatError::Diverged {
+                iteration: exp.iterations_done().saturating_sub(1),
+            });
+        }
+        if step.is_multiple_of(log_every.max(1)) || step + 1 == iterations {
+            let record =
+                TrainingRecord { iteration: exp.iterations_done() - 1, loss, learning_rate: lr };
+            telemetry::gauge("train.loss", loss);
+            progress(&record);
+            records.push(record);
+        }
+    }
+    Ok(records)
+}
 
 /// A cached supervised training set: branch inputs paired with
 /// nondimensional reference fields at every mesh/grid point.

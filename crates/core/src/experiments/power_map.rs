@@ -16,9 +16,14 @@ use deepoheat_nn::{Adam, AdamConfig, LrSchedule};
 use deepoheat_telemetry as telemetry;
 use rand::{Rng, SeedableRng};
 
-use crate::experiments::{LossWeights, SupervisedDataset, TrainingMode, TrainingRecord};
+use crate::checkpoint::{self, CheckpointError, TrainingSnapshot};
+use crate::experiments::{
+    check_snapshot_model, run_training_loop, LossWeights, SupervisedDataset, Trainable,
+    TrainingMode, TrainingRecord, DATASET_SEED_SALT,
+};
 use crate::metrics::FieldErrors;
 use crate::physics::{self, HtcInput, PhysicsScales};
+use crate::resilience::{self, ResilienceConfig, ResilienceError, ResilientReport};
 use crate::{DeepOHeat, DeepOHeatConfig, DeepOHeatError, FourierConfig};
 
 /// Configuration of the §V.A experiment. `Default` gives CPU-friendly
@@ -415,11 +420,15 @@ impl PowerMapExperiment {
                 what: "supervised mode needs a non-empty dataset".into(),
             });
         }
+        // A dedicated RNG keeps dataset construction off the training
+        // stream, so a resumed run rebuilds the identical dataset without
+        // perturbing the checkpointed RNG state.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ DATASET_SEED_SALT);
         let sensors = self.config.nx * self.config.ny;
         let mut inputs = Matrix::zeros(dataset_size, sensors);
         let mut targets = Matrix::zeros(dataset_size, self.chip.grid().node_count());
         for s in 0..dataset_size {
-            let sample = self.grf.sample(&mut self.rng)?;
+            let sample = self.grf.sample(&mut rng)?;
             inputs.row_mut(s).copy_from_slice(&sample);
             let map = Matrix::from_vec(self.config.nx, self.config.ny, sample)?;
             let field = self.reference_field(&map)?;
@@ -497,24 +506,62 @@ impl PowerMapExperiment {
         &mut self,
         iterations: usize,
         log_every: usize,
-        mut progress: F,
+        progress: F,
     ) -> Result<Vec<TrainingRecord>, DeepOHeatError>
     where
         F: FnMut(&TrainingRecord),
     {
-        let mut records = Vec::new();
-        for step in 0..iterations {
-            let lr = self.adam.current_learning_rate();
-            let loss = self.train_step()?;
-            if step % log_every.max(1) == 0 || step + 1 == iterations {
-                let record =
-                    TrainingRecord { iteration: self.iteration - 1, loss, learning_rate: lr };
-                telemetry::gauge("train.loss", loss);
-                progress(&record);
-                records.push(record);
-            }
-        }
-        Ok(records)
+        run_training_loop(self, iterations, log_every, progress)
+    }
+
+    /// Trains under the divergence guard and checkpoint cadence of
+    /// [`crate::resilience::run_resilient`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::resilience::run_resilient`].
+    pub fn run_with_checkpoints<F>(
+        &mut self,
+        iterations: usize,
+        log_every: usize,
+        config: &ResilienceConfig,
+        progress: F,
+    ) -> Result<ResilientReport, ResilienceError>
+    where
+        F: FnMut(&TrainingRecord),
+    {
+        resilience::run_resilient(self, iterations, log_every, config, progress)
+    }
+
+    /// Writes the current training state to `path` (atomically).
+    ///
+    /// # Errors
+    ///
+    /// As [`checkpoint::save_to_path`].
+    pub fn save_checkpoint<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+    ) -> Result<(), CheckpointError> {
+        checkpoint::save_to_path(&Trainable::snapshot(self), path)
+    }
+
+    /// Restores training state from a checkpoint file, returning the
+    /// iteration the run resumes from. The subsequent trajectory is
+    /// bit-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// As [`checkpoint::load_from_path`], plus a
+    /// [`CheckpointError::Model`] when the checkpointed state does not fit
+    /// this experiment.
+    pub fn resume_from<P: AsRef<std::path::Path>>(
+        &mut self,
+        path: P,
+    ) -> Result<usize, CheckpointError> {
+        let snapshot = checkpoint::load_from_path(path)?;
+        Trainable::restore(self, &snapshot)
+            .map_err(|e| CheckpointError::Model(crate::model_io::ModelIoError::Model(e)))?;
+        Ok(snapshot.iteration)
     }
 
     /// Predicts the full-mesh temperature field (Kelvin, flat node order)
@@ -569,6 +616,50 @@ impl PowerMapExperiment {
             });
         }
         Ok(())
+    }
+}
+
+impl Trainable for PowerMapExperiment {
+    fn train_step(&mut self) -> Result<f64, DeepOHeatError> {
+        PowerMapExperiment::train_step(self)
+    }
+
+    fn iterations_done(&self) -> usize {
+        self.iteration
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.adam.current_learning_rate()
+    }
+
+    fn learning_rate_scale(&self) -> f64 {
+        self.adam.learning_rate_scale()
+    }
+
+    fn set_learning_rate_scale(&mut self, scale: f64) {
+        self.adam.set_learning_rate_scale(scale);
+    }
+
+    fn snapshot(&self) -> TrainingSnapshot {
+        TrainingSnapshot {
+            model: self.model.clone(),
+            adam: self.adam.export_state(),
+            rng: self.rng.state(),
+            iteration: self.iteration,
+        }
+    }
+
+    fn restore(&mut self, snapshot: &TrainingSnapshot) -> Result<(), DeepOHeatError> {
+        check_snapshot_model(&self.model, snapshot)?;
+        self.adam.import_state(snapshot.adam.clone())?;
+        self.model = snapshot.model.clone();
+        self.rng = rand::rngs::StdRng::from_state(snapshot.rng);
+        self.iteration = snapshot.iteration;
+        Ok(())
+    }
+
+    fn model_mut(&mut self) -> &mut DeepOHeat {
+        &mut self.model
     }
 }
 

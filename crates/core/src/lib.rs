@@ -25,6 +25,9 @@
 //!   Table I and Fig. 5.
 //! * [`report`] — ASCII heat maps and CSV export used by the experiment
 //!   harness binaries.
+//! * [`checkpoint`] / [`resilience`] — crash-safe training checkpoints
+//!   with bit-identical resume, and the divergence-guarded training
+//!   runner (see `RESILIENCE.md`).
 //!
 //! # Examples
 //!
@@ -49,12 +52,17 @@
 //! ```
 
 mod error;
+
+pub mod checkpoint;
 pub mod experiments;
 pub mod metrics;
 mod model;
 pub mod model_io;
 pub mod physics;
 pub mod report;
+pub mod resilience;
 
+pub use checkpoint::{CheckpointError, TrainingSnapshot};
 pub use error::DeepOHeatError;
 pub use model::{BoundDeepOHeat, DeepOHeat, DeepOHeatConfig, FourierConfig, TemperatureJet};
+pub use resilience::{FaultPlan, ResilienceConfig, ResilienceError, ResilientReport};

@@ -46,6 +46,13 @@ use crate::{DeepOHeat, DeepOHeatError};
 const MAGIC: &[u8; 4] = b"DOHM";
 const VERSION: u32 = 1;
 
+/// Largest element count a single serialised matrix may declare. Any real
+/// DeepOHeat layer is orders of magnitude below this; a corrupt length
+/// field must fail as [`ModelIoError::BadFormat`], not as an allocation.
+const MAX_MATRIX_ELEMENTS: usize = 1 << 26;
+/// Largest layer/branch count a file may declare.
+const MAX_COUNT: usize = 1 << 16;
+
 /// Errors produced by model (de)serialisation.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -158,10 +165,18 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64, ModelIoError> {
 fn read_dim<R: Read>(r: &mut R, what: &str) -> Result<usize, ModelIoError> {
     let v = read_u64(r)?;
     // Guard against corrupt headers asking for absurd allocations.
-    if v > 1 << 32 {
+    if v > MAX_MATRIX_ELEMENTS as u64 {
         return Err(ModelIoError::BadFormat {
             what: format!("{what} dimension {v} is implausible"),
         });
+    }
+    Ok(v as usize)
+}
+
+fn read_count<R: Read>(r: &mut R, what: &str) -> Result<usize, ModelIoError> {
+    let v = read_u64(r)?;
+    if v > MAX_COUNT as u64 {
+        return Err(ModelIoError::BadFormat { what: format!("{what} {v} is implausible") });
     }
     Ok(v as usize)
 }
@@ -175,8 +190,14 @@ fn read_f64<R: Read>(r: &mut R) -> Result<f64, ModelIoError> {
 fn read_matrix<R: Read>(r: &mut R) -> Result<Matrix, ModelIoError> {
     let rows = read_dim(r, "matrix rows")?;
     let cols = read_dim(r, "matrix cols")?;
-    let mut data = Vec::with_capacity(rows * cols);
-    for _ in 0..rows * cols {
+    // Each dimension alone may be plausible while the product is not;
+    // check it before committing to the allocation.
+    let elements =
+        rows.checked_mul(cols).filter(|&n| n <= MAX_MATRIX_ELEMENTS).ok_or_else(|| {
+            ModelIoError::BadFormat { what: format!("matrix size {rows}x{cols} is implausible") }
+        })?;
+    let mut data = Vec::with_capacity(elements);
+    for _ in 0..elements {
         data.push(read_f64(r)?);
     }
     Matrix::from_vec(rows, cols, data)
@@ -185,7 +206,7 @@ fn read_matrix<R: Read>(r: &mut R) -> Result<Matrix, ModelIoError> {
 
 fn read_mlp<R: Read>(r: &mut R) -> Result<Mlp, ModelIoError> {
     let activation = activation_from(read_u8(r)?)?;
-    let n_layers = read_dim(r, "layer count")?;
+    let n_layers = read_count(r, "layer count")?;
     let mut layers = Vec::with_capacity(n_layers);
     for _ in 0..n_layers {
         let weight = read_matrix(r)?;
@@ -257,7 +278,7 @@ pub fn load<R: Read>(mut reader: R) -> Result<DeepOHeat, ModelIoError> {
         other => return Err(ModelIoError::BadFormat { what: format!("bad fourier tag {other}") }),
     };
     let trunk = read_mlp(&mut reader)?;
-    let n_branches = read_dim(&mut reader, "branch count")?;
+    let n_branches = read_count(&mut reader, "branch count")?;
     let mut branches = Vec::with_capacity(n_branches);
     for _ in 0..n_branches {
         branches.push(read_mlp(&mut reader)?);
@@ -331,6 +352,47 @@ mod tests {
         save(&sample_model(false), &mut buffer).unwrap();
         buffer[4] = 99; // corrupt the version
         assert!(matches!(load(&buffer[..]), Err(ModelIoError::BadFormat { .. })));
+    }
+
+    /// Valid header (magic, version, output transform) followed by `tail`.
+    fn with_header(tail: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0f64.to_le_bytes());
+        buf.extend_from_slice(&1f64.to_le_bytes());
+        buf.extend_from_slice(tail);
+        buf
+    }
+
+    #[test]
+    fn rejects_implausible_matrix_dimension() {
+        // Fourier block whose row count is absurd: must be BadFormat, not
+        // an attempted multi-terabyte allocation or an Io error.
+        let mut tail = vec![1u8]; // fourier present
+        tail.extend_from_slice(&u64::MAX.to_le_bytes());
+        tail.extend_from_slice(&3u64.to_le_bytes());
+        let err = load(&with_header(&tail)[..]).unwrap_err();
+        assert!(matches!(err, ModelIoError::BadFormat { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_implausible_dimension_product() {
+        // Each dimension passes the per-dimension cap on its own, but the
+        // element count does not.
+        let mut tail = vec![1u8];
+        tail.extend_from_slice(&(1u64 << 20).to_le_bytes());
+        tail.extend_from_slice(&(1u64 << 20).to_le_bytes());
+        let err = load(&with_header(&tail)[..]).unwrap_err();
+        assert!(matches!(err, ModelIoError::BadFormat { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_implausible_layer_count() {
+        let mut tail = vec![0u8, 0u8]; // no fourier; trunk activation swish
+        tail.extend_from_slice(&(1u64 << 40).to_le_bytes()); // layer count
+        let err = load(&with_header(&tail)[..]).unwrap_err();
+        assert!(matches!(err, ModelIoError::BadFormat { .. }), "{err}");
     }
 
     #[test]

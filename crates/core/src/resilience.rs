@@ -1,0 +1,309 @@
+//! Divergence-guarded, checkpointed training.
+//!
+//! [`run_resilient`] wraps any [`Trainable`] experiment in a supervision
+//! loop that
+//!
+//! 1. snapshots the full training state every `checkpoint_every` steps
+//!    (and writes it to disk when a path is configured — atomically, via
+//!    [`crate::checkpoint`]);
+//! 2. detects divergence — a non-finite loss, a NaN gradient, or a
+//!    gradient-norm explosion — rolls the experiment back to the last good
+//!    snapshot, decays the learning rate by `lr_backoff`, and retries;
+//! 3. gives up with [`ResilienceError::RecoveryExhausted`] once
+//!    `max_recoveries` rollbacks have been spent.
+//!
+//! Checkpoint *write* failures never kill training: they are counted in
+//! the report and the previous on-disk checkpoint stays intact.
+//!
+//! The [`FaultPlan`] hooks make all of this testable deterministically:
+//! NaN parameters can be injected at chosen steps and chosen checkpoint
+//! writes can be forced to fail. See `RESILIENCE.md` for the full state
+//! machine.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use deepoheat_nn::NnError;
+use deepoheat_telemetry as telemetry;
+
+use crate::checkpoint::{self, CheckpointError};
+use crate::experiments::{Trainable, TrainingRecord};
+use crate::DeepOHeatError;
+
+/// Deterministic fault-injection hooks for resilience tests. All fields
+/// default to empty (no faults); leave them empty in production code.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Global iteration indices before which a model parameter is poisoned
+    /// with NaN (via [`Trainable::inject_nan_parameter`]). Each fault
+    /// fires once, so the post-rollback retry of the same step runs clean.
+    pub nan_at_steps: Vec<usize>,
+    /// Zero-based ordinals of checkpoint *writes* to force-fail. The write
+    /// is skipped and counted as failed; the previous on-disk checkpoint
+    /// is left intact.
+    pub fail_checkpoint_writes: Vec<usize>,
+}
+
+/// Configuration of [`run_resilient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Snapshot (and, with a path, write) a checkpoint every this many
+    /// successful steps. A final checkpoint is always taken when the run
+    /// completes. Must be at least 1.
+    pub checkpoint_every: usize,
+    /// Where to persist checkpoints. `None` keeps snapshots in memory only
+    /// (rollback still works; crash-resume does not).
+    pub checkpoint_path: Option<PathBuf>,
+    /// How many rollback-and-retry recoveries to allow before giving up.
+    pub max_recoveries: usize,
+    /// Learning-rate decay applied per recovery: after the `n`-th recovery
+    /// the schedule is multiplied by `lr_backoff^n`. Must be in `(0, 1]`.
+    pub lr_backoff: f64,
+    /// Fault-injection hooks (testing only).
+    pub faults: FaultPlan,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            checkpoint_every: 100,
+            checkpoint_path: None,
+            max_recoveries: 3,
+            lr_backoff: 0.5,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// The outcome of a [`run_resilient`] call.
+#[derive(Debug, Clone)]
+pub struct ResilientReport {
+    /// Training records from successful steps, as in
+    /// [`crate::experiments::PowerMapExperiment::run`].
+    pub records: Vec<TrainingRecord>,
+    /// Rollback-and-retry recoveries performed.
+    pub recoveries: usize,
+    /// Checkpoints successfully written to disk (0 without a path).
+    pub checkpoints_written: usize,
+    /// Checkpoint writes that failed (training continued regardless).
+    pub checkpoint_failures: usize,
+    /// The learning-rate backoff multiplier in effect at the end.
+    pub final_lr_scale: f64,
+}
+
+/// Errors produced by [`run_resilient`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ResilienceError {
+    /// A non-recoverable training error (anything other than divergence).
+    Train(DeepOHeatError),
+    /// Checkpoint machinery failed in a non-survivable way (e.g. the
+    /// *restore* path during rollback).
+    Checkpoint(CheckpointError),
+    /// Divergence persisted after exhausting the recovery budget.
+    RecoveryExhausted {
+        /// Recoveries spent before giving up.
+        recoveries: usize,
+        /// Iteration at which the final, unrecoverable divergence hit.
+        iteration: usize,
+        /// The divergence error that exhausted the budget.
+        last_error: DeepOHeatError,
+    },
+    /// The configuration was invalid (zero cadence, bad backoff factor).
+    InvalidConfig {
+        /// Description of what was wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilienceError::Train(e) => write!(f, "training failure: {e}"),
+            ResilienceError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            ResilienceError::RecoveryExhausted { recoveries, iteration, last_error } => write!(
+                f,
+                "divergence at iteration {iteration} after {recoveries} recoveries: {last_error}"
+            ),
+            ResilienceError::InvalidConfig { what } => {
+                write!(f, "invalid resilience configuration: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResilienceError::Train(e) => Some(e),
+            ResilienceError::Checkpoint(e) => Some(e),
+            ResilienceError::RecoveryExhausted { last_error, .. } => Some(last_error),
+            ResilienceError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<DeepOHeatError> for ResilienceError {
+    fn from(e: DeepOHeatError) -> Self {
+        ResilienceError::Train(e)
+    }
+}
+
+impl From<CheckpointError> for ResilienceError {
+    fn from(e: CheckpointError) -> Self {
+        ResilienceError::Checkpoint(e)
+    }
+}
+
+/// Divergence errors are recoverable by rollback; everything else
+/// (shape mismatches, solver failures, I/O) is not.
+fn is_recoverable(e: &DeepOHeatError) -> bool {
+    matches!(
+        e,
+        DeepOHeatError::Diverged { .. }
+            | DeepOHeatError::Nn(NnError::NonFiniteGradient)
+            | DeepOHeatError::Nn(NnError::GradientExplosion { .. })
+    )
+}
+
+/// Trains `exp` for `iterations` further steps under the divergence guard
+/// and checkpoint cadence described in the module docs.
+///
+/// # Errors
+///
+/// * [`ResilienceError::InvalidConfig`] for a zero cadence or an
+///   out-of-range backoff factor.
+/// * [`ResilienceError::Train`] for non-recoverable training errors.
+/// * [`ResilienceError::RecoveryExhausted`] when divergence outlasts the
+///   recovery budget.
+pub fn run_resilient<T, F>(
+    exp: &mut T,
+    iterations: usize,
+    log_every: usize,
+    config: &ResilienceConfig,
+    mut progress: F,
+) -> Result<ResilientReport, ResilienceError>
+where
+    T: Trainable + ?Sized,
+    F: FnMut(&TrainingRecord),
+{
+    if config.checkpoint_every == 0 {
+        return Err(ResilienceError::InvalidConfig {
+            what: "checkpoint cadence must be at least 1".into(),
+        });
+    }
+    if !(config.lr_backoff.is_finite() && 0.0 < config.lr_backoff && config.lr_backoff <= 1.0) {
+        return Err(ResilienceError::InvalidConfig {
+            what: format!("lr backoff must be in (0, 1], got {}", config.lr_backoff),
+        });
+    }
+
+    let start = exp.iterations_done();
+    let target = start + iterations;
+    let mut last_good = exp.snapshot();
+    let mut records = Vec::new();
+    let mut recoveries = 0usize;
+    let mut checkpoints_written = 0usize;
+    let mut checkpoint_failures = 0usize;
+    let mut steps_since_checkpoint = 0usize;
+    let mut fired_faults: HashSet<usize> = HashSet::new();
+
+    while exp.iterations_done() < target {
+        let iteration = exp.iterations_done();
+        if config.faults.nan_at_steps.contains(&iteration) && fired_faults.insert(iteration) {
+            exp.inject_nan_parameter();
+            telemetry::counter("resilience.fault.nan_injected.count", 1);
+        }
+
+        let lr = exp.learning_rate();
+        match exp.train_step() {
+            Ok(loss) if loss.is_finite() => {
+                let rel = iteration - start;
+                if rel.is_multiple_of(log_every.max(1)) || exp.iterations_done() == target {
+                    let record = TrainingRecord { iteration, loss, learning_rate: lr };
+                    telemetry::gauge("train.loss", loss);
+                    progress(&record);
+                    records.push(record);
+                }
+                steps_since_checkpoint += 1;
+                if steps_since_checkpoint >= config.checkpoint_every
+                    || exp.iterations_done() == target
+                {
+                    last_good = exp.snapshot();
+                    steps_since_checkpoint = 0;
+                    if let Some(path) = &config.checkpoint_path {
+                        let ordinal = checkpoints_written + checkpoint_failures;
+                        if config.faults.fail_checkpoint_writes.contains(&ordinal) {
+                            checkpoint_failures += 1;
+                            telemetry::counter("resilience.checkpoint.failed.count", 1);
+                        } else {
+                            match checkpoint::save_to_path(&last_good, path) {
+                                Ok(()) => {
+                                    checkpoints_written += 1;
+                                    telemetry::counter("resilience.checkpoint.written.count", 1);
+                                }
+                                Err(e) => {
+                                    // A failed write must not kill training:
+                                    // the previous checkpoint is still valid.
+                                    checkpoint_failures += 1;
+                                    telemetry::counter("resilience.checkpoint.failed.count", 1);
+                                    telemetry::event(
+                                        "resilience.checkpoint.write_failed",
+                                        &[
+                                            ("iteration", exp.iterations_done().into()),
+                                            ("error", e.to_string().as_str().into()),
+                                        ],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            result => {
+                // A non-finite Ok(loss) cannot normally happen (train_step
+                // reports Diverged), but treat it as divergence anyway.
+                let error = match result {
+                    Ok(_) => DeepOHeatError::Diverged { iteration },
+                    Err(e) => e,
+                };
+                if !is_recoverable(&error) {
+                    return Err(ResilienceError::Train(error));
+                }
+                if recoveries >= config.max_recoveries {
+                    return Err(ResilienceError::RecoveryExhausted {
+                        recoveries,
+                        iteration,
+                        last_error: error,
+                    });
+                }
+                recoveries += 1;
+                exp.restore(&last_good)?;
+                // restore() rewinds the LR scale with the snapshot, so the
+                // compounded backoff is re-applied as an absolute value.
+                let scale = config.lr_backoff.powi(recoveries as i32);
+                exp.set_learning_rate_scale(scale);
+                steps_since_checkpoint = 0;
+                telemetry::counter("resilience.recovery.count", 1);
+                telemetry::event(
+                    "resilience.recovery",
+                    &[
+                        ("iteration", iteration.into()),
+                        ("rolled_back_to", last_good.iteration.into()),
+                        ("recoveries", recoveries.into()),
+                        ("lr_scale", scale.into()),
+                        ("error", error.to_string().as_str().into()),
+                    ],
+                );
+            }
+        }
+    }
+
+    Ok(ResilientReport {
+        records,
+        recoveries,
+        checkpoints_written,
+        checkpoint_failures,
+        final_lr_scale: exp.learning_rate_scale(),
+    })
+}

@@ -1,0 +1,215 @@
+//! Integration tests for the resilience layer: crash-resume with
+//! bit-identical trajectories, divergence rollback with LR backoff, and
+//! survivable checkpoint-write failures — all driven by the deterministic
+//! fault-injection hooks in [`deepoheat::FaultPlan`].
+
+use deepoheat::checkpoint;
+use deepoheat::experiments::{
+    PowerMapExperiment, PowerMapExperimentConfig, TrainingMode, TrainingRecord,
+    VolumetricExperiment, VolumetricExperimentConfig,
+};
+use deepoheat::{CheckpointError, FaultPlan, FourierConfig, ResilienceConfig, ResilienceError};
+
+fn tiny_volumetric(seed: u64) -> VolumetricExperiment {
+    let cfg = VolumetricExperimentConfig {
+        nx: 7,
+        ny: 7,
+        nz: 5,
+        branch_hidden: vec![24, 24],
+        trunk_hidden: vec![16, 16],
+        fourier: None,
+        latent_dim: 12,
+        functions_per_batch: 4,
+        interior_points: Some(64),
+        boundary_points: Some(32),
+        mode: TrainingMode::Supervised { dataset_size: 6 },
+        seed,
+        ..Default::default()
+    };
+    VolumetricExperiment::new(cfg).expect("experiment")
+}
+
+fn tiny_power_map(seed: u64) -> PowerMapExperiment {
+    let cfg = PowerMapExperimentConfig {
+        nx: 9,
+        ny: 9,
+        nz: 5,
+        branch_hidden: vec![16, 16],
+        trunk_hidden: vec![16, 16],
+        fourier: Some(FourierConfig { n_frequencies: 4, std: std::f64::consts::TAU }),
+        latent_dim: 8,
+        functions_per_batch: 2,
+        interior_points: Some(32),
+        boundary_points: Some(16),
+        seed,
+        ..Default::default()
+    };
+    PowerMapExperiment::new(cfg).expect("experiment")
+}
+
+/// A unique, self-cleaning checkpoint path per test.
+struct TempCheckpoint(std::path::PathBuf);
+
+impl TempCheckpoint {
+    fn new(name: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "deepoheat_resilience_{}_{}.ckpt",
+            name,
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        TempCheckpoint(path)
+    }
+}
+
+impl Drop for TempCheckpoint {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+fn losses(records: &[TrainingRecord]) -> Vec<u64> {
+    records.iter().map(|r| r.loss.to_bits()).collect()
+}
+
+#[test]
+fn killed_run_resumes_bit_identically() {
+    // Uninterrupted reference trajectory: 16 steps, every loss recorded.
+    let mut reference = tiny_volumetric(11);
+    let full = reference.run(16, 1, |_| {}).expect("reference run");
+
+    // "Crash" after 8 steps: train, checkpoint, drop the experiment.
+    let ckpt = TempCheckpoint::new("volumetric_resume");
+    {
+        let mut first_half = tiny_volumetric(11);
+        first_half.run(8, 1, |_| {}).expect("first half");
+        first_half.save_checkpoint(&ckpt.0).expect("save");
+    }
+
+    // Resume in a fresh process-equivalent: new experiment, same config.
+    let mut resumed = tiny_volumetric(11);
+    let at = resumed.resume_from(&ckpt.0).expect("resume");
+    assert_eq!(at, 8);
+    let second_half = resumed.run(8, 1, |_| {}).expect("second half");
+
+    assert_eq!(losses(&second_half), losses(&full[8..]), "resumed trajectory diverged");
+    for (r, f) in second_half.iter().zip(&full[8..]) {
+        assert_eq!(r.iteration, f.iteration);
+        assert_eq!(r.learning_rate.to_bits(), f.learning_rate.to_bits());
+    }
+}
+
+#[test]
+fn physics_mode_resume_is_bit_identical() {
+    // Physics mode draws fresh collocation points from the training RNG
+    // every step, so this exercises RNG state capture the hardest.
+    let mut reference = tiny_power_map(3);
+    let full = reference.run(6, 1, |_| {}).expect("reference run");
+
+    let ckpt = TempCheckpoint::new("power_map_resume");
+    {
+        let mut first_half = tiny_power_map(3);
+        first_half.run(3, 1, |_| {}).expect("first half");
+        first_half.save_checkpoint(&ckpt.0).expect("save");
+    }
+
+    let mut resumed = tiny_power_map(3);
+    assert_eq!(resumed.resume_from(&ckpt.0).expect("resume"), 3);
+    let second_half = resumed.run(3, 1, |_| {}).expect("second half");
+    assert_eq!(losses(&second_half), losses(&full[3..]), "resumed trajectory diverged");
+}
+
+#[test]
+fn injected_nan_rolls_back_decays_lr_and_finishes() {
+    let mut exp = tiny_volumetric(5);
+    let config = ResilienceConfig {
+        checkpoint_every: 2,
+        max_recoveries: 3,
+        lr_backoff: 0.5,
+        faults: FaultPlan { nan_at_steps: vec![5], ..Default::default() },
+        ..Default::default()
+    };
+    let report = exp.run_with_checkpoints(10, 1, &config, |_| {}).expect("resilient run");
+
+    assert_eq!(report.recoveries, 1);
+    assert!((report.final_lr_scale - 0.5).abs() < 1e-15);
+    assert_eq!(exp.iterations_done(), 10);
+    assert!(!report.records.is_empty());
+    assert!(report.records.iter().all(|r| r.loss.is_finite()), "non-finite loss survived");
+}
+
+#[test]
+fn exhausted_recovery_budget_is_a_typed_error() {
+    let mut exp = tiny_volumetric(5);
+    let config = ResilienceConfig {
+        checkpoint_every: 2,
+        max_recoveries: 0,
+        faults: FaultPlan { nan_at_steps: vec![3], ..Default::default() },
+        ..Default::default()
+    };
+    match exp.run_with_checkpoints(10, 1, &config, |_| {}) {
+        Err(ResilienceError::RecoveryExhausted { recoveries: 0, .. }) => {}
+        other => panic!("expected RecoveryExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_write_failure_does_not_kill_training() {
+    let ckpt = TempCheckpoint::new("write_failure");
+    let mut exp = tiny_volumetric(7);
+    let config = ResilienceConfig {
+        checkpoint_every: 2,
+        checkpoint_path: Some(ckpt.0.clone()),
+        faults: FaultPlan { fail_checkpoint_writes: vec![0], ..Default::default() },
+        ..Default::default()
+    };
+    let report = exp.run_with_checkpoints(6, 1, &config, |_| {}).expect("resilient run");
+
+    assert_eq!(report.checkpoint_failures, 1);
+    assert_eq!(report.checkpoints_written, 2);
+    assert_eq!(exp.iterations_done(), 6);
+    // The surviving final checkpoint is valid and current.
+    let snapshot = checkpoint::load_from_path(&ckpt.0).expect("load");
+    assert_eq!(snapshot.iteration, 6);
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_on_resume() {
+    let ckpt = TempCheckpoint::new("corrupt");
+    let exp = tiny_volumetric(9);
+    exp.save_checkpoint(&ckpt.0).expect("save");
+    let mut bytes = std::fs::read(&ckpt.0).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&ckpt.0, &bytes).expect("rewrite");
+
+    let mut fresh = tiny_volumetric(9);
+    match fresh.resume_from(&ckpt.0) {
+        Err(CheckpointError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn mismatched_architecture_is_rejected_on_resume() {
+    let ckpt = TempCheckpoint::new("mismatch");
+    tiny_volumetric(9).save_checkpoint(&ckpt.0).expect("save");
+
+    let mut other_arch = VolumetricExperiment::new(VolumetricExperimentConfig {
+        nx: 5,
+        ny: 5,
+        nz: 3,
+        branch_hidden: vec![8],
+        trunk_hidden: vec![8],
+        fourier: None,
+        latent_dim: 4,
+        mode: TrainingMode::Supervised { dataset_size: 2 },
+        seed: 9,
+        ..Default::default()
+    })
+    .expect("experiment");
+    match other_arch.resume_from(&ckpt.0) {
+        Err(CheckpointError::Model(_)) => {}
+        other => panic!("expected Model error, got {other:?}"),
+    }
+}

@@ -52,4 +52,4 @@ pub use error::FdmError;
 pub use grid::StructuredGrid;
 pub use problem::{HeatProblem, SolveOptions};
 pub use solution::Solution;
-pub use transient::{TransientOptions, TransientSolution};
+pub use transient::{TransientOptions, TransientOutcome, TransientSolution, TransientStepFailure};

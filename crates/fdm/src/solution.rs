@@ -11,6 +11,7 @@ pub struct Solution {
     iterations: usize,
     relative_residual: f64,
     cg_trace: Option<CgTrace>,
+    degraded: bool,
 }
 
 impl Solution {
@@ -20,9 +21,10 @@ impl Solution {
         iterations: usize,
         relative_residual: f64,
         cg_trace: Option<CgTrace>,
+        degraded: bool,
     ) -> Self {
         debug_assert_eq!(temperatures.len(), grid.node_count());
-        Solution { grid, temperatures, iterations, relative_residual, cg_trace }
+        Solution { grid, temperatures, iterations, relative_residual, cg_trace, degraded }
     }
 
     /// The grid the solution lives on.
@@ -55,6 +57,16 @@ impl Solution {
     /// [`crate::SolveOptions::record_cg_trace`] set.
     pub fn cg_trace(&self) -> Option<&CgTrace> {
         self.cg_trace.as_ref()
+    }
+
+    /// `true` if the solve only met the relaxed
+    /// [`crate::SolveOptions::degraded_tolerance`] after exhausting the
+    /// conjugate-gradient fallback ladder. Degraded fields are usable for
+    /// monitoring and coarse comparisons but should not be treated as
+    /// reference-accuracy data; check [`Solution::relative_residual`] for
+    /// the accuracy actually achieved.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Temperature at vertex `(i, j, k)`.
@@ -157,7 +169,7 @@ mod tests {
             let (i, j, k) = grid.coordinates(idx);
             temps[idx] = 300.0 + 10.0 * i as f64 + 20.0 * j as f64 + 30.0 * k as f64;
         }
-        Solution::from_parts(grid, temps, 7, 1e-11, None)
+        Solution::from_parts(grid, temps, 7, 1e-11, None, false)
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! The static `solve` is the `t → ∞` limit; the tests assert exactly
 //! that, plus the lumped-capacitance analytic decay.
 
-use deepoheat_linalg::{conjugate_gradient, CgOptions, CooMatrix, CsrMatrix, SsorPreconditioner};
+use deepoheat_linalg::{
+    conjugate_gradient_attempt, CgOptions, CooMatrix, CsrMatrix, SsorPreconditioner,
+};
 use deepoheat_telemetry as telemetry;
 
 use crate::{FdmError, HeatProblem, Solution, SolveOptions, StructuredGrid};
@@ -34,6 +36,10 @@ pub struct TransientOptions {
     pub solver: SolveOptions,
     /// Keep every intermediate field (`true`) or only the final one.
     pub record_history: bool,
+    /// Fault-injection hook for resilience tests: force the linear solve
+    /// of the given step to be treated as non-convergent. Leave `None` in
+    /// production code.
+    pub inject_failure_at_step: Option<usize>,
 }
 
 impl TransientOptions {
@@ -47,6 +53,7 @@ impl TransientOptions {
             heat_capacity: 700.0,
             solver: SolveOptions::default(),
             record_history: true,
+            inject_failure_at_step: None,
         }
     }
 }
@@ -80,6 +87,7 @@ impl TransientSolution {
             0,
             0.0,
             None,
+            false,
         )
     }
 
@@ -94,6 +102,37 @@ impl TransientSolution {
     }
 }
 
+/// Diagnostics for a transient step whose linear solve failed, carried by
+/// [`TransientOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientStepFailure {
+    /// Zero-based index of the failed step.
+    pub step: usize,
+    /// Simulation time the failed step was integrating towards.
+    pub time: f64,
+    /// CG iterations performed in the failing solve.
+    pub iterations: usize,
+    /// Relative residual the failing solve stopped at.
+    pub residual: f64,
+}
+
+/// Result of [`HeatProblem::solve_transient_partial`]: the trajectory up
+/// to the last good step, plus the failure diagnostics if a step's linear
+/// solve did not converge.
+///
+/// When `failure` is `Some`, `solution` still holds every state integrated
+/// *before* the failed step — the last good state is always recorded (even
+/// with [`TransientOptions::record_history`] off), and a failure at step 0
+/// records the initial condition at `t = 0`, so
+/// [`TransientSolution::final_solution`] is always safe to call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOutcome {
+    /// The (possibly truncated) trajectory.
+    pub solution: TransientSolution,
+    /// `Some` iff the integration stopped early on a non-convergent step.
+    pub failure: Option<TransientStepFailure>,
+}
+
 impl HeatProblem {
     /// Integrates the transient heat equation from a uniform initial
     /// temperature.
@@ -102,12 +141,41 @@ impl HeatProblem {
     ///
     /// * [`FdmError::InvalidParameter`] for non-positive `dt`, zero
     ///   `steps`, or non-positive material properties.
-    /// * [`FdmError::SolveFailed`] if a step's CG solve fails.
+    /// * [`FdmError::TransientStepFailed`] if a step's CG solve fails —
+    ///   the error names the offending step; use
+    ///   [`HeatProblem::solve_transient_partial`] when the last good state
+    ///   is needed too.
     pub fn solve_transient(
         &self,
         initial_temperature: f64,
         options: TransientOptions,
     ) -> Result<TransientSolution, FdmError> {
+        let outcome = self.solve_transient_partial(initial_temperature, options)?;
+        match outcome.failure {
+            None => Ok(outcome.solution),
+            Some(f) => Err(FdmError::TransientStepFailed {
+                step: f.step,
+                iterations: f.iterations,
+                residual: f.residual,
+            }),
+        }
+    }
+
+    /// Like [`HeatProblem::solve_transient`], but a mid-trajectory solver
+    /// failure is returned as *data* ([`TransientOutcome::failure`])
+    /// alongside the trajectory up to the last good step, instead of
+    /// discarding the work done so far.
+    ///
+    /// # Errors
+    ///
+    /// Only configuration errors ([`FdmError::InvalidParameter`]) and
+    /// structural linear-algebra failures error; per-step non-convergence
+    /// is reported through the outcome.
+    pub fn solve_transient_partial(
+        &self,
+        initial_temperature: f64,
+        options: TransientOptions,
+    ) -> Result<TransientOutcome, FdmError> {
         options.solver.validate()?;
         if !(options.dt.is_finite() && options.dt > 0.0) {
             return Err(FdmError::InvalidParameter {
@@ -172,8 +240,31 @@ impl HeatProblem {
                 .map(|((t, c), b)| c * t + b)
                 .collect();
             let step_span = telemetry::span("fdm.transient.step");
-            let cg = conjugate_gradient(&stepping, &rhs, Some(&free_state), &pre, cg_options)?;
+            let mut cg =
+                conjugate_gradient_attempt(&stepping, &rhs, Some(&free_state), &pre, cg_options)?;
             drop(step_span);
+            if options.inject_failure_at_step == Some(step) {
+                cg.converged = false;
+            }
+            if !cg.converged {
+                telemetry::counter("fdm.transient.step_failed.count", 1);
+                // Record the last good state so callers can inspect where
+                // the trajectory stood when the step stalled. A step-0
+                // failure records the initial condition at t = 0.
+                if fields.last() != Some(&temps) {
+                    times.push(step as f64 * options.dt);
+                    fields.push(temps.clone());
+                }
+                return Ok(TransientOutcome {
+                    solution: TransientSolution { grid, times, fields },
+                    failure: Some(TransientStepFailure {
+                        step,
+                        time: (step + 1) as f64 * options.dt,
+                        iterations: cg.iterations,
+                        residual: cg.relative_residual,
+                    }),
+                });
+            }
             telemetry::counter("fdm.transient.steps.count", 1);
             telemetry::counter("fdm.transient.cg_iterations.count", cg.iterations as u64);
             free_state = cg.solution;
@@ -188,7 +279,7 @@ impl HeatProblem {
             }
         }
 
-        Ok(TransientSolution { grid, times, fields })
+        Ok(TransientOutcome { solution: TransientSolution { grid, times, fields }, failure: None })
     }
 }
 
@@ -290,6 +381,7 @@ mod tests {
             heat_capacity: cp,
             solver: SolveOptions::default(),
             record_history: true,
+            inject_failure_at_step: None,
         };
         let transient = problem.solve_transient(t0, options).unwrap();
 
@@ -318,6 +410,72 @@ mod tests {
         let transient = problem.solve_transient(298.15, options).unwrap();
         assert_eq!(transient.fields().len(), 1);
         assert_eq!(transient.times(), &[10e-3]);
+    }
+
+    #[test]
+    fn injected_failure_reports_step_and_keeps_last_good_state() {
+        let problem = heated_chip();
+        let mut options = TransientOptions::silicon(1e-3, 10);
+        options.inject_failure_at_step = Some(4);
+
+        // Typed error names the failing step.
+        let err = problem.solve_transient(298.15, options).unwrap_err();
+        assert!(matches!(err, FdmError::TransientStepFailed { step: 4, .. }), "got {err:?}");
+
+        // Partial API keeps the trajectory up to the failure.
+        let outcome = problem.solve_transient_partial(298.15, options).unwrap();
+        let failure = outcome.failure.expect("failure diagnostics");
+        assert_eq!(failure.step, 4);
+        assert!((failure.time - 5e-3).abs() < 1e-15);
+        assert_eq!(outcome.solution.fields().len(), 4);
+        assert!((outcome.solution.times().last().unwrap() - 4e-3).abs() < 1e-15);
+
+        // The last good state matches an unfaulted run truncated at step 4.
+        options.inject_failure_at_step = None;
+        options.steps = 4;
+        let clean = problem.solve_transient(298.15, options).unwrap();
+        assert_eq!(outcome.solution.final_solution(), clean.final_solution());
+    }
+
+    #[test]
+    fn step_zero_failure_records_initial_condition() {
+        let problem = heated_chip();
+        let mut options = TransientOptions::silicon(1e-3, 10);
+        options.inject_failure_at_step = Some(0);
+        options.record_history = false;
+        let outcome = problem.solve_transient_partial(298.15, options).unwrap();
+        assert_eq!(outcome.failure.unwrap().step, 0);
+        assert_eq!(outcome.solution.fields().len(), 1);
+        assert_eq!(outcome.solution.times(), &[0.0]);
+        let initial = outcome.solution.final_solution();
+        assert!(initial.temperatures().iter().all(|&t| (t - 298.15).abs() < 1e-12));
+    }
+
+    #[test]
+    fn failure_without_history_still_exposes_last_good_state() {
+        let problem = heated_chip();
+        let mut options = TransientOptions::silicon(1e-3, 10);
+        options.record_history = false;
+        options.inject_failure_at_step = Some(6);
+        let outcome = problem.solve_transient_partial(298.15, options).unwrap();
+        assert_eq!(outcome.failure.unwrap().step, 6);
+        // History was off, but the state after step 5 is still recorded.
+        assert_eq!(outcome.solution.fields().len(), 1);
+        assert!((outcome.solution.times()[0] - 6e-3).abs() < 1e-15);
+
+        options.inject_failure_at_step = None;
+        options.steps = 6;
+        let clean = problem.solve_transient(298.15, options).unwrap();
+        assert_eq!(outcome.solution.final_solution(), clean.final_solution());
+    }
+
+    #[test]
+    fn clean_runs_report_no_failure() {
+        let problem = heated_chip();
+        let outcome =
+            problem.solve_transient_partial(298.15, TransientOptions::silicon(1e-3, 5)).unwrap();
+        assert!(outcome.failure.is_none());
+        assert_eq!(outcome.solution.fields().len(), 5);
     }
 
     #[test]

@@ -15,6 +15,12 @@ pub trait Preconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]);
 }
 
+impl<P: Preconditioner + ?Sized> Preconditioner for &P {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (**self).apply(r, z)
+    }
+}
+
 /// The identity preconditioner (plain CG).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IdentityPreconditioner;
@@ -223,6 +229,32 @@ pub struct CgOutcome {
     pub trace: Option<CgTrace>,
 }
 
+/// The result of one CG attempt, returned by
+/// [`conjugate_gradient_attempt`] whether or not the tolerance was met.
+///
+/// Unlike [`conjugate_gradient`], non-convergence is *data*, not an error:
+/// the partial iterate is preserved so callers can escalate (restart from
+/// it, switch preconditioner, relax the tolerance) instead of starting
+/// over from zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgAttempt {
+    /// The iterate when the attempt stopped — the solution if
+    /// [`CgAttempt::converged`], otherwise the best partial iterate.
+    pub solution: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Relative residual `‖b - A x‖ / ‖b‖` at the stopping point.
+    pub relative_residual: f64,
+    /// Whether the relative residual reached the requested tolerance.
+    pub converged: bool,
+    /// Whether the attempt stopped on a `pᵀAp ≤ 0` breakdown (the operator
+    /// is not SPD along the current search direction, usually a symptom of
+    /// severe ill-conditioning or accumulated round-off).
+    pub breakdown: bool,
+    /// Convergence trace, present iff [`CgOptions::record_trace`] was set.
+    pub trace: Option<CgTrace>,
+}
+
 /// Solves `A x = b` for a symmetric positive-definite [`CsrMatrix`] using
 /// the preconditioned conjugate-gradient method.
 ///
@@ -263,6 +295,41 @@ pub fn conjugate_gradient<P: Preconditioner>(
     preconditioner: &P,
     options: CgOptions,
 ) -> Result<CgOutcome, LinalgError> {
+    let attempt = conjugate_gradient_attempt(a, b, x0, preconditioner, options)?;
+    if attempt.converged {
+        Ok(CgOutcome {
+            solution: attempt.solution,
+            iterations: attempt.iterations,
+            relative_residual: attempt.relative_residual,
+            trace: attempt.trace,
+        })
+    } else {
+        Err(LinalgError::SolverDidNotConverge {
+            iterations: attempt.iterations,
+            residual: attempt.relative_residual,
+        })
+    }
+}
+
+/// Runs one conjugate-gradient attempt, reporting non-convergence as data
+/// (see [`CgAttempt`]) instead of an error.
+///
+/// The initial residual is always recomputed as the *true* residual
+/// `r = b − A·x0`, so restarting a stalled solve from its partial iterate
+/// discards any drift the recurrence accumulated.
+///
+/// # Errors
+///
+/// Only structural failures error: shape mismatches, a non-square matrix,
+/// or invalid options. Running out of iterations or hitting a `pᵀAp ≤ 0`
+/// breakdown returns `Ok` with [`CgAttempt::converged`] `false`.
+pub fn conjugate_gradient_attempt<P: Preconditioner>(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    preconditioner: &P,
+    options: CgOptions,
+) -> Result<CgAttempt, LinalgError> {
     options.validate()?;
     let n = a.rows();
     if a.cols() != n {
@@ -284,10 +351,12 @@ pub fn conjugate_gradient<P: Preconditioner>(
         if let Some(trace) = trace.as_mut() {
             trace.residuals.push(0.0);
         }
-        return Ok(CgOutcome {
+        return Ok(CgAttempt {
             solution: vec![0.0; n],
             iterations: 0,
             relative_residual: 0.0,
+            converged: true,
+            breakdown: false,
             trace,
         });
     }
@@ -339,7 +408,14 @@ pub fn conjugate_gradient<P: Preconditioner>(
             trace.residuals.push(res);
         }
         if res <= options.tolerance {
-            return Ok(CgOutcome { solution: x, iterations: iter, relative_residual: res, trace });
+            return Ok(CgAttempt {
+                solution: x,
+                iterations: iter,
+                relative_residual: res,
+                converged: true,
+                breakdown: false,
+                trace,
+            });
         }
         let mut spmv_result = Ok(());
         timed(trace.as_mut().map(|t| &mut t.spmv_seconds), &mut || {
@@ -348,9 +424,16 @@ pub fn conjugate_gradient<P: Preconditioner>(
         spmv_result?;
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
-            // Matrix is not SPD along this direction — report non-convergence
-            // rather than silently returning garbage.
-            return Err(LinalgError::SolverDidNotConverge { iterations: iter, residual: res });
+            // Matrix is not SPD along this direction — stop and hand the
+            // partial iterate back rather than silently returning garbage.
+            return Ok(CgAttempt {
+                solution: x,
+                iterations: iter,
+                relative_residual: res,
+                converged: false,
+                breakdown: true,
+                trace,
+            });
         }
         let alpha = rz / pap;
         axpy(alpha, &p, &mut x);
@@ -370,16 +453,14 @@ pub fn conjugate_gradient<P: Preconditioner>(
     if let Some(trace) = trace.as_mut() {
         trace.residuals.push(res);
     }
-    if res <= options.tolerance {
-        Ok(CgOutcome {
-            solution: x,
-            iterations: options.max_iterations,
-            relative_residual: res,
-            trace,
-        })
-    } else {
-        Err(LinalgError::SolverDidNotConverge { iterations: options.max_iterations, residual: res })
-    }
+    Ok(CgAttempt {
+        solution: x,
+        iterations: options.max_iterations,
+        relative_residual: res,
+        converged: res <= options.tolerance,
+        breakdown: false,
+        trace,
+    })
 }
 
 #[cfg(test)]
@@ -552,6 +633,63 @@ mod tests {
         let warm = conjugate_gradient(&a, &b, Some(&solved.solution), &jacobi, opts).unwrap();
         let trace = warm.trace.unwrap();
         assert_eq!(*trace.residuals.last().unwrap(), warm.relative_residual);
+    }
+
+    #[test]
+    fn attempt_preserves_partial_iterate_on_non_convergence() {
+        let n = 100;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let opts = CgOptions { max_iterations: 5, tolerance: 1e-14, ..CgOptions::default() };
+        let attempt =
+            conjugate_gradient_attempt(&a, &b, None, &IdentityPreconditioner, opts).unwrap();
+        assert!(!attempt.converged);
+        assert!(!attempt.breakdown);
+        assert_eq!(attempt.iterations, 5);
+        // The partial iterate is preserved (not reset to the zero start).
+        assert!(attempt.relative_residual.is_finite());
+        assert!(attempt.solution.iter().any(|&v| v != 0.0));
+
+        // Restarting from the partial iterate finishes the solve.
+        let opts = CgOptions { max_iterations: 10_000, tolerance: 1e-10, ..CgOptions::default() };
+        let resumed = conjugate_gradient_attempt(
+            &a,
+            &b,
+            Some(&attempt.solution),
+            &IdentityPreconditioner,
+            opts,
+        )
+        .unwrap();
+        assert!(resumed.converged);
+        assert!(resumed.relative_residual <= 1e-10);
+    }
+
+    #[test]
+    fn attempt_reports_breakdown_on_indefinite_matrix() {
+        // diag(1, -1) is symmetric but indefinite: CG hits pᵀAp < 0.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, -1.0);
+        let a = coo.to_csr();
+        let attempt = conjugate_gradient_attempt(
+            &a,
+            &[0.0, 1.0],
+            None,
+            &IdentityPreconditioner,
+            CgOptions::default(),
+        )
+        .unwrap();
+        assert!(attempt.breakdown);
+        assert!(!attempt.converged);
+        // The wrapper still maps this to the historical typed error.
+        let err = conjugate_gradient(
+            &a,
+            &[0.0, 1.0],
+            None,
+            &IdentityPreconditioner,
+            CgOptions::default(),
+        );
+        assert!(matches!(err, Err(LinalgError::SolverDidNotConverge { .. })));
     }
 
     #[test]

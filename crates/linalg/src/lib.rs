@@ -33,10 +33,10 @@ mod sparse;
 mod vector;
 
 pub use cg::{
-    conjugate_gradient, CgOptions, CgOutcome, CgTrace, IdentityPreconditioner,
-    JacobiPreconditioner, Preconditioner, SsorPreconditioner,
+    conjugate_gradient, conjugate_gradient_attempt, CgAttempt, CgOptions, CgOutcome, CgTrace,
+    IdentityPreconditioner, JacobiPreconditioner, Preconditioner, SsorPreconditioner,
 };
-pub use cholesky::Cholesky;
+pub use cholesky::{Cholesky, IncompleteCholesky};
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use sparse::{CooMatrix, CsrMatrix};

@@ -15,6 +15,11 @@ pub struct AdamConfig {
     pub beta2: f64,
     /// Numerical-stability constant added to the denominator.
     pub epsilon: f64,
+    /// Optional ceiling on the global L2 gradient norm. When set, a step
+    /// whose gradient norm exceeds it is rejected with
+    /// [`NnError::GradientExplosion`] before any parameter is touched.
+    /// Non-finite gradient norms are always rejected regardless.
+    pub max_gradient_norm: Option<f64>,
 }
 
 impl AdamConfig {
@@ -32,7 +37,13 @@ impl AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { schedule: LrSchedule::default(), beta1: 0.9, beta2: 0.999, epsilon: 1e-8 }
+        AdamConfig {
+            schedule: LrSchedule::default(),
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            max_gradient_norm: None,
+        }
     }
 }
 
@@ -48,14 +59,30 @@ impl Default for AdamConfig {
 pub struct Adam {
     config: AdamConfig,
     step: usize,
+    lr_scale: f64,
     first_moment: Vec<Matrix>,
     second_moment: Vec<Matrix>,
+}
+
+/// A snapshot of the mutable optimiser state, used by checkpoint/resume
+/// and divergence rollback. Restoring a state into an [`Adam`] built with
+/// the same config reproduces the exact update sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Number of steps taken when the snapshot was captured.
+    pub step: usize,
+    /// Multiplier applied on top of the schedule (divergence backoff).
+    pub lr_scale: f64,
+    /// First-moment estimates, one per parameter matrix.
+    pub first_moment: Vec<Matrix>,
+    /// Second-moment estimates, one per parameter matrix.
+    pub second_moment: Vec<Matrix>,
 }
 
 impl Adam {
     /// Creates an optimiser; moment buffers are allocated on first use.
     pub fn new(config: AdamConfig) -> Self {
-        Adam { config, step: 0, first_moment: Vec::new(), second_moment: Vec::new() }
+        Adam { config, step: 0, lr_scale: 1.0, first_moment: Vec::new(), second_moment: Vec::new() }
     }
 
     /// Number of optimisation steps taken so far.
@@ -63,9 +90,64 @@ impl Adam {
         self.step
     }
 
-    /// The learning rate that will be used by the next step.
+    /// The learning rate that will be used by the next step (schedule
+    /// value times the backoff scale).
     pub fn current_learning_rate(&self) -> f64 {
-        self.config.schedule.learning_rate(self.step)
+        self.config.schedule.learning_rate(self.step) * self.lr_scale
+    }
+
+    /// The multiplier currently applied on top of the schedule.
+    pub fn learning_rate_scale(&self) -> f64 {
+        self.lr_scale
+    }
+
+    /// Sets the multiplier applied on top of the schedule. Divergence
+    /// recovery uses this to back the learning rate off without rewriting
+    /// the schedule itself.
+    pub fn set_learning_rate_scale(&mut self, scale: f64) {
+        self.lr_scale = scale;
+    }
+
+    /// Captures the mutable optimiser state for checkpointing/rollback.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            step: self.step,
+            lr_scale: self.lr_scale,
+            first_moment: self.first_moment.clone(),
+            second_moment: self.second_moment.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Adam::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParameterMismatch`] if the two moment vectors
+    /// disagree in length and [`NnError::InvalidArchitecture`] if paired
+    /// moments disagree in shape.
+    pub fn import_state(&mut self, state: AdamState) -> Result<(), NnError> {
+        if state.first_moment.len() != state.second_moment.len() {
+            return Err(NnError::ParameterMismatch {
+                model: state.first_moment.len(),
+                supplied: state.second_moment.len(),
+            });
+        }
+        for (i, (m, v)) in state.first_moment.iter().zip(&state.second_moment).enumerate() {
+            if m.shape() != v.shape() {
+                return Err(NnError::InvalidArchitecture {
+                    what: format!(
+                        "moment {i} shapes disagree: first {:?}, second {:?}",
+                        m.shape(),
+                        v.shape()
+                    ),
+                });
+            }
+        }
+        self.step = state.step;
+        self.lr_scale = state.lr_scale;
+        self.first_moment = state.first_moment;
+        self.second_moment = state.second_moment;
+        Ok(())
     }
 
     /// Applies one update to `parameters` given matching `gradients`.
@@ -98,14 +180,25 @@ impl Adam {
             });
         }
 
-        let lr = self.config.schedule.learning_rate(self.step);
+        let lr = self.config.schedule.learning_rate(self.step) * self.lr_scale;
+        // The O(n) norm pass doubles as the divergence guard: a NaN/Inf
+        // gradient must never reach the parameters, so it runs on every
+        // step (it is one multiply-add per element, cheap next to the
+        // backward pass that produced the gradients).
+        let sq_sum: f64 = gradients.iter().flat_map(|g| g.iter()).map(|g| g * g).sum();
+        let norm = sq_sum.sqrt();
         if telemetry::is_enabled() {
-            // The global L2 gradient norm is telemetry-only, so its O(n)
-            // pass is skipped entirely when no recorder is installed.
-            let sq_sum: f64 = gradients.iter().flat_map(|g| g.iter()).map(|g| g * g).sum();
             telemetry::gauge("nn.adam.lr", lr);
-            telemetry::gauge("nn.adam.grad_norm", sq_sum.sqrt());
+            telemetry::gauge("nn.adam.grad_norm", norm);
             telemetry::counter("nn.adam.steps.count", 1);
+        }
+        if !norm.is_finite() {
+            return Err(NnError::NonFiniteGradient);
+        }
+        if let Some(limit) = self.config.max_gradient_norm {
+            if norm > limit {
+                return Err(NnError::GradientExplosion { norm, limit });
+            }
         }
         let t = (self.step + 1) as i32;
         let bc1 = 1.0 - self.config.beta1.powi(t);
@@ -228,6 +321,80 @@ mod tests {
         adam.step_slices(&mut [&mut x, &mut y], &[&g, &g]).unwrap();
         let err = adam.step_slices(&mut [&mut x], &[&g]);
         assert!(matches!(err, Err(NnError::ParameterMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_non_finite_gradient_without_touching_parameters() {
+        let mut adam = Adam::new(AdamConfig::with_learning_rate(0.1));
+        let mut x = Matrix::filled(1, 1, 5.0);
+        let g = Matrix::filled(1, 1, f64::NAN);
+        let err = adam.step_slices(&mut [&mut x], &[&g]);
+        assert!(matches!(err, Err(NnError::NonFiniteGradient)));
+        assert_eq!(x.as_slice()[0], 5.0);
+        assert_eq!(adam.steps_taken(), 0);
+    }
+
+    #[test]
+    fn rejects_exploding_gradient_when_limit_set() {
+        let config = AdamConfig { max_gradient_norm: Some(10.0), ..AdamConfig::default() };
+        let mut adam = Adam::new(config);
+        let mut x = Matrix::filled(1, 1, 0.0);
+        let g = Matrix::filled(1, 1, 100.0);
+        let err = adam.step_slices(&mut [&mut x], &[&g]);
+        assert!(matches!(err, Err(NnError::GradientExplosion { .. })));
+        assert_eq!(x.as_slice()[0], 0.0);
+        // Under the limit the step goes through.
+        let g = Matrix::filled(1, 1, 1.0);
+        adam.step_slices(&mut [&mut x], &[&g]).unwrap();
+        assert_eq!(adam.steps_taken(), 1);
+    }
+
+    #[test]
+    fn state_round_trip_reproduces_trajectory() {
+        let run = |interrupt_at: Option<usize>| {
+            let mut x = Matrix::filled(1, 1, 0.0);
+            let mut adam = Adam::new(AdamConfig::with_learning_rate(0.1));
+            for step in 0..20 {
+                if interrupt_at == Some(step) {
+                    // Simulate a crash: rebuild the optimiser from its
+                    // exported state.
+                    let state = adam.export_state();
+                    adam = Adam::new(AdamConfig::with_learning_rate(0.1));
+                    adam.import_state(state).unwrap();
+                }
+                let g = x.map(|v| 2.0 * (v - 3.0));
+                adam.step_slices(&mut [&mut x], &[&g]).unwrap();
+            }
+            x.as_slice()[0]
+        };
+        assert_eq!(run(None).to_bits(), run(Some(7)).to_bits());
+    }
+
+    #[test]
+    fn import_state_rejects_mismatched_moments() {
+        let mut adam = Adam::new(AdamConfig::default());
+        let bad = AdamState {
+            step: 1,
+            lr_scale: 1.0,
+            first_moment: vec![Matrix::zeros(2, 2)],
+            second_moment: vec![Matrix::zeros(1, 4)],
+        };
+        assert!(matches!(adam.import_state(bad), Err(NnError::InvalidArchitecture { .. })));
+        let bad = AdamState {
+            step: 1,
+            lr_scale: 1.0,
+            first_moment: vec![Matrix::zeros(2, 2)],
+            second_moment: vec![],
+        };
+        assert!(matches!(adam.import_state(bad), Err(NnError::ParameterMismatch { .. })));
+    }
+
+    #[test]
+    fn lr_scale_multiplies_schedule() {
+        let mut adam = Adam::new(AdamConfig::with_learning_rate(0.2));
+        adam.set_learning_rate_scale(0.5);
+        assert!((adam.current_learning_rate() - 0.1).abs() < 1e-15);
+        assert!((adam.learning_rate_scale() - 0.5).abs() < 1e-15);
     }
 
     #[test]

@@ -30,6 +30,17 @@ pub enum NnError {
         /// Index of the parameter whose gradient was absent.
         index: usize,
     },
+    /// The global gradient norm was NaN or infinite; the optimiser refuses
+    /// to apply the update so the parameters stay uncorrupted.
+    NonFiniteGradient,
+    /// The global gradient norm exceeded the configured ceiling
+    /// ([`crate::AdamConfig::max_gradient_norm`]); no update was applied.
+    GradientExplosion {
+        /// The offending L2 gradient norm.
+        norm: f64,
+        /// The configured ceiling it exceeded.
+        limit: f64,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -45,6 +56,12 @@ impl fmt::Display for NnError {
             }
             NnError::MissingGradient { index } => {
                 write!(f, "missing gradient for parameter {index} (did it influence the loss?)")
+            }
+            NnError::NonFiniteGradient => {
+                write!(f, "gradient norm is not finite; update rejected to protect parameters")
+            }
+            NnError::GradientExplosion { norm, limit } => {
+                write!(f, "gradient norm {norm:.3e} exceeds the configured limit {limit:.3e}")
             }
         }
     }

@@ -47,7 +47,7 @@ mod jet;
 mod mlp;
 mod schedule;
 
-pub use adam::{Adam, AdamConfig};
+pub use adam::{Adam, AdamConfig, AdamState};
 pub use dense::{BoundDense, Dense};
 pub use error::NnError;
 pub use fourier::FourierFeatures;

@@ -150,6 +150,29 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Returns the raw xoshiro256++ state.
+        ///
+        /// This is an extension over the upstream `rand` API (which exposes
+        /// state only through serde) so callers can checkpoint a generator
+        /// and later resume the exact stream with [`StdRng::from_state`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ (the stream
+        /// would be constant zero), so it is replaced by the expansion of
+        /// seed 0 — the same stream `seed_from_u64(0)` produces.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return <StdRng as SeedableRng>::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
@@ -222,6 +245,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let v = draw(&mut rng);
         assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.gen_range(0.0f64..1.0);
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0f64..1.0), b.gen_range(0.0f64..1.0));
+        }
+    }
+
+    #[test]
+    fn zero_state_is_remapped() {
+        let mut z = StdRng::from_state([0; 4]);
+        let mut s0 = StdRng::seed_from_u64(0);
+        for _ in 0..8 {
+            assert_eq!(z.gen_range(0u64..=u64::MAX), s0.gen_range(0u64..=u64::MAX));
+        }
     }
 
     #[test]
