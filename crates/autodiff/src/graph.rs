@@ -318,7 +318,9 @@ impl Graph {
     pub fn activation(&mut self, a: Var, act: Activation, order: u8) -> Result<Var, AutodiffError> {
         assert!(order <= 2, "activation order {order} not differentiable (max 2)");
         self.check(a)?;
-        let value = self.nodes[a.id].value.map(|v| act.eval(order, v));
+        // Pooled elementwise evaluation: collocation batches run thousands
+        // of rows through transcendental activations per forward pass.
+        let value = self.nodes[a.id].value.par_map(|v| act.eval(order, v));
         let rg = self.rg(a);
         Ok(self.push(Op::Activate(a, act, order), value, rg))
     }
@@ -531,9 +533,8 @@ impl Graph {
                 if self.rg(*a) {
                     let av = &self.nodes[a.id].value;
                     let mut da = grad.clone();
-                    for (g, &x) in da.iter_mut().zip(av.iter()) {
-                        *g *= act.eval(order + 1, x);
-                    }
+                    let (act, order) = (*act, *order);
+                    da.par_apply_with(av, |g, x| g * act.eval(order + 1, x))?;
                     add_grad(grads, *a, da);
                 }
             }
@@ -592,9 +593,9 @@ fn add_grad(grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
     match &mut grads[var.id()] {
         Some(existing) => {
             debug_assert_eq!(existing.shape(), delta.shape(), "gradient shape drift");
-            for (e, d) in existing.iter_mut().zip(delta.iter()) {
-                *e += d;
-            }
+            existing
+                .par_apply_with(&delta, |e, d| e + d)
+                .expect("gradient accumulation shapes match");
         }
         slot @ None => *slot = Some(delta),
     }

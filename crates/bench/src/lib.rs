@@ -127,6 +127,10 @@ pub fn init_telemetry(name: &str, args: &Args) {
     let events_path = dir.join(format!("BENCH_{name}.jsonl"));
     let manifest_path = dir.join(format!("BENCH_{name}.json"));
     let mut builder = deepoheat_telemetry::Recorder::builder(name);
+    // The worker-pool width shapes every timing, so it is part of every
+    // run manifest (results are bit-identical across widths by the
+    // deepoheat-parallel contract, but wall-clock is not).
+    builder = builder.config("threads", deepoheat_parallel::num_threads());
     // Every CLI option/flag lands in the manifest config, so runs stay
     // reproducible from their artefacts alone.
     for (key, value) in &args.values {

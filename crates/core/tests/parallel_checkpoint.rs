@@ -1,0 +1,127 @@
+//! Cross-thread-count checkpoint determinism: the `deepoheat-parallel`
+//! contract (fixed chunk boundaries, chunk-order reduction) must make an
+//! entire training trajectory — model weights, optimiser moments, RNG
+//! stream, and therefore the serialised DOHC checkpoint bytes — identical
+//! whether the pool runs 1 thread or 8. This is what lets a checkpoint
+//! written on a 64-core trainer resume bit-exactly on a laptop.
+//!
+//! `ThreadPool::install` is the in-process equivalent of launching with
+//! `DEEPOHEAT_NUM_THREADS=<n>`; CI additionally runs the whole suite under
+//! `DEEPOHEAT_NUM_THREADS=2` to exercise the env-var path on the global
+//! pool.
+
+use deepoheat::checkpoint;
+use deepoheat::experiments::{
+    PowerMapExperiment, PowerMapExperimentConfig, Trainable, TrainingMode,
+};
+use deepoheat::FourierConfig;
+use deepoheat_parallel::ThreadPool;
+
+fn tiny_power_map(seed: u64) -> PowerMapExperiment {
+    let cfg = PowerMapExperimentConfig {
+        nx: 9,
+        ny: 9,
+        nz: 5,
+        branch_hidden: vec![16, 16],
+        trunk_hidden: vec![16, 16],
+        fourier: Some(FourierConfig { n_frequencies: 4, std: std::f64::consts::TAU }),
+        latent_dim: 8,
+        functions_per_batch: 2,
+        interior_points: Some(32),
+        boundary_points: Some(16),
+        seed,
+        ..Default::default()
+    };
+    PowerMapExperiment::new(cfg).expect("experiment")
+}
+
+fn tiny_supervised(seed: u64) -> PowerMapExperiment {
+    let cfg = PowerMapExperimentConfig {
+        nx: 9,
+        ny: 9,
+        nz: 5,
+        branch_hidden: vec![16, 16],
+        trunk_hidden: vec![16, 16],
+        fourier: None,
+        latent_dim: 8,
+        functions_per_batch: 2,
+        interior_points: Some(32),
+        boundary_points: Some(16),
+        mode: TrainingMode::Supervised { dataset_size: 4 },
+        seed,
+        ..Default::default()
+    };
+    PowerMapExperiment::new(cfg).expect("experiment")
+}
+
+/// Trains `steps` iterations on a `threads`-wide pool and returns the
+/// serialised DOHC checkpoint bytes plus the per-step losses.
+fn train_and_serialize(threads: usize, steps: usize) -> (Vec<u8>, Vec<u64>) {
+    ThreadPool::new(threads).install(|| {
+        let mut exp = tiny_power_map(42);
+        let mut losses = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            losses.push(exp.train_step().expect("step").to_bits());
+        }
+        let bytes = checkpoint::to_bytes(&exp.snapshot()).expect("serialise");
+        (bytes, losses)
+    })
+}
+
+#[test]
+fn checkpoints_are_identical_across_1_2_and_8_threads() {
+    let (bytes1, losses1) = train_and_serialize(1, 6);
+    let (bytes2, losses2) = train_and_serialize(2, 6);
+    let (bytes8, losses8) = train_and_serialize(8, 6);
+    assert_eq!(losses1, losses2, "per-step losses diverged at 2 threads");
+    assert_eq!(losses1, losses8, "per-step losses diverged at 8 threads");
+    assert_eq!(bytes1, bytes2, "DOHC checkpoint bytes diverged at 2 threads");
+    assert_eq!(bytes1, bytes8, "DOHC checkpoint bytes diverged at 8 threads");
+}
+
+#[test]
+fn resume_on_a_different_pool_width_replays_bit_identically() {
+    // Train 8 steps straight through on 1 thread.
+    let (straight, _) = train_and_serialize(1, 8);
+
+    // Train 4 steps on 8 threads, checkpoint, restore into a fresh
+    // experiment, finish on 2 threads: the final checkpoint must match the
+    // straight-through run byte for byte.
+    let midpoint = ThreadPool::new(8).install(|| {
+        let mut exp = tiny_power_map(42);
+        for _ in 0..4 {
+            exp.train_step().expect("step");
+        }
+        checkpoint::to_bytes(&exp.snapshot()).expect("serialise")
+    });
+    let resumed = ThreadPool::new(2).install(|| {
+        let snapshot = checkpoint::from_bytes(&midpoint).expect("deserialise");
+        let mut exp = tiny_power_map(42);
+        exp.restore(&snapshot).expect("restore");
+        for _ in 0..4 {
+            exp.train_step().expect("step");
+        }
+        checkpoint::to_bytes(&exp.snapshot()).expect("serialise")
+    });
+    assert_eq!(straight, resumed, "resume across pool widths broke bit-identical replay");
+}
+
+#[test]
+fn supervised_mode_is_also_thread_count_invariant() {
+    // Supervised training exercises the reference solver (FDM assembly +
+    // CG) inside dataset generation, covering the fdm layer's pooled paths.
+    let run = |threads: usize| {
+        ThreadPool::new(threads).install(|| {
+            let mut exp = tiny_supervised(7);
+            let mut losses = Vec::new();
+            for _ in 0..3 {
+                losses.push(exp.train_step().expect("step").to_bits());
+            }
+            (losses, checkpoint::to_bytes(&exp.snapshot()).expect("serialise"))
+        })
+    };
+    let (l1, b1) = run(1);
+    let (l8, b8) = run(8);
+    assert_eq!(l1, l8, "supervised losses diverged across pool widths");
+    assert_eq!(b1, b8, "supervised checkpoints diverged across pool widths");
+}

@@ -2,9 +2,16 @@ use deepoheat_linalg::{
     conjugate_gradient_attempt, CgAttempt, CgOptions, CgTrace, CooMatrix, CsrMatrix,
     IncompleteCholesky, JacobiPreconditioner, Preconditioner, SsorPreconditioner,
 };
+use deepoheat_parallel as parallel;
 use deepoheat_telemetry as telemetry;
 
 use crate::{BoundaryCondition, Face, FdmError, Solution, StructuredGrid};
+
+/// Target node count per pooled assembly chunk: z-plane ranges are sized
+/// so each job covers about this many nodes. Derived from the grid shape
+/// only — never the thread count — so the chunk decomposition (and the
+/// merged COO entry order) is reproducible.
+const ASSEMBLY_CHUNK_NODES: usize = 4096;
 
 /// The assembled steady operator over the free (non-Dirichlet) nodes,
 /// shared between the static solver and the transient stepper.
@@ -361,25 +368,60 @@ impl HeatProblem {
         // Face area between (i,j,k) and its +x neighbour spans the control
         // extents of the in-plane axes (identical from both sides, so the
         // assembled operator is symmetric).
+        //
+        // The link loop is the assembly hot spot, so z-plane chunks run on
+        // the worker pool, each producing local COO-entry and RHS-delta
+        // buffers. Chunk boundaries depend only on the grid shape, each
+        // chunk traverses its planes in the serial k-j-i order, and the
+        // buffers merge in chunk order below — so the accumulated entry
+        // sequence (and therefore `to_csr`'s duplicate-summation order and
+        // every bit of the operator) is identical to a serial assembly at
+        // any thread count.
         let cv = |i: usize, nn: usize, d: f64| if i == 0 || i == nn - 1 { d / 2.0 } else { d };
-        for k in 0..nz {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let idx = g.index(i, j, k);
-                    let neighbours = [
-                        (i + 1 < nx)
-                            .then(|| (g.index(i + 1, j, k), cv(j, ny, dy) * cv(k, nz, dz) / dx)),
-                        (j + 1 < ny)
-                            .then(|| (g.index(i, j + 1, k), cv(i, nx, dx) * cv(k, nz, dz) / dy)),
-                        (k + 1 < nz)
-                            .then(|| (g.index(i, j, k + 1), cv(i, nx, dx) * cv(j, ny, dy) / dz)),
-                    ];
-                    for (nb, geom) in neighbours.into_iter().flatten() {
-                        let k_face = harmonic_mean(self.conductivity[idx], self.conductivity[nb]);
-                        let gcond = k_face * geom;
-                        self.add_link(&mut coo, &mut rhs, &free_index, &dirichlet, idx, nb, gcond);
+        let planes_per_chunk = (ASSEMBLY_CHUNK_NODES / (nx * ny).max(1)).clamp(1, nz.max(1));
+        let chunks = parallel::par_map_chunks(nz, planes_per_chunk, |krange| {
+            let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+            let mut rhs_adds: Vec<(usize, f64)> = Vec::new();
+            for k in krange {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let idx = g.index(i, j, k);
+                        let neighbours = [
+                            (i + 1 < nx).then(|| {
+                                (g.index(i + 1, j, k), cv(j, ny, dy) * cv(k, nz, dz) / dx)
+                            }),
+                            (j + 1 < ny).then(|| {
+                                (g.index(i, j + 1, k), cv(i, nx, dx) * cv(k, nz, dz) / dy)
+                            }),
+                            (k + 1 < nz).then(|| {
+                                (g.index(i, j, k + 1), cv(i, nx, dx) * cv(j, ny, dy) / dz)
+                            }),
+                        ];
+                        for (nb, geom) in neighbours.into_iter().flatten() {
+                            let k_face =
+                                harmonic_mean(self.conductivity[idx], self.conductivity[nb]);
+                            let gcond = k_face * geom;
+                            add_link(
+                                &mut entries,
+                                &mut rhs_adds,
+                                &free_index,
+                                &dirichlet,
+                                idx,
+                                nb,
+                                gcond,
+                            );
+                        }
                     }
                 }
+            }
+            (entries, rhs_adds)
+        });
+        for (entries, rhs_adds) in chunks {
+            for (r, c, v) in entries {
+                coo.push(r, c, v);
+            }
+            for (row, dv) in rhs_adds {
+                rhs[row] += dv;
             }
         }
 
@@ -461,37 +503,38 @@ impl HeatProblem {
             cg.degraded,
         ))
     }
+}
 
-    /// Adds one symmetric conduction link of conductance `gcond` between
-    /// nodes `a` and `b`, folding Dirichlet values into the RHS.
-    #[allow(clippy::too_many_arguments)] // the full assembly context is the argument list
-    fn add_link(
-        &self,
-        coo: &mut CooMatrix,
-        rhs: &mut [f64],
-        free_index: &[Option<usize>],
-        dirichlet: &[Option<f64>],
-        a: usize,
-        b: usize,
-        gcond: f64,
-    ) {
-        match (free_index[a], free_index[b]) {
-            (Some(ra), Some(rb)) => {
-                coo.push(ra, ra, gcond);
-                coo.push(rb, rb, gcond);
-                coo.push(ra, rb, -gcond);
-                coo.push(rb, ra, -gcond);
-            }
-            (Some(ra), None) => {
-                coo.push(ra, ra, gcond);
-                rhs[ra] += gcond * dirichlet[b].expect("pinned node has a value");
-            }
-            (None, Some(rb)) => {
-                coo.push(rb, rb, gcond);
-                rhs[rb] += gcond * dirichlet[a].expect("pinned node has a value");
-            }
-            (None, None) => {}
+/// Adds one symmetric conduction link of conductance `gcond` between nodes
+/// `a` and `b` to a chunk-local buffer, folding Dirichlet values into
+/// chunk-local RHS deltas. Buffers merge in chunk order so the global
+/// entry sequence matches a serial assembly exactly.
+#[allow(clippy::too_many_arguments)] // the full assembly context is the argument list
+fn add_link(
+    entries: &mut Vec<(usize, usize, f64)>,
+    rhs_adds: &mut Vec<(usize, f64)>,
+    free_index: &[Option<usize>],
+    dirichlet: &[Option<f64>],
+    a: usize,
+    b: usize,
+    gcond: f64,
+) {
+    match (free_index[a], free_index[b]) {
+        (Some(ra), Some(rb)) => {
+            entries.push((ra, ra, gcond));
+            entries.push((rb, rb, gcond));
+            entries.push((ra, rb, -gcond));
+            entries.push((rb, ra, -gcond));
         }
+        (Some(ra), None) => {
+            entries.push((ra, ra, gcond));
+            rhs_adds.push((ra, gcond * dirichlet[b].expect("pinned node has a value")));
+        }
+        (None, Some(rb)) => {
+            entries.push((rb, rb, gcond));
+            rhs_adds.push((rb, gcond * dirichlet[a].expect("pinned node has a value")));
+        }
+        (None, None) => {}
     }
 }
 

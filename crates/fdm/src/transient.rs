@@ -17,9 +17,13 @@
 use deepoheat_linalg::{
     conjugate_gradient_attempt, CgOptions, CooMatrix, CsrMatrix, SsorPreconditioner,
 };
+use deepoheat_parallel as parallel;
 use deepoheat_telemetry as telemetry;
 
 use crate::{FdmError, HeatProblem, Solution, SolveOptions, StructuredGrid};
+
+/// Fixed chunk length for the pooled per-step right-hand-side update.
+const RHS_CHUNK: usize = 16 * 1024;
 
 /// Options for [`HeatProblem::solve_transient`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -231,14 +235,16 @@ impl HeatProblem {
         let mut times = Vec::new();
         let mut fields = Vec::new();
 
+        let mut rhs = vec![0.0; n_free];
         for step in 0..options.steps {
-            // rhs = C/dt * T^n + b.
-            let rhs: Vec<f64> = free_state
-                .iter()
-                .zip(&cap_over_dt)
-                .zip(&assembly.rhs)
-                .map(|((t, c), b)| c * t + b)
-                .collect();
+            // rhs = C/dt * T^n + b. Elementwise, so pooled chunks produce
+            // the same bits as a serial pass at any thread count.
+            parallel::par_chunks_mut(&mut rhs, RHS_CHUNK, |ci, chunk| {
+                let off = ci * RHS_CHUNK;
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = cap_over_dt[off + j] * free_state[off + j] + assembly.rhs[off + j];
+                }
+            });
             let step_span = telemetry::span("fdm.transient.step");
             let mut cg =
                 conjugate_gradient_attempt(&stepping, &rhs, Some(&free_state), &pre, cg_options)?;

@@ -1,3 +1,15 @@
+//! Preconditioned conjugate gradients over [`CsrMatrix`] operators.
+//!
+//! The iteration's level-1/level-2 kernels — `spmv_into`, `dot`, `norm2`,
+//! `axpy` — all dispatch to the persistent `deepoheat-parallel` pool with
+//! fixed, thread-count-independent chunking, so a CG trace (iterates,
+//! residuals, convergence history) is bit-identical whether the pool has
+//! 1 thread or 64. The SSOR and IC(0) preconditioner sweeps are inherently
+//! sequential triangular solves and intentionally stay serial: their
+//! recurrences carry loop-to-loop dependences, and parallelising them with
+//! level-scheduling would change the rounding order and break the
+//! determinism contract for no measurable win at these system sizes.
+
 use crate::{axpy, dot, norm2, CsrMatrix, LinalgError};
 
 /// A preconditioner for the conjugate-gradient solver: given a residual `r`

@@ -1,11 +1,30 @@
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
+use deepoheat_parallel as parallel;
+
 use crate::LinalgError;
 
-/// Number of result elements above which [`Matrix::matmul`] switches to a
-/// multi-threaded implementation.
-const PARALLEL_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
+/// Multiply-add count below which [`Matrix::matmul`] and
+/// [`Matrix::matmul_transposed`] stay on the calling thread and never touch
+/// the worker pool.
+///
+/// The old per-call `std::thread::scope` implementation paid ~100 µs of
+/// spawn/join per multiplication, which forced a high threshold (256k
+/// multiply-adds). Dispatching to the persistent pool costs on the order
+/// of a few microseconds — roughly what 32k multiply-adds take serially —
+/// so the crossover moves down accordingly. Below it, the serial kernel is
+/// called directly: small matrices (layer biases, 2–3 wide coordinate
+/// batches, tiny jets) never pay any dispatch cost at all.
+const PARALLEL_MATMUL_THRESHOLD: usize = 32 * 1024;
+
+/// Target multiply-adds per pooled matmul job. Larger than the dispatch
+/// threshold so each job amortises its queue round-trip; derived from the
+/// problem shape only, never from the thread count.
+const MATMUL_CHUNK_WORK: usize = 256 * 1024;
+
+/// Fixed chunk length (in elements) for pooled elementwise kernels.
+const ELEMENTWISE_CHUNK: usize = 64 * 1024;
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -267,8 +286,10 @@ impl Matrix {
 
     /// Matrix multiplication `self * rhs`.
     ///
-    /// Uses a cache-friendly `i-k-j` loop ordering and spreads rows across
-    /// threads when the output has more than ~256k elements.
+    /// Uses a cache-friendly `i-k-j` loop ordering and dispatches fixed row
+    /// bands to the persistent `deepoheat-parallel` pool once the product
+    /// exceeds [`PARALLEL_MATMUL_THRESHOLD`] multiply-adds; smaller
+    /// products run serially with no dispatch cost.
     ///
     /// # Errors
     ///
@@ -293,34 +314,11 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let work = self.rows * self.cols * rhs.cols;
-        if work >= PARALLEL_MATMUL_THRESHOLD && self.rows >= 2 {
-            self.matmul_parallel(rhs, &mut out);
-        } else {
-            matmul_rows(&self.data, &rhs.data, &mut out.data, self.cols, rhs.cols, 0, self.rows);
-        }
-        Ok(out)
-    }
-
-    fn matmul_parallel(&self, rhs: &Matrix, out: &mut Matrix) {
-        let threads =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(self.rows);
-        let chunk = self.rows.div_ceil(threads);
-        let k = self.cols;
-        let n = rhs.cols;
-        let lhs_data = &self.data;
-        let rhs_data = &rhs.data;
-        let out_chunks: Vec<&mut [f64]> = out.data.chunks_mut(chunk * n).collect();
-        std::thread::scope(|scope| {
-            for (t, out_chunk) in out_chunks.into_iter().enumerate() {
-                let r0 = t * chunk;
-                let r1 = (r0 + chunk).min(self.rows);
-                scope.spawn(move || {
-                    let local = &lhs_data[r0 * k..r1 * k];
-                    matmul_rows(local, rhs_data, out_chunk, k, n, 0, r1 - r0);
-                });
-            }
+        let (k, n) = (self.cols, rhs.cols);
+        dispatch_rows(&self.data, &mut out.data, self.rows, k, n, |lhs_rows, out_chunk, nrows| {
+            matmul_rows(lhs_rows, &rhs.data, out_chunk, k, n, 0, nrows);
         });
+        Ok(out)
     }
 
     /// Computes `self * rhs.transpose()` without materialising the transpose.
@@ -340,41 +338,10 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        let k = self.cols;
-        let n = rhs.rows;
-        let work = self.rows * k * n;
-        let body = |lhs_rows: &[f64], out_chunk: &mut [f64], nrows: usize| {
-            for r in 0..nrows {
-                let a = &lhs_rows[r * k..(r + 1) * k];
-                let o = &mut out_chunk[r * n..(r + 1) * n];
-                for c in 0..n {
-                    let b = &rhs.data[c * k..(c + 1) * k];
-                    let mut acc = 0.0;
-                    for i in 0..k {
-                        acc += a[i] * b[i];
-                    }
-                    o[c] = acc;
-                }
-            }
-        };
-        if work >= PARALLEL_MATMUL_THRESHOLD && self.rows >= 2 {
-            let threads =
-                std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(self.rows);
-            let chunk = self.rows.div_ceil(threads);
-            let lhs_data = &self.data;
-            let out_chunks: Vec<&mut [f64]> = out.data.chunks_mut(chunk * n).collect();
-            std::thread::scope(|scope| {
-                for (t, out_chunk) in out_chunks.into_iter().enumerate() {
-                    let r0 = t * chunk;
-                    let r1 = (r0 + chunk).min(self.rows);
-                    scope.spawn(move || {
-                        body(&lhs_data[r0 * k..r1 * k], out_chunk, r1 - r0);
-                    });
-                }
-            });
-        } else {
-            body(&self.data, &mut out.data, self.rows);
-        }
+        let (k, n) = (self.cols, rhs.rows);
+        dispatch_rows(&self.data, &mut out.data, self.rows, k, n, |lhs_rows, out_chunk, nrows| {
+            matmul_transposed_rows(lhs_rows, &rhs.data, out_chunk, k, n, nrows);
+        });
         Ok(out)
     }
 
@@ -405,7 +372,7 @@ impl Matrix {
         self.zip_with(rhs, "sub", |a, b| a - b)
     }
 
-    fn zip_with<F: Fn(f64, f64) -> f64>(
+    fn zip_with<F: Fn(f64, f64) -> f64 + Sync>(
         &self,
         rhs: &Matrix,
         op: &'static str,
@@ -414,8 +381,43 @@ impl Matrix {
         if self.shape() != rhs.shape() {
             return Err(LinalgError::ShapeMismatch { op, lhs: self.shape(), rhs: rhs.shape() });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        let mut data = vec![0.0; self.data.len()];
+        parallel::par_chunks_mut(&mut data, ELEMENTWISE_CHUNK, |ci, chunk| {
+            let off = ci * ELEMENTWISE_CHUNK;
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = f(self.data[off + j], rhs.data[off + j]);
+            }
+        });
         Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Applies `f(self[i], rhs[i])` to every element of `self` in place, on
+    /// the worker pool. Elementwise, so the result is bit-identical at any
+    /// thread count. This is the in-place parallel dual of
+    /// [`Matrix::hadamard`]-style combinators, used by the autodiff
+    /// backward pass for gradient accumulation and chain-rule scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn par_apply_with<F>(&mut self, rhs: &Matrix, f: F) -> Result<(), LinalgError>
+    where
+        F: Fn(f64, f64) -> f64 + Sync,
+    {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "par_apply_with",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        parallel::par_chunks_mut(&mut self.data, ELEMENTWISE_CHUNK, |ci, chunk| {
+            let off = ci * ELEMENTWISE_CHUNK;
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = f(*v, rhs.data[off + j]);
+            }
+        });
+        Ok(())
     }
 
     /// Returns a new matrix with every element multiplied by `s`.
@@ -430,6 +432,21 @@ impl Matrix {
     /// Applies `f` to every element, returning a new matrix.
     pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Matrix {
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Like [`Matrix::map`], but evaluates chunks of elements on the worker
+    /// pool. Elementwise, so the result is bit-identical to `map` at any
+    /// thread count; requires `f: Sync` (transcendental activations in the
+    /// hot batched-inference and collocation paths qualify).
+    pub fn par_map<F: Fn(f64) -> f64 + Sync>(&self, f: F) -> Matrix {
+        let mut data = vec![0.0; self.data.len()];
+        parallel::par_chunks_mut(&mut data, ELEMENTWISE_CHUNK, |ci, chunk| {
+            let off = ci * ELEMENTWISE_CHUNK;
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = f(self.data[off + j]);
+            }
+        });
+        Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Adds `row` (a `1 × cols` bias) to every row of the matrix.
@@ -555,6 +572,33 @@ impl Matrix {
     }
 }
 
+/// The single pool-integration point for both multiplication kernels:
+/// splits the `rows × n` output into fixed row bands of roughly
+/// [`MATMUL_CHUNK_WORK`] multiply-adds each and runs
+/// `kernel(lhs_rows, out_band, band_rows)` for every band on the current
+/// pool. Products under [`PARALLEL_MATMUL_THRESHOLD`] multiply-adds run the
+/// kernel directly on the calling thread — the small-matrix fast path.
+///
+/// Each output row is produced in full by exactly one kernel invocation,
+/// so the result is bitwise independent of how bands map to threads; band
+/// boundaries depend only on `(rows, k, n)`.
+fn dispatch_rows<K>(lhs: &[f64], out: &mut [f64], rows: usize, k: usize, n: usize, kernel: K)
+where
+    K: Fn(&[f64], &mut [f64], usize) + Sync,
+{
+    let work_per_row = k * n;
+    if rows * work_per_row < PARALLEL_MATMUL_THRESHOLD || rows < 2 {
+        kernel(lhs, out, rows);
+        return;
+    }
+    let band_rows = (MATMUL_CHUNK_WORK / work_per_row.max(1)).clamp(1, rows);
+    parallel::par_chunks_mut(out, band_rows * n, |band, out_band| {
+        let r0 = band * band_rows;
+        let nrows = out_band.len() / n.max(1);
+        kernel(&lhs[r0 * k..(r0 + nrows) * k], out_band, nrows);
+    });
+}
+
 /// Serial row-range matmul kernel: `out[r0..r1] = lhs[r0..r1] * rhs`,
 /// with `lhs` given as a slice whose row 0 corresponds to `out` row 0.
 fn matmul_rows(
@@ -577,6 +621,31 @@ fn matmul_rows(
             for (o, &b) in o_row.iter_mut().zip(b_row) {
                 *o += a * b;
             }
+        }
+    }
+}
+
+/// Serial row-range kernel of `lhs * rhsᵀ`: `out` row `r` holds the dot
+/// products of `lhs` row `r` against every row of `rhs` (given row-major,
+/// un-transposed, `n` rows of length `k`).
+fn matmul_transposed_rows(
+    lhs: &[f64],
+    rhs: &[f64],
+    out: &mut [f64],
+    k: usize,
+    n: usize,
+    nrows: usize,
+) {
+    for r in 0..nrows {
+        let a = &lhs[r * k..(r + 1) * k];
+        let o = &mut out[r * n..(r + 1) * n];
+        for c in 0..n {
+            let b = &rhs[c * k..(c + 1) * k];
+            let mut acc = 0.0;
+            for i in 0..k {
+                acc += a[i] * b[i];
+            }
+            o[c] = acc;
         }
     }
 }

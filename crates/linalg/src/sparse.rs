@@ -1,4 +1,11 @@
+use deepoheat_parallel as parallel;
+
 use crate::LinalgError;
+
+/// Fixed row-chunk size for the pooled sparse matrix–vector product.
+/// Depends only on this constant and the matrix's row count — never on the
+/// thread count — so the work decomposition is reproducible.
+const SPMV_ROW_CHUNK: usize = 2048;
 
 /// A sparse matrix in coordinate (triplet) form, used as a mutable builder
 /// for [`CsrMatrix`].
@@ -228,15 +235,22 @@ impl CsrMatrix {
                 rhs: (y.len(), 1),
             });
         }
-        for r in 0..self.rows {
-            let start = self.row_ptr[r];
-            let end = self.row_ptr[r + 1];
-            let mut acc = 0.0;
-            for k in start..end {
-                acc += self.values[k] * x[self.col_idx[k]];
+        // Each output row is one independent dot product, so splitting the
+        // row range across the pool cannot change any bit of the result;
+        // the fixed chunk size keeps small systems on the calling thread.
+        parallel::par_chunks_mut(y, SPMV_ROW_CHUNK, |ci, yc| {
+            let base = ci * SPMV_ROW_CHUNK;
+            for (dr, yr) in yc.iter_mut().enumerate() {
+                let r = base + dr;
+                let start = self.row_ptr[r];
+                let end = self.row_ptr[r + 1];
+                let mut acc = 0.0;
+                for k in start..end {
+                    acc += self.values[k] * x[self.col_idx[k]];
+                }
+                *yr = acc;
             }
-            y[r] = acc;
-        }
+        });
         Ok(())
     }
 

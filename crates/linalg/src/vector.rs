@@ -1,7 +1,24 @@
 //! Small BLAS-level-1 helpers on `&[f64]` slices.
 //!
 //! The iterative solvers in [`crate::conjugate_gradient`] and the optimiser
-//! loops in `deepoheat-nn` are built on these.
+//! loops in `deepoheat-nn` are built on these. Long vectors are processed
+//! in fixed [`VEC_CHUNK`]-element chunks on the `deepoheat-parallel` pool;
+//! the chunk boundaries depend only on the vector length, and reduction
+//! partials combine in chunk order, so every result is bit-identical
+//! regardless of the pool's thread count. Vectors of at most [`VEC_CHUNK`]
+//! elements take a serial fast path that never touches the pool.
+
+use deepoheat_parallel as parallel;
+
+/// Fixed chunk length for vector kernels. Part of the determinism
+/// contract: changing this value changes the summation order of long
+/// reductions (and therefore their low-order bits), so it is a compile-time
+/// constant, never derived from the thread count.
+pub const VEC_CHUNK: usize = 32 * 1024;
+
+fn dot_serial(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
 
 /// Dot product of two slices.
 ///
@@ -17,7 +34,7 @@
 /// ```
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    parallel::par_reduce(a.len(), VEC_CHUNK, |r| dot_serial(&a[r.clone()], &b[r]))
 }
 
 /// Euclidean norm of a slice.
@@ -39,16 +56,21 @@ pub fn norm2(a: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    parallel::par_chunks_mut(y, VEC_CHUNK, |ci, yc| {
+        let xc = &x[ci * VEC_CHUNK..][..yc.len()];
+        for (yi, &xi) in yc.iter_mut().zip(xc) {
+            *yi += alpha * xi;
+        }
+    });
 }
 
 /// Scales a slice in place: `x *= alpha`.
 pub fn scale_in_place(alpha: f64, x: &mut [f64]) {
-    for xi in x {
-        *xi *= alpha;
-    }
+    parallel::par_chunks_mut(x, VEC_CHUNK, |_, xc| {
+        for xi in xc {
+            *xi *= alpha;
+        }
+    });
 }
 
 #[cfg(test)]
@@ -80,5 +102,24 @@ mod tests {
         let mut x = vec![1.0, -2.0];
         scale_in_place(-0.5, &mut x);
         assert_eq!(x, vec![-0.5, 1.0]);
+    }
+
+    #[test]
+    fn long_kernels_match_their_serial_forms() {
+        let n = 3 * VEC_CHUNK + 17;
+        let a: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64 * 0.01 - 0.4).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 17) % 89) as f64 * 0.02 - 0.8).collect();
+
+        let chunked: f64 =
+            parallel::chunk_ranges(n, VEC_CHUNK).map(|r| dot_serial(&a[r.clone()], &b[r])).sum();
+        assert_eq!(dot(&a, &b).to_bits(), chunked.to_bits());
+
+        let mut y = b.clone();
+        axpy(0.3, &a, &mut y);
+        let mut y_ref = b.clone();
+        for (yi, &xi) in y_ref.iter_mut().zip(&a) {
+            *yi += 0.3 * xi;
+        }
+        assert!(y.iter().zip(&y_ref).all(|(p, q)| p.to_bits() == q.to_bits()));
     }
 }

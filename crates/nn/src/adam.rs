@@ -1,8 +1,14 @@
 use deepoheat_autodiff::Gradients;
-use deepoheat_linalg::Matrix;
+use deepoheat_linalg::{dot, Matrix};
+use deepoheat_parallel as parallel;
 use deepoheat_telemetry as telemetry;
 
 use crate::{BoundParameters, LrSchedule, NnError, Parameterized};
+
+/// Fixed chunk length for the pooled element-wise moment update. The
+/// update is purely elementwise, so any partition yields the same bits;
+/// the constant keeps small layers on the calling thread.
+const ADAM_CHUNK: usize = 16 * 1024;
 
 /// Configuration for the [`Adam`] optimiser.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -184,8 +190,11 @@ impl Adam {
         // The O(n) norm pass doubles as the divergence guard: a NaN/Inf
         // gradient must never reach the parameters, so it runs on every
         // step (it is one multiply-add per element, cheap next to the
-        // backward pass that produced the gradients).
-        let sq_sum: f64 = gradients.iter().flat_map(|g| g.iter()).map(|g| g * g).sum();
+        // backward pass that produced the gradients). Summed per parameter
+        // tensor, each reduced with the fixed-chunk pooled dot, so the
+        // accumulation order — and the guard's bits — is thread-count
+        // independent.
+        let sq_sum: f64 = gradients.iter().map(|g| dot(g.as_slice(), g.as_slice())).sum();
         let norm = sq_sum.sqrt();
         if telemetry::is_enabled() {
             telemetry::gauge("nn.adam.lr", lr);
@@ -219,15 +228,29 @@ impl Adam {
             }
             let m = &mut self.first_moment[i];
             let v = &mut self.second_moment[i];
-            for ((p, g), (mi, vi)) in
-                param.iter_mut().zip(grad.iter()).zip(m.iter_mut().zip(v.iter_mut()))
-            {
-                *mi = b1 * *mi + (1.0 - b1) * g;
-                *vi = b2 * *vi + (1.0 - b2) * g * g;
-                let m_hat = *mi / bc1;
-                let v_hat = *vi / bc2;
-                *p -= lr * m_hat / (v_hat.sqrt() + eps);
-            }
+            // One pooled job per fixed chunk of this tensor; disjoint
+            // chunks make the update bit-identical at any thread count.
+            let jobs: Vec<parallel::Job<'_>> = param
+                .as_mut_slice()
+                .chunks_mut(ADAM_CHUNK)
+                .zip(grad.as_slice().chunks(ADAM_CHUNK))
+                .zip(m.as_mut_slice().chunks_mut(ADAM_CHUNK))
+                .zip(v.as_mut_slice().chunks_mut(ADAM_CHUNK))
+                .map(|(((pc, gc), mc), vc)| {
+                    Box::new(move || {
+                        for ((p, g), (mi, vi)) in
+                            pc.iter_mut().zip(gc).zip(mc.iter_mut().zip(vc.iter_mut()))
+                        {
+                            *mi = b1 * *mi + (1.0 - b1) * g;
+                            *vi = b2 * *vi + (1.0 - b2) * g * g;
+                            let m_hat = *mi / bc1;
+                            let v_hat = *vi / bc2;
+                            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+                        }
+                    }) as parallel::Job<'_>
+                })
+                .collect();
+            parallel::run_scope(jobs);
         }
         self.step += 1;
         Ok(())

@@ -140,7 +140,9 @@ impl Mlp {
     pub fn forward_inference(&self, x: &Matrix) -> Result<Matrix, NnError> {
         let mut h = self.layers[0].forward_inference(x)?;
         for layer in &self.layers[1..] {
-            h = h.map(|v| self.activation.eval(0, v));
+            // Pooled elementwise activation: for large inference batches
+            // this is the non-matmul half of the wall-clock.
+            h = h.par_map(|v| self.activation.eval(0, v));
             h = layer.forward_inference(&h)?;
         }
         Ok(h)
