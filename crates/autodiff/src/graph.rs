@@ -595,7 +595,7 @@ fn add_grad(grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
             debug_assert_eq!(existing.shape(), delta.shape(), "gradient shape drift");
             existing
                 .par_apply_with(&delta, |e, d| e + d)
-                .expect("gradient accumulation shapes match");
+                .expect("invariant: node gradient shape matches its value shape");
         }
         slot @ None => *slot = Some(delta),
     }

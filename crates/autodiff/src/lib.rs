@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Reverse-mode automatic differentiation over dense matrices.
 //!
 //! This crate provides the training backend of the DeepOHeat reproduction:

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Time-cost ablations of the design choices DESIGN.md calls out:
 //! activation function (§V.A.3 compares Swish vs Tanh/Sine), the
 //! Fourier-features layer, and the collocation-subsample size.

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Benchmarks the reference finite-volume solver — the denominator of
 //! every speedup claim in the paper (§V.A.7, §V.B).
 

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Benchmarks the Gaussian-random-field workload generator (§V.A.2): the
 //! one-off covariance factorisation and the per-iteration sampling cost.
 

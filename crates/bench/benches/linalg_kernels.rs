@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Micro-benchmarks of the linear-algebra kernels underpinning both the
 //! reference solver (CSR/CG) and the surrogate (dense matmul).
 

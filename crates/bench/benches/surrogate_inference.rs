@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Benchmarks DeepOHeat inference — the numerator of the paper's speedup
 //! claims: one forward pass produces the full temperature field.
 

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Benchmarks one training iteration of each experiment and mode: the
 //! jet-propagating physics-informed step vs the plain supervised step.
 

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Accuracy-per-budget ablations of the paper's design choices (§V.A.3):
 //! for a fixed physics-informed training budget, compare the Swish
 //! activation against Tanh and Sine, and the plain trunk against the

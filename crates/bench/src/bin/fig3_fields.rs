@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Regenerates **Fig. 3** of the paper: predicted vs reference top-surface
 //! temperature fields for the ten test power maps.
 //!

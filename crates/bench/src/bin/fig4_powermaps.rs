@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Regenerates **Fig. 4** of the paper: a Gaussian-random-field training
 //! power map (left), a tile-based Celsius-style test map (middle), and
 //! its bilinear interpolation onto the DeepOHeat grid (right).

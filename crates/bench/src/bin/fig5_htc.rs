@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Regenerates **Fig. 5** and the §V.B metrics of the paper: temperature
 //! fields of the dual-HTC experiment for the two unseen test pairs
 //! `(h_top, h_bot) = (1000, 333.33)` and `(500, 500)`, with MAPE/PAPE and

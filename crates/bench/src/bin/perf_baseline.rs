@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Serial-vs-pool performance baseline for the `deepoheat-parallel`
 //! substrate: times the four hot layers (dense matmul, CG solve, FDM
 //! end-to-end, NN inference + one training epoch per experiment) once on

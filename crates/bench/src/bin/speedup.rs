@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Regenerates the **speedup comparison** of §V.A.7 and §V.B: wall-clock
 //! time of reference solves vs DeepOHeat predictions.
 //!

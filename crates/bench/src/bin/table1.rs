@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Regenerates **Table I** of the paper: MAPE and PAPE of the DeepOHeat
 //! surrogate against the reference solver on the ten unseen test power
 //! maps `p₁ … p₁₀` (§V.A.6).

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Shared helpers for the experiment-regeneration binaries and Criterion
 //! benches of the DeepOHeat reproduction.
 //!
@@ -139,11 +140,14 @@ pub fn init_telemetry(name: &str, args: &Args) {
     for flag in &args.flags {
         builder = builder.config(flag, "true");
     }
-    match deepoheat_telemetry::JsonlSink::create(&events_path) {
+    // Append mode with torn-tail repair: an interrupted earlier run (e.g.
+    // a crashed perf_baseline sweep) leaves its flushed events intact and
+    // any half-written final line is dropped on startup.
+    match deepoheat_telemetry::JsonlSink::append(&events_path) {
         Ok(sink) => {
             builder = builder.sink(Box::new(sink.with_manifest_path(manifest_path)));
         }
-        Err(err) => eprintln!("telemetry: cannot create {}: {err}", events_path.display()),
+        Err(err) => eprintln!("telemetry: cannot open {}: {err}", events_path.display()),
     }
     if args.flag("trace") {
         builder = builder.console();

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Modular 3D-IC chip thermal configuration.
 //!
 //! §III of the DeepOHeat paper models a chip as stacked rectangular

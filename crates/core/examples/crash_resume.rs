@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Crash-resume smoke driver used by CI (and by hand):
 //!
 //! ```text

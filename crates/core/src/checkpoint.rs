@@ -230,11 +230,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("invariant: take(8, ..) yields exactly 8 bytes"),
+        ))
     }
 
     fn f64(&mut self, what: &str) -> Result<f64, CheckpointError> {
-        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("invariant: take(8, ..) yields exactly 8 bytes"),
+        ))
     }
 }
 
@@ -272,17 +276,23 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TrainingSnapshot, CheckpointError> {
     if &bytes[..4] != MAGIC {
         return Err(CheckpointError::BadFormat { what: "missing DOHC magic".into() });
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(
+        bytes[4..8].try_into().expect("invariant: a 4-byte range converts to [u8; 4]"),
+    );
     if version != VERSION {
         return Err(CheckpointError::BadFormat { what: format!("unsupported version {version}") });
     }
-    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(
+        bytes[8..16].try_into().expect("invariant: an 8-byte range converts to [u8; 8]"),
+    );
     if payload_len > MAX_PAYLOAD {
         return Err(CheckpointError::BadFormat {
             what: format!("declared payload length {payload_len} is implausible"),
         });
     }
-    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let stored_crc = u32::from_le_bytes(
+        bytes[16..20].try_into().expect("invariant: a 4-byte range converts to [u8; 4]"),
+    );
     let payload = &bytes[20..];
     if payload.len() as u64 != payload_len {
         return Err(CheckpointError::BadFormat {

@@ -328,7 +328,8 @@ impl HtcExperiment {
         self.ensure_dataset(dataset_size)?;
         let n_funcs = self.config.functions_per_batch;
         let n_points = self.config.volume_points;
-        let dataset = self.dataset.as_ref().expect("dataset built above");
+        let dataset =
+            self.dataset.as_ref().expect("invariant: ensure_dataset ran at the top of this method");
         let (inputs, cols, targets) = dataset.minibatch(n_funcs, n_points, &mut self.rng);
 
         let mut graph = Graph::new();

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! **DeepOHeat**: physics-aware operator learning for ultra-fast 3D-IC
 //! thermal simulation — a Rust reproduction of Liu et al., DAC 2023.
 //!

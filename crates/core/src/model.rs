@@ -304,7 +304,7 @@ impl DeepOHeat {
                 None => features,
             });
         }
-        let b = product.expect("at least one branch");
+        let b = product.expect("invariant: construction rejects models with zero branches");
         let trunk_in = match &self.fourier {
             Some(ff) => ff.forward_inference(coords)?,
             None => coords.clone(),
@@ -451,7 +451,7 @@ impl BoundDeepOHeat {
                 None => features,
             });
         }
-        Ok(product.expect("at least one branch"))
+        Ok(product.expect("invariant: construction rejects models with zero branches"))
     }
 
     /// Runs the trunk on `points × 3` normalized coordinates, returning

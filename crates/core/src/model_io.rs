@@ -67,6 +67,12 @@ pub enum ModelIoError {
     },
     /// The file decoded but the parts do not form a valid model.
     Model(DeepOHeatError),
+    /// The model uses a feature the format cannot represent yet (e.g. an
+    /// activation with no assigned serialisation code).
+    Unsupported {
+        /// Description of the unsupported feature.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for ModelIoError {
@@ -75,6 +81,7 @@ impl std::fmt::Display for ModelIoError {
             ModelIoError::Io(e) => write!(f, "i/o failure: {e}"),
             ModelIoError::BadFormat { what } => write!(f, "bad model file: {what}"),
             ModelIoError::Model(e) => write!(f, "inconsistent model data: {e}"),
+            ModelIoError::Unsupported { what } => write!(f, "unsupported model feature: {what}"),
         }
     }
 }
@@ -84,7 +91,7 @@ impl std::error::Error for ModelIoError {
         match self {
             ModelIoError::Io(e) => Some(e),
             ModelIoError::Model(e) => Some(e),
-            ModelIoError::BadFormat { .. } => None,
+            ModelIoError::BadFormat { .. } | ModelIoError::Unsupported { .. } => None,
         }
     }
 }
@@ -101,14 +108,16 @@ impl From<DeepOHeatError> for ModelIoError {
     }
 }
 
-fn activation_code(a: Activation) -> u8 {
+fn activation_code(a: Activation) -> Result<u8, ModelIoError> {
     match a {
-        Activation::Swish => 0,
-        Activation::Tanh => 1,
-        Activation::Sine => 2,
+        Activation::Swish => Ok(0),
+        Activation::Tanh => Ok(1),
+        Activation::Sine => Ok(2),
         // `Activation` is non-exhaustive; new variants must be assigned a
         // code here before models using them can be saved.
-        _ => panic!("activation {a} has no serialisation code yet"),
+        _ => Err(ModelIoError::Unsupported {
+            what: format!("activation {a} has no serialisation code yet"),
+        }),
     }
 }
 
@@ -138,8 +147,8 @@ fn write_matrix<W: Write>(w: &mut W, m: &Matrix) -> std::io::Result<()> {
     Ok(())
 }
 
-fn write_mlp<W: Write>(w: &mut W, mlp: &Mlp) -> std::io::Result<()> {
-    w.write_all(&[activation_code(mlp.activation())])?;
+fn write_mlp<W: Write>(w: &mut W, mlp: &Mlp) -> Result<(), ModelIoError> {
+    w.write_all(&[activation_code(mlp.activation())?])?;
     write_u64(w, mlp.layers().len() as u64)?;
     for layer in mlp.layers() {
         write_matrix(w, layer.weight())?;
@@ -229,7 +238,9 @@ fn read_mlp<R: Read>(r: &mut R) -> Result<Mlp, ModelIoError> {
 ///
 /// # Errors
 ///
-/// Returns [`ModelIoError::Io`] on write failures.
+/// Returns [`ModelIoError::Io`] on write failures and
+/// [`ModelIoError::Unsupported`] for activations the format has no code
+/// for yet.
 pub fn save<W: Write>(model: &DeepOHeat, mut writer: W) -> Result<(), ModelIoError> {
     writer.write_all(MAGIC)?;
     writer.write_all(&VERSION.to_le_bytes())?;

@@ -20,7 +20,7 @@
 //! writes can be forced to fail. See `RESILIENCE.md` for the full state
 //! machine.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 
 use deepoheat_nn::NnError;
@@ -206,7 +206,7 @@ where
     let mut checkpoints_written = 0usize;
     let mut checkpoint_failures = 0usize;
     let mut steps_since_checkpoint = 0usize;
-    let mut fired_faults: HashSet<usize> = HashSet::new();
+    let mut fired_faults: BTreeSet<usize> = BTreeSet::new();
 
     while exp.iterations_done() < target {
         let iteration = exp.iterations_done();

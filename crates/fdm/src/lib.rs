@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! A 3-D finite-volume steady-state heat-conduction solver.
 //!
 //! This crate is the reproduction's stand-in for **Celsius 3D**, the

@@ -477,7 +477,10 @@ impl HeatProblem {
         drop(assembly_span);
         if matrix.rows() == 0 {
             // Every node is pinned: the solution is the Dirichlet data itself.
-            let temps: Vec<f64> = dirichlet.iter().map(|d| d.expect("all pinned")).collect();
+            let temps: Vec<f64> = dirichlet
+                .iter()
+                .map(|d| d.expect("invariant: zero free rows means every node is pinned"))
+                .collect();
             return Ok(Solution::from_parts(*g, temps, 0, 0.0, None, false));
         }
         let solve_span = telemetry::span("fdm.solve");
@@ -491,7 +494,8 @@ impl HeatProblem {
         for idx in 0..n {
             temps[idx] = match free_index[idx] {
                 Some(row) => cg.solution[row],
-                None => dirichlet[idx].expect("non-free nodes are dirichlet"),
+                None => dirichlet[idx]
+                    .expect("invariant: assemble() pins exactly the nodes without a free row"),
             };
         }
         Ok(Solution::from_parts(
@@ -528,11 +532,17 @@ fn add_link(
         }
         (Some(ra), None) => {
             entries.push((ra, ra, gcond));
-            rhs_adds.push((ra, gcond * dirichlet[b].expect("pinned node has a value")));
+            rhs_adds.push((
+                ra,
+                gcond * dirichlet[b].expect("invariant: a node without a free row is pinned"),
+            ));
         }
         (None, Some(rb)) => {
             entries.push((rb, rb, gcond));
-            rhs_adds.push((rb, gcond * dirichlet[a].expect("pinned node has a value")));
+            rhs_adds.push((
+                rb,
+                gcond * dirichlet[a].expect("invariant: a node without a free row is pinned"),
+            ));
         }
         (None, None) => {}
     }
@@ -643,26 +653,35 @@ pub(crate) fn cg_ladder(
         if best.as_ref().is_none_or(|(_, res)| attempt.relative_residual < *res) {
             best = Some((attempt.solution, attempt.relative_residual));
         }
-        let (_, best_res) = best.as_ref().expect("just set");
-        if attempt.converged && *best_res <= options.tolerance {
-            let (solution, relative_residual) = best.expect("just checked");
+        let met_tolerance =
+            attempt.converged && best.as_ref().is_some_and(|(_, r)| *r <= options.tolerance);
+        if met_tolerance {
             if rung_index > 0 {
                 telemetry::counter("fdm.cg.fallback.recovered.count", 1);
             }
-            return Ok(LadderOutcome {
-                solution,
-                iterations: total_iterations,
-                relative_residual,
-                trace: merged_trace,
-                degraded: false,
-            });
+            if let Some((solution, relative_residual)) = best.take() {
+                return Ok(LadderOutcome {
+                    solution,
+                    iterations: total_iterations,
+                    relative_residual,
+                    trace: merged_trace,
+                    degraded: false,
+                });
+            }
         }
         if !options.fallback {
             break;
         }
     }
 
-    let (solution, relative_residual) = best.expect("ladder ran at least the ssor rung");
+    // The SSOR rung always runs, so `best` should be set; report the solve
+    // as failed rather than panicking if that ever stops holding.
+    let Some((solution, relative_residual)) = best else {
+        return Err(FdmError::SolveFailed {
+            iterations: total_iterations,
+            residual: f64::INFINITY,
+        });
+    };
     if options.fallback && relative_residual <= options.degraded_tolerance {
         // Last rung: accept the best iterate under the relaxed tolerance,
         // flagged so callers know the accuracy contract was not met.

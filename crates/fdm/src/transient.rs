@@ -87,7 +87,7 @@ impl TransientSolution {
     pub fn final_solution(&self) -> Solution {
         Solution::from_parts(
             self.grid,
-            self.fields.last().expect("at least one step").clone(),
+            self.fields.last().expect("invariant: fields is seeded with the initial state").clone(),
             0,
             0.0,
             None,

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Gaussian random fields and tile-based power maps for chip thermal
 //! workloads.
 //!

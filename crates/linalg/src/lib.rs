@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Dense and sparse linear-algebra kernels used throughout the DeepOHeat
 //! thermal-simulation stack.
 //!

@@ -75,7 +75,7 @@ impl CooMatrix {
         let mut merged_rows: Vec<usize> = Vec::with_capacity(entries.len());
         for &(r, c, v) in &entries {
             if merged_rows.last() == Some(&r) && col_idx.last() == Some(&c) {
-                *values.last_mut().expect("values tracks col_idx") += v;
+                *values.last_mut().expect("invariant: values and col_idx grow in lockstep") += v;
             } else {
                 merged_rows.push(r);
                 col_idx.push(c);

@@ -24,7 +24,8 @@ use rand::Rng;
 pub fn glorot_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
     let bound = (6.0 / (rows + cols) as f64).sqrt();
     let data = (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect();
-    Matrix::from_vec(rows, cols, data).expect("glorot dimensions are consistent by construction")
+    Matrix::from_vec(rows, cols, data)
+        .expect("invariant: glorot data length is rows*cols by construction")
 }
 
 /// Samples a `rows × cols` matrix with i.i.d. `N(mean, std²)` entries using
@@ -53,7 +54,8 @@ pub fn normal_matrix<R: Rng + ?Sized>(
             data.push(mean + std * r * theta.sin());
         }
     }
-    Matrix::from_vec(rows, cols, data).expect("normal dimensions are consistent by construction")
+    Matrix::from_vec(rows, cols, data)
+        .expect("invariant: normal data length is rows*cols by construction")
 }
 
 #[cfg(test)]

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Neural-network building blocks for the DeepOHeat reproduction.
 //!
 //! Provides [`Dense`] layers, [`Mlp`] stacks, the [`FourierFeatures`]

@@ -111,7 +111,7 @@ impl Mlp {
 
     /// Output feature dimension.
     pub fn output_dim(&self) -> usize {
-        self.layers.last().expect("mlp has at least one layer").output_dim()
+        self.layers.last().expect("invariant: from_layers rejects empty layer lists").output_dim()
     }
 
     /// Hidden-layer activation.

@@ -230,9 +230,32 @@ impl ThreadPool {
             let mut state = self.queue.state.lock().expect("queue lock");
             for job in jobs {
                 // SAFETY: `Job<'scope>` and `RawJob` are the same type up
-                // to the closure's borrow lifetime. The borrows stay valid
-                // because this function does not return until `latch.wait`
-                // has observed every job complete.
+                // to the closure's borrow lifetime (`'scope` vs `'static`),
+                // so the transmute only erases a lifetime — layout is
+                // identical. The erased borrows stay valid because this
+                // function does not return until `latch.wait` has observed
+                // every job complete, i.e. no job can outlive `'scope`.
+                //
+                // Happens-before chain (loom-style), per job:
+                //
+                //   [submit]  push onto `state.tasks` under `queue.state`
+                //             mutex ──(mutex release/acquire)──▶
+                //   [worker]  pop in `try_pop` under the same mutex; run
+                //             the closure ──(program order)──▶
+                //   [worker]  `latch.complete()`: decrement under the
+                //             latch mutex, notify ──(mutex release/acquire
+                //             on the latch mutex)──▶
+                //   [submit]  `latch.wait()` observes count == 0 and
+                //             returns, after which `scope` may return and
+                //             the `'scope` borrows may die.
+                //
+                // Every edge is a mutex release→acquire pair, so each
+                // job's entire execution is ordered strictly before
+                // `scope` returns; the closure therefore never touches its
+                // borrows after they are invalidated. A panicking job
+                // still reaches `latch.complete()` (the decrement runs in
+                // `Task::run`'s unwind path via `catch_unwind`), so the
+                // chain holds on panic too.
                 let job = unsafe { std::mem::transmute::<Job<'scope>, RawJob>(job) };
                 state.tasks.push_back(Task { job, latch: Arc::clone(&latch) });
             }
@@ -293,8 +316,18 @@ pub fn global() -> &'static ThreadPool {
 
 fn with_current<R>(f: impl FnOnce(&ThreadPool) -> R) -> R {
     match CURRENT_POOL.with(Cell::get) {
-        // SAFETY: the pointer was set by `install`, which keeps the pool
-        // borrowed (and therefore alive) until it clears the slot.
+        // SAFETY: the pointer cannot dangle. It was stored by `install`,
+        // whose `&self` borrow of the pool is held across the entire
+        // `f()` call — the borrow checker therefore forbids dropping (or
+        // moving) the pool while the pointer is published. `install`
+        // restores the previous slot value before returning via the
+        // `Restore` drop guard, which runs even if `f` unwinds, so the
+        // pointer is unpublished strictly before the `&self` borrow ends.
+        // The slot is thread-local and never handed to another thread,
+        // so no other thread can observe the pointer after that.
+        // `with_current` runs either inside `install`'s dynamic extent
+        // (pointer valid) or outside it (slot is `None`); there is no
+        // third state.
         Some(pool) => f(unsafe { &*pool }),
         None => f(global()),
     }

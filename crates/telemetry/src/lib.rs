@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Dependency-free structured tracing, metrics, and run manifests for the
 //! DeepOHeat reproduction.
 //!

@@ -172,6 +172,50 @@ impl JsonlSink {
         })
     }
 
+    /// Opens the JSONL file at `path` for appending, first repairing the
+    /// tail of any existing log: a torn final line left by a crash
+    /// mid-write (missing its newline, or not a complete `{…}` object) is
+    /// truncated away so every surviving line stays machine-readable.
+    ///
+    /// Combined with the fsync in [`Sink::flush`], this gives the same
+    /// torn-write discipline as the DOHC checkpoint format: a reader never
+    /// sees a partial record, only a log that is at most one flush behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open, read and truncation errors.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                let keep = valid_jsonl_prefix_len(&bytes);
+                if keep < bytes.len() {
+                    eprintln!(
+                        "telemetry: dropping torn final line ({} byte(s)) from {}",
+                        bytes.len() - keep,
+                        path.display()
+                    );
+                    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+                    file.set_len(keep as u64)?;
+                    file.sync_all()?;
+                }
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => return Err(err),
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            manifest_path: path.with_extension("manifest.json"),
+            errored: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
     /// Overrides where the final run manifest is written.
     pub fn with_manifest_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.manifest_path = path.into();
@@ -203,16 +247,47 @@ impl Sink for JsonlSink {
     }
 
     fn manifest(&self, manifest: &RunManifest) {
-        if let Err(err) = std::fs::write(&self.manifest_path, manifest.to_json()) {
+        // Write-then-rename so a crash mid-write can never leave a torn
+        // manifest: readers see either the old file or the complete new one.
+        let tmp = self.manifest_path.with_extension("manifest.json.tmp");
+        let result = std::fs::write(&tmp, manifest.to_json())
+            .and_then(|()| File::open(&tmp)?.sync_all())
+            .and_then(|()| std::fs::rename(&tmp, &self.manifest_path));
+        if let Err(err) = result {
+            std::fs::remove_file(&tmp).ok();
             self.report_error("manifest write", &err);
         }
     }
 
     fn flush(&self) {
         let mut writer = self.writer.lock().expect("jsonl writer poisoned");
-        if let Err(err) = writer.flush() {
+        // Flush the buffer, then fsync so flushed lines survive a crash —
+        // `append` relies on this to bound loss to the post-flush tail.
+        if let Err(err) = writer.flush().and_then(|()| writer.get_ref().sync_all()) {
             self.report_error("flush", &err);
         }
+    }
+}
+
+/// Byte length of the longest prefix of `bytes` made of complete JSONL
+/// records: newline-terminated lines whose final line looks like a whole
+/// JSON object (`{…}`). Anything past it is a torn write.
+fn valid_jsonl_prefix_len(bytes: &[u8]) -> usize {
+    // Drop bytes after the last newline (a line still being written).
+    let Some(last_newline) = bytes.iter().rposition(|&b| b == b'\n') else {
+        return 0;
+    };
+    let end = last_newline + 1;
+    // The final complete line must be a whole object: a crash between
+    // `write` syscalls can persist `{"t":1.2,"kind"` + a later buffer
+    // starting with `\n`, leaving a newline-terminated torn record.
+    let body = &bytes[..last_newline];
+    let line_start = body.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    let line = &body[line_start..];
+    if line.first() == Some(&b'{') && line.last() == Some(&b'}') {
+        end
+    } else {
+        line_start
     }
 }
 
@@ -304,6 +379,78 @@ mod tests {
         sink.manifest(&manifest);
         let manifest_json = std::fs::read_to_string(sink.manifest_path()).unwrap();
         assert!(manifest_json.contains("\"name\":\"demo\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn valid_prefix_keeps_whole_records_only() {
+        // Intact log: everything kept.
+        let intact = b"{\"t\":1}\n{\"t\":2}\n";
+        assert_eq!(valid_jsonl_prefix_len(intact), intact.len());
+        // Torn tail without a newline: dropped back to the last newline.
+        let torn = b"{\"t\":1}\n{\"t\":2,\"kin";
+        assert_eq!(valid_jsonl_prefix_len(torn), 8);
+        // Newline-terminated but incomplete object: dropped too.
+        let half = b"{\"t\":1}\n\"t\":2}\n";
+        assert_eq!(valid_jsonl_prefix_len(half), 8);
+        // No newline at all.
+        assert_eq!(valid_jsonl_prefix_len(b"{\"t\""), 0);
+        assert_eq!(valid_jsonl_prefix_len(b""), 0);
+    }
+
+    #[test]
+    fn append_truncates_torn_final_line_and_appends() {
+        let dir =
+            std::env::temp_dir().join(format!("deepoheat-telemetry-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        std::fs::write(&path, "{\"t\":1,\"kind\":\"event\",\"name\":\"a\"}\n{\"t\":2,\"kin")
+            .unwrap();
+
+        let sink = JsonlSink::append(&path).unwrap();
+        sink.record(&sample_event());
+        sink.flush();
+
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2, "{contents:?}");
+        assert!(lines[0].contains("\"name\":\"a\""));
+        assert!(lines[1].contains("\"name\":\"train.step\""));
+        assert!(contents.ends_with('\n'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_preserves_an_intact_log() {
+        let dir =
+            std::env::temp_dir().join(format!("deepoheat-telemetry-intact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        {
+            let sink = JsonlSink::append(&path).unwrap();
+            sink.record(&sample_event());
+            sink.flush();
+        }
+        {
+            let sink = JsonlSink::append(&path).unwrap();
+            sink.record(&sample_event());
+            sink.flush();
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_write_is_atomic_via_rename() {
+        let dir = std::env::temp_dir()
+            .join(format!("deepoheat-telemetry-manifest-{}", std::process::id()));
+        let path = dir.join("run.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.manifest(&RunManifest::empty_for_tests("demo"));
+        assert!(sink.manifest_path().exists());
+        // The temp file must not linger after a successful rename.
+        assert!(!sink.manifest_path().with_extension("manifest.json.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Real-time design-space exploration with the dual-HTC surrogate
 //! (§V.B): train once, then sweep the whole heat-transfer-coefficient
 //! square in milliseconds — the workflow the paper motivates for

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Train a physics-informed DeepOHeat surrogate for top-surface power
 //! maps (§V.A) and use it on a custom floorplan.
 //!

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Quickstart: build the paper's §V.A chip, solve it with the reference
 //! finite-volume solver, train the surrogate for a handful of steps, and
 //! record the whole run through the telemetry pipeline.

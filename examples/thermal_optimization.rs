@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Thermal-aware floorplanning with a DeepOHeat surrogate — the
 //! optimisation loop the paper's introduction motivates: "designers need
 //! to re-run many simulations to optimize the design case".

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Transient power-on of a chip: integrate the time-dependent heat
 //! equation (the paper's Eq. (1) before its static simplification) from a
 //! cold start and watch the hot spot approach the steady-state solution.

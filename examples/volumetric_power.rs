@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Volumetric (3-D) power maps — the configuration family §III of the
 //! paper defines and its conclusion names as future work.
 //!

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Workspace-level helper package.
 //!
 //! This package exists so the repository root can host cross-crate

@@ -1,0 +1,138 @@
+//! The lint allowlist: per-file, per-lint exceptions, each carrying a
+//! mandatory justification string.
+//!
+//! Format (`xtask/lint-allow.txt`), one entry per line:
+//!
+//! ```text
+//! # comment
+//! <lint-id> <path> :: <justification>
+//! ```
+//!
+//! Entries with an empty justification are rejected, and entries that no
+//! longer suppress anything fail the lint pass as `allowlist-stale`, so
+//! the file can only describe the present, not accumulate history.
+
+use crate::lints::{lint, Diagnostic};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint identifier the entry suppresses.
+    pub lint: String,
+    /// Workspace-relative path it applies to.
+    pub path: String,
+    /// Why the exception is sound — shown in `--unsafe-report` and audits.
+    pub justification: String,
+    /// 1-based line in the allowlist file (for stale-entry reporting).
+    pub source_line: usize,
+}
+
+/// Parses the allowlist text.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed entries or
+/// missing justifications.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let source_line = idx + 1;
+        let (head, justification) = line
+            .split_once(" :: ")
+            .ok_or_else(|| format!("allowlist line {source_line}: missing ` :: justification`"))?;
+        let justification = justification.trim();
+        if justification.is_empty() {
+            return Err(format!("allowlist line {source_line}: empty justification"));
+        }
+        let (lint_id, path) = head
+            .trim()
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("allowlist line {source_line}: expected `<lint> <path>`"))?;
+        entries.push(AllowEntry {
+            lint: lint_id.trim().to_string(),
+            path: path.trim().to_string(),
+            justification: justification.to_string(),
+            source_line,
+        });
+    }
+    Ok(entries)
+}
+
+/// Splits diagnostics into (kept, suppressed) and appends a
+/// [`lint::ALLOWLIST_STALE`] finding for every entry that matched nothing.
+pub fn apply(
+    diagnostics: Vec<Diagnostic>,
+    entries: &[AllowEntry],
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for diag in diagnostics {
+        let hit = entries
+            .iter()
+            .position(|entry| entry.lint == diag.lint && entry.path == diag.path)
+            .inspect(|&i| used[i] = true);
+        if hit.is_some() {
+            suppressed.push(diag);
+        } else {
+            kept.push(diag);
+        }
+    }
+    for (entry, used) in entries.iter().zip(&used) {
+        if !used {
+            kept.push(Diagnostic {
+                lint: lint::ALLOWLIST_STALE,
+                path: entry.path.clone(),
+                line: 0,
+                message: format!(
+                    "allowlist entry `{} {}` (lint-allow.txt:{}) suppresses nothing — remove it",
+                    entry.lint, entry.path, entry.source_line
+                ),
+            });
+        }
+    }
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(lint: &'static str, path: &str) -> Diagnostic {
+        Diagnostic { lint, path: path.into(), line: 3, message: "m".into() }
+    }
+
+    #[test]
+    fn parses_entries_and_rejects_missing_justification() {
+        let entries =
+            parse("# header\n\ndeterminism-time crates/linalg/src/cg.rs :: trace timing only\n")
+                .unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].lint, "determinism-time");
+        assert_eq!(entries[0].path, "crates/linalg/src/cg.rs");
+        assert_eq!(entries[0].justification, "trace timing only");
+
+        assert!(parse("determinism-time crates/x.rs\n").is_err());
+        assert!(parse("determinism-time crates/x.rs :: \n").is_err());
+        assert!(parse("lonely-token :: why\n").is_err());
+    }
+
+    #[test]
+    fn suppresses_matching_diagnostics_and_flags_stale_entries() {
+        let entries =
+            parse("determinism-time a.rs :: fine\ndeterminism-spawn never.rs :: unused entry\n")
+                .unwrap();
+        let diags = vec![diag("determinism-time", "a.rs"), diag("determinism-time", "b.rs")];
+        let (kept, suppressed) = apply(diags, &entries);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].path, "a.rs");
+        // b.rs survives, and the unused never.rs entry becomes a finding.
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|d| d.path == "b.rs"));
+        assert!(kept.iter().any(|d| d.lint == lint::ALLOWLIST_STALE));
+    }
+}

@@ -1,0 +1,170 @@
+//! The panic-freedom ratchet: a checked-in per-file count of panic-capable
+//! call sites (`xtask/panic-baseline.txt`) that may only go down.
+//!
+//! Format, one entry per line, sorted by path:
+//!
+//! ```text
+//! <count> <path>
+//! ```
+//!
+//! A file whose current count exceeds its baseline fails the lint pass
+//! (new panic sites); a file below its baseline fails too — as
+//! `baseline-stale` — so improvements are locked in immediately via
+//! `cargo xtask lint --update-baseline` and cannot silently regress back.
+
+use std::collections::BTreeMap;
+
+use crate::lints::{lint, Diagnostic, PanicSite};
+
+/// Parses baseline text into path → allowed count.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed line.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut map = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, path) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("baseline line {}: expected `<count> <path>`", idx + 1))?;
+        let count: usize =
+            count.parse().map_err(|_| format!("baseline line {}: bad count {count:?}", idx + 1))?;
+        map.insert(path.trim().to_string(), count);
+    }
+    Ok(map)
+}
+
+/// Renders counts back into the checked-in format (sorted, zero-count
+/// files omitted).
+pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# Panic-freedom ratchet: allowed panic-capable call sites per file.\n\
+         # Counts may only decrease. Regenerate with `cargo xtask lint --update-baseline`\n\
+         # after burning sites down; adding a site fails `cargo xtask lint`.\n",
+    );
+    for (path, count) in counts {
+        if *count > 0 {
+            out.push_str(&format!("{count} {path}\n"));
+        }
+    }
+    out
+}
+
+/// Compares current per-file panic sites against the baseline, producing
+/// ratchet diagnostics.
+pub fn check(
+    current: &BTreeMap<String, Vec<PanicSite>>,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (path, sites) in current {
+        let allowed = baseline.get(path).copied().unwrap_or(0);
+        let found = sites.len();
+        if found > allowed {
+            let detail: Vec<String> =
+                sites.iter().map(|s| format!("{}:{} {}", path, s.line, s.what)).collect();
+            out.push(Diagnostic {
+                lint: lint::PANIC_FREEDOM,
+                path: path.clone(),
+                line: sites.first().map_or(0, |s| s.line),
+                message: format!(
+                    "{found} panic-capable site(s), baseline allows {allowed}: convert the new \
+                     ones to typed errors or `expect(\"invariant: …\")` — sites: {}",
+                    detail.join(", ")
+                ),
+            });
+        } else if found < allowed {
+            out.push(Diagnostic {
+                lint: lint::BASELINE_STALE,
+                path: path.clone(),
+                line: 0,
+                message: format!(
+                    "{found} panic-capable site(s) but baseline allows {allowed}: run \
+                     `cargo xtask lint --update-baseline` to lock in the improvement"
+                ),
+            });
+        }
+    }
+    // Baseline entries for files that no longer have any sites (deleted or
+    // fully burned down) must be ratcheted away too.
+    for (path, &allowed) in baseline {
+        if allowed > 0 && !current.contains_key(path) {
+            out.push(Diagnostic {
+                lint: lint::BASELINE_STALE,
+                path: path.clone(),
+                line: 0,
+                message: format!(
+                    "baseline allows {allowed} site(s) but the file has none (or is gone): run \
+                     `cargo xtask lint --update-baseline`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(n: usize) -> Vec<PanicSite> {
+        (0..n).map(|i| PanicSite { line: i + 1, what: ".unwrap()".into() }).collect()
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let mut counts = BTreeMap::new();
+        counts.insert("b.rs".to_string(), 2);
+        counts.insert("a.rs".to_string(), 1);
+        counts.insert("zero.rs".to_string(), 0);
+        let text = render(&counts);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.get("a.rs"), Some(&1));
+        assert_eq!(parsed.get("b.rs"), Some(&2));
+        assert!(!parsed.contains_key("zero.rs"));
+        // Sorted output: a.rs before b.rs.
+        assert!(text.find("a.rs").unwrap() < text.find("b.rs").unwrap());
+    }
+
+    #[test]
+    fn regression_above_baseline_fails() {
+        let baseline = parse("1 a.rs\n").unwrap();
+        let mut current = BTreeMap::new();
+        current.insert("a.rs".to_string(), sites(2));
+        let diags = check(&current, &baseline);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, lint::PANIC_FREEDOM);
+        assert!(diags[0].message.contains("baseline allows 1"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn new_file_with_sites_fails_with_zero_default() {
+        let baseline = parse("").unwrap();
+        let mut current = BTreeMap::new();
+        current.insert("new.rs".to_string(), sites(1));
+        let diags = check(&current, &baseline);
+        assert_eq!(diags[0].lint, lint::PANIC_FREEDOM);
+    }
+
+    #[test]
+    fn improvements_must_be_locked_in() {
+        let baseline = parse("3 a.rs\n2 gone.rs\n").unwrap();
+        let mut current = BTreeMap::new();
+        current.insert("a.rs".to_string(), sites(1));
+        let diags = check(&current, &baseline);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.lint == lint::BASELINE_STALE));
+    }
+
+    #[test]
+    fn exact_match_is_silent() {
+        let baseline = parse("2 a.rs\n").unwrap();
+        let mut current = BTreeMap::new();
+        current.insert("a.rs".to_string(), sites(2));
+        assert!(check(&current, &baseline).is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+#![deny(unsafe_code)]
+//! `cargo xtask` — workspace automation. Currently one subcommand:
+//!
+//! ```text
+//! cargo xtask lint                   # run all lint families, exit 1 on violations
+//! cargo xtask lint --update-baseline # re-ratchet the panic baseline downward
+//! cargo xtask lint --unsafe-report   # print the unsafe-site inventory
+//! cargo xtask lint --verbose         # also show allowlist-suppressed findings
+//! ```
+//!
+//! See STATIC_ANALYSIS.md for what each lint enforces and why.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`\n\nusage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose]");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(flags: &[String]) -> ExitCode {
+    let mut update_baseline = false;
+    let mut unsafe_report = false;
+    let mut verbose = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--update-baseline" => update_baseline = true,
+            "--unsafe-report" => unsafe_report = true,
+            "--verbose" => verbose = true,
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = xtask::workspace_root();
+    let outcome = match xtask::run_workspace_lint(&root) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("xtask lint: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if unsafe_report {
+        print!("{}", xtask::format_unsafe_report(&outcome.unsafe_inventory));
+        return if outcome.unsafe_inventory.iter().all(|s| s.documented) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if update_baseline {
+        match xtask::update_baseline(&root, &outcome) {
+            Ok(_) => {
+                eprintln!("xtask lint: baseline rewritten at {}", xtask::BASELINE_PATH);
+                // Re-run against the fresh baseline so the exit code
+                // reflects the post-update state.
+                return match xtask::run_workspace_lint(&root) {
+                    Ok(after) => {
+                        print!("{}", xtask::format_report(&after, verbose));
+                        if after.is_clean() {
+                            ExitCode::SUCCESS
+                        } else {
+                            ExitCode::FAILURE
+                        }
+                    }
+                    Err(err) => {
+                        eprintln!("xtask lint: {err}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            Err(err) => {
+                eprintln!("xtask lint: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    print!("{}", xtask::format_report(&outcome, verbose));
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: hash-order-sensitive container in a result-producing crate.
+//! Never compiled.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut map = HashMap::new();
+    for &k in keys {
+        *map.entry(k).or_insert(0) += 1;
+    }
+    map
+}

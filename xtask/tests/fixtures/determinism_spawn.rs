@@ -1,0 +1,6 @@
+//! Fixture: raw thread spawn outside the deterministic pool. Never
+//! compiled.
+
+pub fn background() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,7 @@
+//! Fixture: wall-clock use inside a result-producing crate. Fed to the
+//! lint engine as `crates/fdm/src/fixture.rs`; never compiled.
+
+pub fn elapsed() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

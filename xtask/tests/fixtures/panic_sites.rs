@@ -1,0 +1,28 @@
+//! Fixture: panic-capable call sites in a ratcheted crate, including the
+//! exempt forms the counter must skip. Never compiled.
+
+pub fn count_me(v: Option<u32>) -> u32 {
+    // Counted: bare unwrap, undocumented expect, panic!, assert!.
+    let a = v.unwrap();
+    let b = v.expect("present");
+    assert!(a <= b);
+    if a > 100 {
+        panic!("too big");
+    }
+    // Exempt: documented invariant and debug-only assertion.
+    let c = v.expect("invariant: caller checked is_some above");
+    debug_assert!(c < 1000);
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may panic freely.
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        v.expect("fine");
+        assert_eq!(v, Some(1));
+    }
+}

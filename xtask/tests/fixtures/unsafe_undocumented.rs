@@ -1,0 +1,11 @@
+//! Fixture: unsafe blocks with and without a SAFETY justification. Never
+//! compiled.
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points at a live byte.
+    unsafe { *p }
+}
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,157 @@
+//! End-to-end tests of the lint engine against the deliberately violating
+//! snippets in `tests/fixtures/`. Each fixture is fed to [`lint_sources`]
+//! under a workspace path that puts it in scope for the lint under test;
+//! the fixtures themselves are never compiled (the workspace walk skips
+//! `xtask/tests/fixtures/`).
+
+use xtask::lint_sources;
+use xtask::lints::lint;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {path}: {e}"))
+}
+
+fn lints_fired(sources: &[(String, String)], allow: &str, baseline: &str) -> Vec<&'static str> {
+    let outcome = lint_sources(sources, allow, baseline).expect("lint run");
+    outcome.violations.iter().map(|d| d.lint).collect()
+}
+
+#[test]
+fn determinism_time_fires_in_result_producing_crate() {
+    let sources = vec![("crates/fdm/src/fixture.rs".to_string(), fixture("determinism_time.rs"))];
+    let fired = lints_fired(&sources, "", "");
+    assert_eq!(fired, vec![lint::DETERMINISM_TIME], "{fired:?}");
+}
+
+#[test]
+fn determinism_time_is_exempt_in_telemetry_and_bench() {
+    for crate_dir in ["telemetry", "bench"] {
+        let path = format!("crates/{crate_dir}/src/fixture.rs");
+        let sources = vec![(path, fixture("determinism_time.rs"))];
+        let outcome = lint_sources(&sources, "", "").expect("lint run");
+        assert!(outcome.is_clean(), "{crate_dir}: {:?}", outcome.violations);
+    }
+}
+
+#[test]
+fn determinism_spawn_fires_outside_the_pool_crate() {
+    let sources = vec![("crates/nn/src/fixture.rs".to_string(), fixture("determinism_spawn.rs"))];
+    let fired = lints_fired(&sources, "", "");
+    assert_eq!(fired, vec![lint::DETERMINISM_SPAWN], "{fired:?}");
+
+    let sources =
+        vec![("crates/parallel/src/fixture.rs".to_string(), fixture("determinism_spawn.rs"))];
+    let outcome = lint_sources(&sources, "", "").expect("lint run");
+    assert!(outcome.is_clean(), "{:?}", outcome.violations);
+}
+
+#[test]
+fn determinism_hash_fires_in_result_producing_crate() {
+    let sources =
+        vec![("crates/linalg/src/fixture.rs".to_string(), fixture("determinism_hash.rs"))];
+    let fired = lints_fired(&sources, "", "");
+    assert!(fired.iter().all(|&l| l == lint::DETERMINISM_HASH), "{fired:?}");
+    assert!(!fired.is_empty());
+}
+
+#[test]
+fn allowlist_suppresses_a_justified_exception() {
+    let sources = vec![("crates/fdm/src/fixture.rs".to_string(), fixture("determinism_time.rs"))];
+    let allow =
+        "determinism-time crates/fdm/src/fixture.rs :: fixture timing never reaches results\n";
+    let outcome = lint_sources(&sources, allow, "").expect("lint run");
+    assert!(outcome.is_clean(), "{:?}", outcome.violations);
+    assert_eq!(outcome.suppressed.len(), 1);
+}
+
+#[test]
+fn stale_allowlist_entry_fails_the_run() {
+    let sources =
+        vec![("crates/fdm/src/clean.rs".to_string(), "pub fn f() -> u32 { 1 }\n".to_string())];
+    let allow = "determinism-time crates/fdm/src/clean.rs :: no longer needed\n";
+    let fired = lints_fired(&sources, allow, "");
+    assert_eq!(fired, vec![lint::ALLOWLIST_STALE], "{fired:?}");
+}
+
+#[test]
+fn panic_counter_counts_real_sites_and_skips_exempt_forms() {
+    let sources = vec![("crates/linalg/src/fixture.rs".to_string(), fixture("panic_sites.rs"))];
+    let outcome = lint_sources(&sources, "", "").expect("lint run");
+    let sites = &outcome.panic_sites["crates/linalg/src/fixture.rs"];
+    // unwrap + undocumented expect + assert! + panic! — the invariant
+    // expect, debug_assert!, and everything inside #[cfg(test)] are exempt.
+    assert_eq!(sites.len(), 4, "{sites:?}");
+}
+
+#[test]
+fn matching_baseline_passes_and_regression_fails() {
+    let sources = vec![("crates/linalg/src/fixture.rs".to_string(), fixture("panic_sites.rs"))];
+
+    let at_baseline = "4 crates/linalg/src/fixture.rs\n";
+    let outcome = lint_sources(&sources, "", at_baseline).expect("lint run");
+    assert!(outcome.is_clean(), "{:?}", outcome.violations);
+
+    // A tightened (regressed-relative-to-current) baseline must fail.
+    let regressed = "3 crates/linalg/src/fixture.rs\n";
+    let fired = lints_fired(&sources, "", regressed);
+    assert_eq!(fired, vec![lint::PANIC_FREEDOM], "{fired:?}");
+
+    // An improvement that is not locked in must fail as stale.
+    let slack = "9 crates/linalg/src/fixture.rs\n";
+    let fired = lints_fired(&sources, "", slack);
+    assert_eq!(fired, vec![lint::BASELINE_STALE], "{fired:?}");
+}
+
+#[test]
+fn unsafe_is_forbidden_outside_the_pool_crate() {
+    let sources =
+        vec![("crates/core/src/fixture.rs".to_string(), fixture("unsafe_undocumented.rs"))];
+    let fired = lints_fired(&sources, "", "");
+    assert!(fired.contains(&lint::UNSAFE_FORBIDDEN), "{fired:?}");
+}
+
+#[test]
+fn undocumented_unsafe_in_the_pool_crate_fails_only_where_undocumented() {
+    let sources =
+        vec![("crates/parallel/src/fixture.rs".to_string(), fixture("unsafe_undocumented.rs"))];
+    let outcome = lint_sources(&sources, "", "").expect("lint run");
+    let fired: Vec<_> = outcome.violations.iter().map(|d| d.lint).collect();
+    assert_eq!(fired, vec![lint::UNSAFE_UNDOCUMENTED], "{fired:?}");
+    assert_eq!(outcome.unsafe_inventory.len(), 2);
+    assert_eq!(
+        outcome.unsafe_inventory.iter().filter(|s| s.documented).count(),
+        1,
+        "{:?}",
+        outcome.unsafe_inventory
+    );
+}
+
+#[test]
+fn missing_unsafe_deny_attribute_fires_on_crate_roots() {
+    let sources =
+        vec![("crates/grf/src/lib.rs".to_string(), "pub fn f() -> u32 { 1 }\n".to_string())];
+    let fired = lints_fired(&sources, "", "");
+    assert_eq!(fired, vec![lint::UNSAFE_DENY], "{fired:?}");
+
+    let sources = vec![(
+        "crates/grf/src/lib.rs".to_string(),
+        "#![deny(unsafe_code)]\npub fn f() -> u32 { 1 }\n".to_string(),
+    )];
+    let outcome = lint_sources(&sources, "", "").expect("lint run");
+    assert!(outcome.is_clean(), "{:?}", outcome.violations);
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let root = xtask::workspace_root();
+    let outcome = xtask::run_workspace_lint(&root).expect("workspace lint");
+    assert!(
+        outcome.is_clean(),
+        "workspace lint found violations:\n{}",
+        xtask::format_report(&outcome, false)
+    );
+    // The two audited unsafe sites in deepoheat-parallel stay documented.
+    assert_eq!(outcome.unsafe_inventory.len(), 2);
+    assert!(outcome.unsafe_inventory.iter().all(|s| s.documented));
+}
