@@ -1,0 +1,206 @@
+#![deny(unsafe_code)]
+//! Serving-throughput benchmark for the `deepoheat-serve` inference
+//! engine: compares naive per-query full-network evaluation against the
+//! batched split path (branch embedding encoded once, trunk chunked
+//! through the worker pool), exercises the branch-embedding cache with a
+//! repeated-design request stream, and writes queries/sec, cache hit
+//! rate, and the batched-vs-naive speedups to `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p deepoheat-bench --bin serve_throughput -- \
+//!     [--quick] [--points N] [--designs N] [--rounds N] [--repeats N]
+//! ```
+//!
+//! The naive column evaluates every branch net *and* the trunk once per
+//! query point — what a caller without the split API pays. The warm
+//! column answers the same queries from a cached embedding, so its
+//! advantage is algorithmic (branch cost amortised to zero), not a
+//! thread-scaling artefact: the ratio holds on a single-core host. The
+//! binary verifies the batched results are bit-identical to the naive
+//! ones before reporting any timing.
+
+use std::time::Instant;
+
+use deepoheat::{DeepOHeat, DeepOHeatConfig};
+use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, Args, BenchError};
+use deepoheat_linalg::Matrix;
+use deepoheat_parallel as parallel;
+use deepoheat_serve::{InferenceEngine, ServeOptions};
+use deepoheat_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn main() {
+    run_or_exit("serve", run);
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Median wall-clock of `repeats` runs of `f`.
+fn time_median<F>(repeats: usize, mut f: F) -> Result<f64, BenchError>
+where
+    F: FnMut() -> Result<(), BenchError>,
+{
+    let mut samples = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f()?;
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    Ok(median(samples))
+}
+
+/// A paper-scale surrogate: 21×21 power-map sensors through the §IV.A
+/// branch stack, Fourier-featured trunk, Kelvin output transform.
+fn model() -> Result<DeepOHeat, BenchError> {
+    let sensors = 21 * 21;
+    let cfg = DeepOHeatConfig::single_branch(sensors, &[128, 128, 128, 128], &[64, 64, 64], 64)
+        .with_fourier(32, 1.0)
+        .with_output_transform(300.0, 50.0);
+    let mut rng = StdRng::seed_from_u64(2024);
+    Ok(DeepOHeat::new(&cfg, &mut rng)?)
+}
+
+/// Deterministic pseudo-random power maps (one row of sensor values per
+/// design).
+fn designs(n: usize, sensors: usize) -> Vec<Matrix> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n).map(|_| Matrix::from_fn(1, sensors, |_, _| rng.gen_range(0.0..1.0))).collect()
+}
+
+/// A deterministic batch of query coordinates in the unit cube.
+fn query_points(n: usize) -> Matrix {
+    Matrix::from_fn(n, 3, |i, j| {
+        let t = (i * 3 + j) as f64 * 0.618_034;
+        t - t.floor()
+    })
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = Args::from_env();
+    init_telemetry("serve", &args);
+    let quick = args.flag("quick");
+    let points = args.get_usize("points", if quick { 512 } else { 4096 })?;
+    let n_designs = args.get_usize("designs", if quick { 4 } else { 8 })?;
+    let rounds = args.get_usize("rounds", if quick { 3 } else { 4 })?;
+    let repeats = args.get_usize("repeats", 3)?;
+    let threads = parallel::num_threads();
+    telemetry::gauge("serve.threads", threads as f64);
+    telemetry::gauge("serve.points", points as f64);
+    telemetry::gauge("serve.designs", n_designs as f64);
+    telemetry::gauge("serve.rounds", rounds as f64);
+
+    let m = model()?;
+    let sensors = m.branch_input_dim(0);
+    let maps = designs(n_designs, sensors);
+    let coords = query_points(points);
+    println!(
+        "== serve_throughput: {points} queries, {n_designs} designs × {rounds} rounds, \
+         {threads} thread(s) =="
+    );
+
+    // --- correctness gate: batched must equal naive, bitwise ---------------
+    let probe = &maps[0];
+    let naive_rows: Vec<Matrix> = (0..points.min(64))
+        .map(|i| {
+            let row = coords.row_block(i..i + 1)?;
+            Ok::<Matrix, BenchError>(m.predict(&[probe], &row)?)
+        })
+        .collect::<Result<_, _>>()?;
+    let mut engine = InferenceEngine::new(m.clone(), ServeOptions::default())?;
+    let batched = engine.predict(&[probe], &coords)?;
+    for (i, row) in naive_rows.iter().enumerate() {
+        if row.as_slice() != &batched.as_slice()[i..i + 1] {
+            return Err(format!(
+                "batched result diverges from naive per-query evaluation at point {i}"
+            )
+            .into());
+        }
+    }
+    println!(
+        "correctness: batched == naive per-query, bitwise ({} points checked)",
+        64.min(points)
+    );
+
+    // --- 1 · naive per-query full-network evaluation -----------------------
+    // Every query pays the branch nets AND the trunk.
+    let naive_secs = time_median(repeats, || {
+        let mut acc = 0.0;
+        for i in 0..points {
+            let row = coords.row_block(i..i + 1)?;
+            let out = m.predict(&[probe], &row)?;
+            acc += out.as_slice()[0];
+        }
+        std::hint::black_box(acc);
+        Ok(())
+    })?;
+
+    // --- 2 · batched, cold cache (encode + chunked trunk) ------------------
+    let cold_secs = time_median(repeats, || {
+        let mut fresh = InferenceEngine::new(m.clone(), ServeOptions::default())?;
+        let out = fresh.predict(&[probe], &coords)?;
+        std::hint::black_box(out.as_slice()[0]);
+        Ok(())
+    })?;
+
+    // --- 3 · batched, warm cache (trunk only) ------------------------------
+    // `engine` already holds the probe design from the correctness gate.
+    let warm_secs = time_median(repeats, || {
+        let out = engine.predict(&[probe], &coords)?;
+        std::hint::black_box(out.as_slice()[0]);
+        Ok(())
+    })?;
+
+    let speedup_cold = if cold_secs > 0.0 { naive_secs / cold_secs } else { 1.0 };
+    let speedup_warm = if warm_secs > 0.0 { naive_secs / warm_secs } else { 1.0 };
+    telemetry::gauge("serve.naive_secs", naive_secs);
+    telemetry::gauge("serve.batched_cold_secs", cold_secs);
+    telemetry::gauge("serve.batched_warm_secs", warm_secs);
+    telemetry::gauge("serve.speedup_cold_vs_naive", speedup_cold);
+    telemetry::gauge("serve.speedup_warm_vs_naive", speedup_warm);
+    println!("naive per-query      {naive_secs:>9.4}s");
+    println!("batched cold cache   {cold_secs:>9.4}s   speedup {speedup_cold:>6.2}x");
+    println!("batched warm cache   {warm_secs:>9.4}s   speedup {speedup_warm:>6.2}x");
+
+    // --- 4 · repeated-design request stream --------------------------------
+    // `rounds` sweeps over the design set: round one misses, the rest hit.
+    let mut stream = InferenceEngine::new(
+        m.clone(),
+        ServeOptions { cache_capacity: n_designs, ..ServeOptions::default() },
+    )?;
+    let stream_secs = {
+        let t = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..rounds {
+            for map in &maps {
+                let out = stream.predict(&[map], &coords)?;
+                acc += out.as_slice()[0];
+            }
+        }
+        std::hint::black_box(acc);
+        t.elapsed().as_secs_f64()
+    };
+    let stats = stream.cache_stats();
+    let total_queries = (rounds * n_designs * points) as f64;
+    let qps = if stream_secs > 0.0 { total_queries / stream_secs } else { 0.0 };
+    telemetry::gauge("serve.stream_secs", stream_secs);
+    telemetry::gauge("serve.queries_per_sec", qps);
+    telemetry::gauge("serve.cache_hit_rate", stats.hit_rate());
+    println!(
+        "request stream       {stream_secs:>9.4}s   {qps:>10.0} queries/s   hit rate {:.2} \
+         ({} hits / {} misses / {} evictions)",
+        stats.hit_rate(),
+        stats.hits,
+        stats.misses,
+        stats.evictions
+    );
+
+    println!("\nthreads = {threads} (set DEEPOHEAT_NUM_THREADS to override)");
+    println!("manifest: BENCH_serve.json");
+    finish_telemetry();
+    Ok(())
+}

@@ -118,15 +118,24 @@ pub fn secs(d: std::time::Duration) -> String {
 
 /// Installs the global telemetry recorder for a bench binary.
 ///
-/// Events stream to `BENCH_<name>.jsonl` and the final run manifest is
-/// written to `BENCH_<name>.json` in the working directory (override the
-/// directory with `--telemetry-dir`). Passing `--trace` additionally
-/// mirrors events to stderr. Call [`finish_telemetry`] at the end of
-/// `main` to flush the manifest.
+/// The final run manifest is written to `BENCH_<name>.json` in the
+/// working directory; the raw event stream goes to
+/// `target/BENCH_<name>.jsonl` so only the summary artefact lands at the
+/// repo root. Passing `--telemetry-dir <dir>` puts both files under
+/// `<dir>` instead. Passing `--trace` additionally mirrors events to
+/// stderr. Call [`finish_telemetry`] at the end of `main` to flush the
+/// manifest.
 pub fn init_telemetry(name: &str, args: &Args) {
-    let dir = std::path::PathBuf::from(args.get_str("telemetry-dir", "."));
-    let events_path = dir.join(format!("BENCH_{name}.jsonl"));
-    let manifest_path = dir.join(format!("BENCH_{name}.json"));
+    let (manifest_dir, events_dir) = match args.values.get("telemetry-dir") {
+        Some(dir) => (std::path::PathBuf::from(dir), std::path::PathBuf::from(dir)),
+        None => (std::path::PathBuf::from("."), std::path::PathBuf::from("target")),
+    };
+    if !events_dir.as_os_str().is_empty() {
+        // Best-effort: a missing events dir downgrades to the warning below.
+        let _ = std::fs::create_dir_all(&events_dir);
+    }
+    let events_path = events_dir.join(format!("BENCH_{name}.jsonl"));
+    let manifest_path = manifest_dir.join(format!("BENCH_{name}.json"));
     let mut builder = deepoheat_telemetry::Recorder::builder(name);
     // The worker-pool width shapes every timing, so it is part of every
     // run manifest (results are bit-identical across widths by the

@@ -589,12 +589,36 @@ impl HtcExperiment {
     ///
     /// Propagates prediction errors.
     pub fn predict_field(&self, htc_top: f64, htc_bottom: f64) -> Result<Vec<f64>, DeepOHeatError> {
-        let chip = self.reference_chip(htc_top, htc_bottom)?;
-        let coords = chip.grid().node_positions_normalized();
-        let u1 = Matrix::filled(1, 1, htc_top / HTC_INPUT_SCALE);
-        let u2 = Matrix::filled(1, 1, htc_bottom / HTC_INPUT_SCALE);
-        let t = self.model.predict(&[&u1, &u2], &coords)?;
-        Ok(t.into_vec())
+        let fields = self.predict_fields(&[(htc_top, htc_bottom)])?;
+        Ok(fields.into_iter().next().expect("invariant: one pair in, one field out"))
+    }
+
+    /// Predicts the temperature fields for a batch of `(htc_top,
+    /// htc_bottom)` pairs in one pass: both branch nets run once over all
+    /// pairs (one [`crate::BranchEmbedding`]) and the trunk once over the
+    /// grid — the HTC pairs share the geometry, so the coordinates are
+    /// encoded once at construction instead of per call. Bit-identical to
+    /// calling [`HtcExperiment::predict_field`] per pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors.
+    pub fn predict_fields(&self, pairs: &[(f64, f64)]) -> Result<Vec<Vec<f64>>, DeepOHeatError> {
+        let u1 = Matrix::from_fn(pairs.len(), 1, |i, _| pairs[i].0 / HTC_INPUT_SCALE);
+        let u2 = Matrix::from_fn(pairs.len(), 1, |i, _| pairs[i].1 / HTC_INPUT_SCALE);
+        let embedding = self.model.encode_branches(&[&u1, &u2])?;
+        let t = self.model.eval_trunk_batch(
+            &embedding,
+            &self.eval_coords,
+            crate::DEFAULT_TRUNK_CHUNK,
+        )?;
+        Ok((0..pairs.len()).map(|i| t.row(i).to_vec()).collect())
+    }
+
+    /// The normalized grid coordinates every prediction is evaluated at
+    /// (`n_points × 3`, flat node order).
+    pub fn eval_coords(&self) -> &Matrix {
+        &self.eval_coords
     }
 
     /// Solves one HTC pair with the reference solver.

@@ -572,10 +572,35 @@ impl PowerMapExperiment {
     ///
     /// Returns [`DeepOHeatError::InputMismatch`] on a map shape mismatch.
     pub fn predict_field(&self, power_units: &Matrix) -> Result<Vec<f64>, DeepOHeatError> {
-        self.check_map(power_units)?;
-        let input = Matrix::from_vec(1, power_units.len(), power_units.as_slice().to_vec())?;
-        let t = self.model.predict(&[&input], &self.coords)?;
-        Ok(t.into_vec())
+        let fields = self.predict_fields(std::slice::from_ref(power_units))?;
+        Ok(fields.into_iter().next().expect("invariant: one map in, one field out"))
+    }
+
+    /// Predicts the full-mesh temperature fields for a batch of power
+    /// maps in one pass: the branch net runs once over all maps (one
+    /// [`crate::BranchEmbedding`]) and the trunk once over the mesh,
+    /// instead of one full-network evaluation per map. Bit-identical to
+    /// calling [`PowerMapExperiment::predict_field`] per map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepOHeatError::InputMismatch`] on a map shape mismatch.
+    pub fn predict_fields(&self, maps: &[Matrix]) -> Result<Vec<Vec<f64>>, DeepOHeatError> {
+        for map in maps {
+            self.check_map(map)?;
+        }
+        let sensors = self.config.nx * self.config.ny;
+        let input = Matrix::from_fn(maps.len(), sensors, |i, j| maps[i].as_slice()[j]);
+        let embedding = self.model.encode_branches(&[&input])?;
+        let t =
+            self.model.eval_trunk_batch(&embedding, &self.coords, crate::DEFAULT_TRUNK_CHUNK)?;
+        Ok((0..maps.len()).map(|i| t.row(i).to_vec()).collect())
+    }
+
+    /// The normalized mesh coordinates every prediction is evaluated at
+    /// (`n_points × 3`, flat node order).
+    pub fn eval_coords(&self) -> &Matrix {
+        &self.coords
     }
 
     /// Solves the same configuration with the finite-volume reference

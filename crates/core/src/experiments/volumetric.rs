@@ -307,9 +307,35 @@ impl VolumetricExperiment {
     ///
     /// Returns [`DeepOHeatError::InputMismatch`] on a length mismatch.
     pub fn predict_field(&self, units: &[f64]) -> Result<Vec<f64>, DeepOHeatError> {
-        self.check_map(units)?;
-        let input = Matrix::from_vec(1, units.len(), units.to_vec())?;
-        Ok(self.model.predict(&[&input], &self.coords)?.into_vec())
+        let fields = self.predict_fields(std::slice::from_ref(&units))?;
+        Ok(fields.into_iter().next().expect("invariant: one map in, one field out"))
+    }
+
+    /// Predicts the temperature fields for a batch of volumetric maps in
+    /// one pass: the branch net runs once over all maps (one
+    /// [`crate::BranchEmbedding`]) and the trunk once over the mesh.
+    /// Bit-identical to calling [`VolumetricExperiment::predict_field`]
+    /// per map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepOHeatError::InputMismatch`] on a length mismatch.
+    pub fn predict_fields(&self, maps: &[&[f64]]) -> Result<Vec<Vec<f64>>, DeepOHeatError> {
+        for units in maps {
+            self.check_map(units)?;
+        }
+        let sensors = self.chip.grid().node_count();
+        let input = Matrix::from_fn(maps.len(), sensors, |i, j| maps[i][j]);
+        let embedding = self.model.encode_branches(&[&input])?;
+        let t =
+            self.model.eval_trunk_batch(&embedding, &self.coords, crate::DEFAULT_TRUNK_CHUNK)?;
+        Ok((0..maps.len()).map(|i| t.row(i).to_vec()).collect())
+    }
+
+    /// The normalized mesh coordinates every prediction is evaluated at
+    /// (`n_points × 3`, flat node order).
+    pub fn eval_coords(&self) -> &Matrix {
+        &self.coords
     }
 
     /// Solves the same configuration with the reference solver.

@@ -65,5 +65,8 @@ pub mod resilience;
 
 pub use checkpoint::{CheckpointError, TrainingSnapshot};
 pub use error::DeepOHeatError;
-pub use model::{BoundDeepOHeat, DeepOHeat, DeepOHeatConfig, FourierConfig, TemperatureJet};
+pub use model::{
+    BoundDeepOHeat, BranchEmbedding, DeepOHeat, DeepOHeatConfig, FourierConfig, TemperatureJet,
+    DEFAULT_TRUNK_CHUNK,
+};
 pub use resilience::{FaultPlan, ResilienceConfig, ResilienceError, ResilientReport};

@@ -12,6 +12,45 @@ use crate::DeepOHeatError;
 /// `n_configs × n_points` graph node.
 pub type TemperatureJet = Jet3;
 
+/// Default row-chunk size for [`DeepOHeat::eval_trunk_batch`]: large
+/// enough that per-chunk dispatch cost is negligible against the trunk
+/// matmuls, small enough that a full-mesh query (4851 points in §V.A)
+/// still splits across workers. Chunk boundaries derive from this
+/// constant and the query count only — never the thread count — which is
+/// what keeps batched evaluation bit-identical at any pool width.
+pub const DEFAULT_TRUNK_CHUNK: usize = 256;
+
+/// The reusable branch-side encoding of one set of input functions: the
+/// Hadamard product of all branch-net outputs, an `n_configs × q` matrix.
+///
+/// In the MIONet-style combine `θ = B Φᵀ` (PAPER.md §IV), `B` depends
+/// only on the input functions (power map, HTC, …) and `Φ` only on the
+/// query coordinates, so one embedding serves every query point of every
+/// repeated design. Produced by [`DeepOHeat::encode_branches`], consumed
+/// by [`DeepOHeat::eval_trunk_batch`]; the `deepoheat-serve` engine
+/// caches these keyed by sensor content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchEmbedding {
+    features: Matrix,
+}
+
+impl BranchEmbedding {
+    /// The combined branch features `B` (`n_configs × q`).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Number of input-function configurations encoded.
+    pub fn n_configs(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Latent feature width `q`.
+    pub fn latent_dim(&self) -> usize {
+        self.features.cols()
+    }
+}
+
 /// Configuration of the trunk net's Fourier-features first layer.
 ///
 /// §V.A.3 samples the coefficients from `N(0, (2π)²)`; §V.B uses `N(0, π²)`.
@@ -223,12 +262,8 @@ impl DeepOHeat {
         (self.output_offset, self.output_scale)
     }
 
-    /// Validates a batch of branch inputs plus coordinates.
-    fn check_inputs(
-        &self,
-        branch_inputs: &[&Matrix],
-        coords: &Matrix,
-    ) -> Result<usize, DeepOHeatError> {
+    /// Validates a batch of branch inputs, returning the shared batch size.
+    fn check_branch_inputs(&self, branch_inputs: &[&Matrix]) -> Result<usize, DeepOHeatError> {
         if branch_inputs.len() != self.branches.len() {
             return Err(DeepOHeatError::InputMismatch {
                 what: format!(
@@ -255,12 +290,126 @@ impl DeepOHeat {
                 });
             }
         }
+        Ok(n_funcs)
+    }
+
+    /// Validates a query-coordinate batch.
+    fn check_coords(&self, coords: &Matrix) -> Result<(), DeepOHeatError> {
         if coords.cols() != 3 {
             return Err(DeepOHeatError::InputMismatch {
                 what: format!("coordinates must be points x 3, got {:?}", coords.shape()),
             });
         }
-        Ok(n_funcs)
+        Ok(())
+    }
+
+    /// Runs every branch net exactly once on its input batch and combines
+    /// the features by Hadamard product into a reusable
+    /// [`BranchEmbedding`].
+    ///
+    /// The embedding depends only on the input functions — not on any
+    /// query coordinate — so callers evaluating many points (or the same
+    /// design repeatedly) should encode once and feed the result to
+    /// [`DeepOHeat::eval_trunk_batch`]; `deepoheat-serve` adds the
+    /// content-addressed cache on top.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepOHeatError::InputMismatch`] for wrong branch counts
+    /// or sensor dimensions.
+    pub fn encode_branches(
+        &self,
+        branch_inputs: &[&Matrix],
+    ) -> Result<BranchEmbedding, DeepOHeatError> {
+        self.check_branch_inputs(branch_inputs)?;
+        let mut product: Option<Matrix> = None;
+        for (input, branch) in branch_inputs.iter().zip(&self.branches) {
+            let features = branch.forward_inference(input)?;
+            product = Some(match product {
+                Some(p) => p.hadamard(&features)?,
+                None => features,
+            });
+        }
+        let features = product.expect("invariant: construction rejects models with zero branches");
+        Ok(BranchEmbedding { features })
+    }
+
+    /// Graph-free trunk features `Φ` (`n_points × q`) for a batch of
+    /// normalized coordinates: the Fourier layer (when configured)
+    /// followed by the trunk MLP, dispatched in fixed row chunks on the
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepOHeatError::InputMismatch`] unless `coords` is
+    /// `points × 3`.
+    pub fn trunk_features_inference(&self, coords: &Matrix) -> Result<Matrix, DeepOHeatError> {
+        self.check_coords(coords)?;
+        let trunk_in = match &self.fourier {
+            Some(ff) => ff.forward_inference(coords)?,
+            None => coords.clone(),
+        };
+        Ok(self.trunk.forward_inference_chunked(&trunk_in, DEFAULT_TRUNK_CHUNK)?)
+    }
+
+    /// Evaluates the temperature (Kelvin, after the output transform) of
+    /// every encoded configuration at every query coordinate, batching
+    /// the trunk through the `deepoheat-parallel` pool in fixed
+    /// `chunk_rows`-sized query chunks.
+    ///
+    /// Per chunk this computes the trunk features, the combine
+    /// `θ = B Φᵀ`, and the affine output transform; chunks are stitched
+    /// back in chunk-index order. Because every per-point quantity is a
+    /// function of that point's row alone, the result is **bit-identical**
+    /// to [`DeepOHeat::predict`] — and to a point-at-a-time loop — at any
+    /// thread count and any `chunk_rows` (`0` means "one chunk").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepOHeatError::InputMismatch`] if the embedding's latent
+    /// width does not match this model or `coords` is not `points × 3`.
+    pub fn eval_trunk_batch(
+        &self,
+        embedding: &BranchEmbedding,
+        coords: &Matrix,
+        chunk_rows: usize,
+    ) -> Result<Matrix, DeepOHeatError> {
+        self.check_coords(coords)?;
+        if embedding.latent_dim() != self.latent_dim() {
+            return Err(DeepOHeatError::InputMismatch {
+                what: format!(
+                    "embedding has latent width {}, model expects {}",
+                    embedding.latent_dim(),
+                    self.latent_dim()
+                ),
+            });
+        }
+        let n_points = coords.rows();
+        let n_configs = embedding.n_configs();
+        let chunk = if chunk_rows == 0 { n_points.max(1) } else { chunk_rows };
+        let blocks = deepoheat_parallel::par_try_map_chunks(n_points, chunk, |range| {
+            let sub = coords.row_block(range)?;
+            let phi = {
+                let trunk_in = match &self.fourier {
+                    Some(ff) => ff.forward_inference(&sub)?,
+                    None => sub,
+                };
+                self.trunk.forward_inference(&trunk_in)?
+            };
+            let theta = embedding.features().matmul_transposed(&phi)?;
+            Ok::<Matrix, DeepOHeatError>(theta.map(|v| self.output_offset + self.output_scale * v))
+        })?;
+        // Stitch the per-chunk `n_configs × chunk_len` column blocks back
+        // into `n_configs × n_points`, left to right in chunk order.
+        let mut out = Matrix::zeros(n_configs, n_points);
+        let mut col = 0;
+        for block in blocks {
+            for r in 0..n_configs {
+                out.row_mut(r)[col..col + block.cols()].copy_from_slice(block.row(r));
+            }
+            col += block.cols();
+        }
+        Ok(out)
     }
 
     /// Fast graph-free prediction: the temperature (Kelvin, after the
@@ -295,22 +444,9 @@ impl DeepOHeat {
         branch_inputs: &[&Matrix],
         coords: &Matrix,
     ) -> Result<Matrix, DeepOHeatError> {
-        self.check_inputs(branch_inputs, coords)?;
-        let mut product: Option<Matrix> = None;
-        for (input, branch) in branch_inputs.iter().zip(&self.branches) {
-            let features = branch.forward_inference(input)?;
-            product = Some(match product {
-                Some(p) => p.hadamard(&features)?,
-                None => features,
-            });
-        }
-        let b = product.expect("invariant: construction rejects models with zero branches");
-        let trunk_in = match &self.fourier {
-            Some(ff) => ff.forward_inference(coords)?,
-            None => coords.clone(),
-        };
-        let phi = self.trunk.forward_inference(&trunk_in)?;
-        Ok(b.matmul_transposed(&phi)?)
+        let embedding = self.encode_branches(branch_inputs)?;
+        let phi = self.trunk_features_inference(coords)?;
+        Ok(embedding.features().matmul_transposed(&phi)?)
     }
 
     /// Reassembles a model from its parts (used by [`crate::model_io`]).
@@ -582,6 +718,64 @@ mod tests {
         for (ti, thi) in t.iter().zip(theta.iter()) {
             assert!((ti - (298.15 + 10.0 * thi)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn split_path_matches_predict_bitwise() {
+        let mut r = rng();
+        let cfg = small_config().with_output_transform(298.15, 10.0);
+        let model = DeepOHeat::new(&cfg, &mut r).unwrap();
+        let u = Matrix::from_fn(3, 4, |i, j| 0.1 * (i + j) as f64 - 0.15);
+        let y = Matrix::from_fn(41, 3, |i, j| 0.02 * (i * 3 + j) as f64);
+        let direct = model.predict(&[&u], &y).unwrap();
+
+        let emb = model.encode_branches(&[&u]).unwrap();
+        assert_eq!(emb.n_configs(), 3);
+        assert_eq!(emb.latent_dim(), model.latent_dim());
+        for chunk in [0, 1, 7, 41, 4096] {
+            let batched = model.eval_trunk_batch(&emb, &y, chunk).unwrap();
+            assert_eq!(direct, batched, "chunk_rows = {chunk}");
+        }
+    }
+
+    #[test]
+    fn batched_eval_matches_per_query_loop_at_any_width() {
+        let mut r = rng();
+        let model = DeepOHeat::new(&small_config(), &mut r).unwrap();
+        let u = Matrix::from_fn(2, 4, |i, j| 0.3 * i as f64 - 0.05 * j as f64);
+        let y = Matrix::from_fn(23, 3, |i, j| 0.04 * i as f64 + 0.1 * j as f64);
+
+        // Sequential reference: one full-network prediction per point.
+        let mut sequential = Matrix::zeros(2, y.rows());
+        for p in 0..y.rows() {
+            let point = y.row_block(p..p + 1).unwrap();
+            let t = model.predict(&[&u], &point).unwrap();
+            for c in 0..2 {
+                sequential[(c, p)] = t[(c, 0)];
+            }
+        }
+
+        let emb = model.encode_branches(&[&u]).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = deepoheat_parallel::ThreadPool::new(threads);
+            let batched = pool.install(|| model.eval_trunk_batch(&emb, &y, 8)).unwrap();
+            assert_eq!(sequential, batched, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn eval_trunk_batch_validates_embedding_and_coords() {
+        let mut r = rng();
+        let model = DeepOHeat::new(&small_config(), &mut r).unwrap();
+        let other =
+            DeepOHeat::new(&DeepOHeatConfig::single_branch(4, &[8], &[8], 3), &mut r).unwrap();
+        let u = Matrix::zeros(2, 4);
+        let wrong_latent = other.encode_branches(&[&u]).unwrap();
+        let y = Matrix::zeros(5, 3);
+        assert!(model.eval_trunk_batch(&wrong_latent, &y, 4).is_err());
+        let emb = model.encode_branches(&[&u]).unwrap();
+        assert!(model.eval_trunk_batch(&emb, &Matrix::zeros(5, 2), 4).is_err());
+        assert!(model.trunk_features_inference(&Matrix::zeros(5, 4)).is_err());
     }
 
     #[test]

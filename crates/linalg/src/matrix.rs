@@ -262,6 +262,39 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Returns rows `range.start..range.end` as a new matrix. Rows are
+    /// stored contiguously, so this is one `memcpy` of the block — the
+    /// cheap way to hand a fixed chunk of a batch to the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimension`] if the range is reversed
+    /// or extends past the last row.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use deepoheat_linalg::Matrix;
+    /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])?;
+    /// let block = m.row_block(1..3)?;
+    /// assert_eq!(block.shape(), (2, 2));
+    /// assert_eq!(block.as_slice(), &[3.0, 4.0, 5.0, 6.0]);
+    /// # Ok::<(), deepoheat_linalg::LinalgError>(())
+    /// ```
+    pub fn row_block(&self, range: std::ops::Range<usize>) -> Result<Matrix, LinalgError> {
+        if range.start > range.end || range.end > self.rows {
+            return Err(LinalgError::InvalidDimension {
+                op: "row_block",
+                what: format!(
+                    "row range {}..{} out of bounds for {} rows",
+                    range.start, range.end, self.rows
+                ),
+            });
+        }
+        let data = self.data[range.start * self.cols..range.end * self.cols].to_vec();
+        Ok(Matrix { rows: range.end - range.start, cols: self.cols, data })
+    }
+
     /// Returns an iterator over all elements in row-major order.
     pub fn iter(&self) -> std::slice::Iter<'_, f64> {
         self.data.iter()

@@ -1,0 +1,231 @@
+//! The batched inference engine: validated options, cache-aware branch
+//! encoding, and chunked trunk evaluation.
+
+use std::sync::Arc;
+
+use deepoheat::{BranchEmbedding, DeepOHeat, DEFAULT_TRUNK_CHUNK};
+use deepoheat_linalg::Matrix;
+use deepoheat_telemetry as telemetry;
+
+use crate::cache::{CacheKey, CacheStats, EmbeddingCache};
+use crate::error::ServeError;
+
+/// Validated configuration of an [`InferenceEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Maximum number of branch embeddings kept resident. `0` disables
+    /// the cache entirely (every request re-encodes).
+    pub cache_capacity: usize,
+    /// Rows per trunk-evaluation chunk dispatched through the worker
+    /// pool. Must be positive; chunk boundaries depend only on this value
+    /// and the query count, never on the thread count, so results are
+    /// bit-identical at any pool width.
+    pub trunk_chunk: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { cache_capacity: 64, trunk_chunk: DEFAULT_TRUNK_CHUNK }
+    }
+}
+
+impl ServeOptions {
+    /// Checks the options for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidOptions`] when `trunk_chunk` is zero.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.trunk_chunk == 0 {
+            return Err(ServeError::InvalidOptions {
+                what: "trunk_chunk must be positive (rows per dispatched chunk)".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A serving front-end over a trained [`DeepOHeat`] model.
+///
+/// The engine splits evaluation into two phases. [`encode_branches`]
+/// runs every branch net exactly once per distinct input-function set and
+/// memoises the resulting [`BranchEmbedding`] in a deterministic LRU
+/// cache keyed by the content of the sensor values. [`eval_trunk_batch`]
+/// evaluates the trunk for a batch of query coordinates in fixed-size
+/// chunks through the shared worker pool and combines them with the
+/// embedding. Repeated designs therefore pay the branch cost once, and
+/// answers are bit-identical to a cold single-query evaluation.
+///
+/// [`encode_branches`]: InferenceEngine::encode_branches
+/// [`eval_trunk_batch`]: InferenceEngine::eval_trunk_batch
+#[derive(Debug)]
+pub struct InferenceEngine {
+    model: DeepOHeat,
+    options: ServeOptions,
+    cache: EmbeddingCache,
+}
+
+impl InferenceEngine {
+    /// Wraps a model with validated serving options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidOptions`] when the options fail
+    /// [`ServeOptions::validate`].
+    pub fn new(model: DeepOHeat, options: ServeOptions) -> Result<Self, ServeError> {
+        options.validate()?;
+        let cache = EmbeddingCache::new(options.cache_capacity);
+        Ok(InferenceEngine { model, options, cache })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &DeepOHeat {
+        &self.model
+    }
+
+    /// The options the engine was built with.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Snapshot of the cache's hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of embeddings currently resident in the cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Returns the branch embedding for one input-function set, encoding
+    /// it if absent and serving it from the cache otherwise. Emits the
+    /// `serve.cache.hits` / `serve.cache.misses` / `serve.cache.evictions`
+    /// telemetry counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] when the inputs do not match the
+    /// model's branch shapes.
+    pub fn encode_branches(
+        &mut self,
+        branch_inputs: &[&Matrix],
+    ) -> Result<Arc<BranchEmbedding>, ServeError> {
+        let key = CacheKey::of(branch_inputs);
+        if let Some(cached) = self.cache.get(&key) {
+            telemetry::counter("serve.cache.hits", 1);
+            return Ok(cached);
+        }
+        telemetry::counter("serve.cache.misses", 1);
+        let embedding = Arc::new(self.model.encode_branches(branch_inputs)?);
+        let before = self.cache.stats().evictions;
+        self.cache.insert(key, Arc::clone(&embedding));
+        let evicted = self.cache.stats().evictions - before;
+        if evicted > 0 {
+            telemetry::counter("serve.cache.evictions", evicted);
+        }
+        Ok(embedding)
+    }
+
+    /// Evaluates the trunk for a batch of query coordinates (rows of
+    /// `coords`) against a previously encoded embedding, chunking rows
+    /// through the worker pool. Returns the `n_configs × n_points`
+    /// temperature matrix. Emits the `serve.queries` counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] when the embedding's latent width or
+    /// the coordinate dimension does not match the model.
+    pub fn eval_trunk_batch(
+        &self,
+        embedding: &BranchEmbedding,
+        coords: &Matrix,
+    ) -> Result<Matrix, ServeError> {
+        let out = self.model.eval_trunk_batch(embedding, coords, self.options.trunk_chunk)?;
+        telemetry::counter("serve.queries", coords.rows() as u64);
+        Ok(out)
+    }
+
+    /// One-call convenience: cache-aware branch encoding followed by a
+    /// batched trunk evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`InferenceEngine::encode_branches`] and
+    /// [`InferenceEngine::eval_trunk_batch`].
+    pub fn predict(
+        &mut self,
+        branch_inputs: &[&Matrix],
+        coords: &Matrix,
+    ) -> Result<Matrix, ServeError> {
+        let embedding = self.encode_branches(branch_inputs)?;
+        self.eval_trunk_batch(&embedding, coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> DeepOHeat {
+        let cfg = deepoheat::DeepOHeatConfig::single_branch(4, &[8], &[8], 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        DeepOHeat::new(&cfg, &mut rng).expect("invariant: config is valid")
+    }
+
+    #[test]
+    fn zero_trunk_chunk_is_rejected() {
+        let opts = ServeOptions { trunk_chunk: 0, ..ServeOptions::default() };
+        assert!(opts.validate().is_err());
+        assert!(InferenceEngine::new(model(), opts).is_err());
+    }
+
+    #[test]
+    fn predict_matches_model_predict_bitwise() {
+        let m = model();
+        let input = Matrix::from_fn(1, 4, |_, j| 0.1 * (j as f64 + 1.0));
+        let coords = Matrix::from_fn(17, 3, |i, j| (i as f64).mul_add(0.05, j as f64 * 0.3));
+        let expected = m.predict(&[&input], &coords).expect("invariant: shapes match");
+
+        let mut engine = InferenceEngine::new(m, ServeOptions::default()).expect("valid options");
+        let cold = engine.predict(&[&input], &coords).expect("cold predict");
+        let warm = engine.predict(&[&input], &coords).expect("warm predict");
+        assert_eq!(cold.as_slice(), expected.as_slice());
+        assert_eq!(warm.as_slice(), expected.as_slice());
+
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn repeated_designs_encode_once() {
+        let mut engine =
+            InferenceEngine::new(model(), ServeOptions { cache_capacity: 2, trunk_chunk: 8 })
+                .expect("valid options");
+        let a = Matrix::filled(1, 4, 0.5);
+        let b = Matrix::filled(1, 4, 0.25);
+        let coords = Matrix::from_fn(5, 3, |i, j| (i + j) as f64 * 0.1);
+        for _ in 0..3 {
+            engine.predict(&[&a], &coords).expect("predict a");
+            engine.predict(&[&b], &coords).expect("predict b");
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 2, "each design encoded exactly once");
+        assert_eq!(stats.hits, 4);
+        assert_eq!(engine.cache_len(), 2);
+    }
+
+    #[test]
+    fn bad_branch_shape_surfaces_model_error() {
+        let mut engine =
+            InferenceEngine::new(model(), ServeOptions::default()).expect("valid options");
+        let wrong = Matrix::filled(1, 3, 1.0);
+        let coords = Matrix::filled(2, 3, 0.5);
+        let err = engine.predict(&[&wrong], &coords).expect_err("shape mismatch");
+        assert!(matches!(err, ServeError::Model(_)));
+        // A failed encode must not pollute the cache.
+        assert_eq!(engine.cache_len(), 0);
+    }
+}

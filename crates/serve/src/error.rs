@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use deepoheat::DeepOHeatError;
+
+/// Errors produced by the serving engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A [`crate::ServeOptions`] field was out of range.
+    InvalidOptions {
+        /// Description of the offending field.
+        what: String,
+    },
+    /// The underlying model evaluation failed.
+    Model(DeepOHeatError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidOptions { what } => write!(f, "invalid serve options: {what}"),
+            ServeError::Model(e) => write!(f, "model evaluation failure: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            ServeError::InvalidOptions { .. } => None,
+        }
+    }
+}
+
+impl From<DeepOHeatError> for ServeError {
+    fn from(e: DeepOHeatError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            ServeError::InvalidOptions { what: "zero cache capacity".into() },
+            ServeError::Model(DeepOHeatError::InputMismatch { what: "bad".into() }),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -16,9 +16,16 @@
 //!
 //! Exceptions live in `xtask/lint-allow.txt`, one justification per line.
 //! See STATIC_ANALYSIS.md for the workflow.
+//!
+//! `cargo xtask benchcheck` is the CI perf-regression gate: it compares
+//! fresh `BENCH_*.json` manifests against the committed
+//! `xtask/bench-baseline.json` within per-gauge tolerance bands (see the
+//! [`benchcheck`] module).
 
 pub mod allowlist;
 pub mod baseline;
+pub mod benchcheck;
+pub mod json;
 pub mod lints;
 pub mod scanner;
 

@@ -15,9 +15,9 @@ pub const SPAWN_EXEMPT_CRATES: &[&str] = &["parallel", "xtask"];
 /// leak into numerical output; `BTreeMap` (deterministic order) is the
 /// sanctioned associative container there.
 pub const HASH_LINT_CRATES: &[&str] =
-    &["linalg", "fdm", "nn", "autodiff", "core", "grf", "chip", "parallel"];
+    &["linalg", "fdm", "nn", "autodiff", "core", "grf", "chip", "parallel", "serve"];
 /// Crates whose library code is held to the panic-freedom ratchet.
-pub const PANIC_LINT_CRATES: &[&str] = &["linalg", "fdm", "nn", "autodiff", "core"];
+pub const PANIC_LINT_CRATES: &[&str] = &["linalg", "fdm", "nn", "autodiff", "core", "serve"];
 /// The only crate permitted to contain `unsafe` code (audited separately).
 pub const UNSAFE_EXEMPT_CRATES: &[&str] = &["parallel"];
 

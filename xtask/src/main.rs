@@ -1,29 +1,97 @@
 #![deny(unsafe_code)]
-//! `cargo xtask` — workspace automation. Currently one subcommand:
+//! `cargo xtask` — workspace automation. Two subcommands:
 //!
 //! ```text
 //! cargo xtask lint                   # run all lint families, exit 1 on violations
 //! cargo xtask lint --update-baseline # re-ratchet the panic baseline downward
 //! cargo xtask lint --unsafe-report   # print the unsafe-site inventory
 //! cargo xtask lint --verbose         # also show allowlist-suppressed findings
+//!
+//! cargo xtask benchcheck                    # gate fresh BENCH_*.json against the baseline
+//! cargo xtask benchcheck --dir target/bench # manifests live elsewhere
+//! cargo xtask benchcheck --update-baseline  # re-record baseline values from fresh manifests
 //! ```
 //!
-//! See STATIC_ANALYSIS.md for what each lint enforces and why.
+//! See STATIC_ANALYSIS.md for what each lint enforces and why, and
+//! PERFORMANCE.md for the benchcheck workflow.
 
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose]\n       cargo xtask benchcheck [--dir DIR] [--update-baseline]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("benchcheck") => benchcheck(&args[1..]),
         Some(other) => {
-            eprintln!("xtask: unknown subcommand `{other}`\n\nusage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose]");
+            eprintln!("xtask: unknown subcommand `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose]");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn benchcheck(flags: &[String]) -> ExitCode {
+    let mut update_baseline = false;
+    let mut dir = std::path::PathBuf::from(".");
+    let mut iter = flags.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--update-baseline" => update_baseline = true,
+            "--dir" => match iter.next() {
+                Some(d) => dir = std::path::PathBuf::from(d),
+                None => {
+                    eprintln!("xtask benchcheck: --dir expects a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask benchcheck: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = xtask::workspace_root();
+    let baseline_path = root.join(xtask::benchcheck::BENCH_BASELINE_PATH);
+    let checks = match std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))
+        .and_then(|text| xtask::benchcheck::parse_baseline(&text))
+    {
+        Ok(checks) => checks,
+        Err(err) => {
+            eprintln!("xtask benchcheck: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let results = xtask::benchcheck::run_checks(&dir, &checks);
+    print!("{}", xtask::benchcheck::format_table(&results));
+
+    if update_baseline {
+        return match xtask::benchcheck::render_updated_baseline(&results).and_then(|text| {
+            std::fs::write(&baseline_path, text)
+                .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))
+        }) {
+            Ok(()) => {
+                eprintln!("xtask benchcheck: baseline rewritten at {}", baseline_path.display());
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("xtask benchcheck: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if results.iter().all(|r| r.ok) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
