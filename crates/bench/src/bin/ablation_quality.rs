@@ -16,7 +16,7 @@
 use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
 use deepoheat::FourierConfig;
 use deepoheat_autodiff::Activation;
-use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, secs, Args, BenchError};
+use deepoheat_bench::{init_telemetry, run_or_exit, secs, Args, BenchError};
 use deepoheat_grf::paper_test_suite;
 
 fn evaluate(
@@ -53,7 +53,7 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
-    init_telemetry("ablation_quality", &args);
+    let bench_telemetry = init_telemetry("ablation_quality", &args);
     let quick = args.flag("quick");
     let iterations = args.get_usize("iterations", if quick { 60 } else { 800 })?;
 
@@ -91,6 +91,6 @@ fn run() -> Result<(), BenchError> {
         cfg.fourier = fourier;
         evaluate(cfg, iterations, &label)?;
     }
-    finish_telemetry();
+    bench_telemetry.finish();
     Ok(())
 }

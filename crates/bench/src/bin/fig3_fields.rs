@@ -13,7 +13,7 @@
 
 use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
 use deepoheat::report::{side_by_side, write_csv};
-use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, secs, Args, BenchError};
+use deepoheat_bench::{init_telemetry, run_or_exit, secs, Args, BenchError};
 use deepoheat_grf::paper_test_suite;
 use deepoheat_linalg::Matrix;
 
@@ -23,7 +23,7 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
-    init_telemetry("fig3_fields", &args);
+    let bench_telemetry = init_telemetry("fig3_fields", &args);
     let mode = args.get_str("mode", "physics");
     let quick = args.flag("quick");
     // Supervised steps are ~3x cheaper than jet-propagating physics steps,
@@ -92,6 +92,6 @@ fn run() -> Result<(), BenchError> {
         write_csv(&abs_err, format!("{out_dir}/{name}_abs_error.csv"))?;
     }
     println!("CSV fields written to {out_dir}/");
-    finish_telemetry();
+    bench_telemetry.finish();
     Ok(())
 }

@@ -9,7 +9,7 @@
 //! ```
 
 use deepoheat::report::{ascii_heatmap, write_csv};
-use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, Args, BenchError};
+use deepoheat_bench::{init_telemetry, run_or_exit, Args, BenchError};
 use deepoheat_grf::{paper_test_suite, GaussianRandomField};
 use rand::SeedableRng;
 
@@ -19,7 +19,7 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
-    init_telemetry("fig4_powermaps", &args);
+    let bench_telemetry = init_telemetry("fig4_powermaps", &args);
     let seed = args.get_usize("seed", 0)? as u64;
     let length_scale = args.get_f64("length-scale", 0.3)?;
     let out_dir = args.get_str("out", "target/fig4");
@@ -63,6 +63,6 @@ fn run() -> Result<(), BenchError> {
     write_csv(&interpolated, format!("{out_dir}/test_interpolated.csv"))?;
 
     println!("CSV maps written to {out_dir}/");
-    finish_telemetry();
+    bench_telemetry.finish();
     Ok(())
 }

@@ -17,7 +17,7 @@
 
 use deepoheat::experiments::{HtcExperiment, HtcExperimentConfig};
 use deepoheat::report::{side_by_side, write_csv};
-use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, secs, Args, BenchError};
+use deepoheat_bench::{init_telemetry, run_or_exit, secs, Args, BenchError};
 use deepoheat_linalg::Matrix;
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
-    init_telemetry("fig5_htc", &args);
+    let bench_telemetry = init_telemetry("fig5_htc", &args);
     let mode = args.get_str("mode", "supervised");
     let quick = args.flag("quick");
     let iterations = args.get_usize("iterations", if quick { 200 } else { 3000 })?;
@@ -95,6 +95,6 @@ fn run() -> Result<(), BenchError> {
     }
     println!("paper reports: case1 MAPE 0.032% PAPE 0.043%; case2 MAPE 0.011% PAPE 0.025%");
     println!("CSV slices written to {out_dir}/");
-    finish_telemetry();
+    bench_telemetry.finish();
     Ok(())
 }

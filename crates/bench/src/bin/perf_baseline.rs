@@ -23,7 +23,7 @@ use deepoheat::experiments::{
     VolumetricExperiment, VolumetricExperimentConfig,
 };
 use deepoheat_autodiff::Activation;
-use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, Args, BenchError};
+use deepoheat_bench::{init_telemetry, run_or_exit, Args, BenchError};
 use deepoheat_fdm::{BoundaryCondition, Face, FluxMap, HeatProblem, SolveOptions, StructuredGrid};
 use deepoheat_linalg::{
     conjugate_gradient, dot, CgOptions, CooMatrix, JacobiPreconditioner, Matrix,
@@ -104,7 +104,7 @@ fn laplacian(n: usize) -> (deepoheat_linalg::CsrMatrix, Vec<f64>) {
 
 fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
-    init_telemetry("parallel", &args);
+    let bench_telemetry = init_telemetry("parallel", &args);
     let quick = args.flag("quick");
     let repeats = args.get_usize("repeats", if quick { 3 } else { 5 })?;
     let threads = parallel::num_threads();
@@ -188,8 +188,24 @@ fn run() -> Result<(), BenchError> {
         Ok(Box::new(VolumetricExperiment::new(VolumetricExperimentConfig::default())?))
     })?;
 
+    // --- 5 · training-step latency quantiles -------------------------------
+    // The epochs above fed the train.step.seconds span histogram; surface
+    // its bounded-error quantiles as benchcheck-visible gauges.
+    if let Some(step) = telemetry::histogram_snapshot("train.step.seconds") {
+        telemetry::gauge("train.step.seconds.p50", step.p50());
+        telemetry::gauge("train.step.seconds.p99", step.p99());
+        telemetry::gauge("train.step.seconds.p999", step.p999());
+        println!(
+            "\ntrain step latency       p50 {:.4}s   p99 {:.4}s   p99.9 {:.4}s   ({} step(s))",
+            step.p50(),
+            step.p99(),
+            step.p999(),
+            step.count
+        );
+    }
+
     println!("\nthreads = {threads} (set DEEPOHEAT_NUM_THREADS to override)");
     println!("manifest: BENCH_parallel.json");
-    finish_telemetry();
+    bench_telemetry.finish();
     Ok(())
 }

@@ -22,7 +22,7 @@
 use std::time::Instant;
 
 use deepoheat::{DeepOHeat, DeepOHeatConfig};
-use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, Args, BenchError};
+use deepoheat_bench::{init_telemetry, run_or_exit, Args, BenchError};
 use deepoheat_linalg::Matrix;
 use deepoheat_parallel as parallel;
 use deepoheat_serve::{InferenceEngine, ServeOptions};
@@ -82,7 +82,7 @@ fn query_points(n: usize) -> Matrix {
 
 fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
-    init_telemetry("serve", &args);
+    let bench_telemetry = init_telemetry("serve", &args);
     let quick = args.flag("quick");
     let points = args.get_usize("points", if quick { 512 } else { 4096 })?;
     let n_designs = args.get_usize("designs", if quick { 4 } else { 8 })?;
@@ -140,12 +140,20 @@ fn run() -> Result<(), BenchError> {
     })?;
 
     // --- 2 · batched, cold cache (encode + chunked trunk) ------------------
-    let cold_secs = time_median(repeats, || {
-        let mut fresh = InferenceEngine::new(m.clone(), ServeOptions::default())?;
-        let out = fresh.predict(&[probe], &coords)?;
-        std::hint::black_box(out.as_slice()[0]);
-        Ok(())
-    })?;
+    // The clock stops *before* each fresh engine drops: engine shutdown
+    // flushes telemetry sinks (an fsync), which is not a cold-path cost.
+    let cold_secs = {
+        let mut samples = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let t = Instant::now();
+            let mut fresh = InferenceEngine::new(m.clone(), ServeOptions::default())?;
+            let out = fresh.predict(&[probe], &coords)?;
+            std::hint::black_box(out.as_slice()[0]);
+            samples.push(t.elapsed().as_secs_f64());
+            drop(fresh);
+        }
+        median(samples)
+    };
 
     // --- 3 · batched, warm cache (trunk only) ------------------------------
     // `engine` already holds the probe design from the correctness gate.
@@ -185,6 +193,9 @@ fn run() -> Result<(), BenchError> {
         t.elapsed().as_secs_f64()
     };
     let stats = stream.cache_stats();
+    // Emits the final serve.cache.hit_rate gauge and flushes the event
+    // log; explicit so it lands before the manifest snapshot below.
+    stream.shutdown();
     let total_queries = (rounds * n_designs * points) as f64;
     let qps = if stream_secs > 0.0 { total_queries / stream_secs } else { 0.0 };
     telemetry::gauge("serve.stream_secs", stream_secs);
@@ -199,8 +210,25 @@ fn run() -> Result<(), BenchError> {
         stats.evictions
     );
 
+    // --- 5 · request-latency quantiles -------------------------------------
+    // Every engine predict in this run fed the serve.request.seconds
+    // histogram; surface its bounded-error quantiles as benchcheck-visible
+    // gauges.
+    if let Some(latency) = telemetry::histogram_snapshot("serve.request.seconds") {
+        telemetry::gauge("serve.request.seconds.p50", latency.p50());
+        telemetry::gauge("serve.request.seconds.p99", latency.p99());
+        telemetry::gauge("serve.request.seconds.p999", latency.p999());
+        println!(
+            "request latency      p50 {:.4}s   p99 {:.4}s   p99.9 {:.4}s   ({} request(s))",
+            latency.p50(),
+            latency.p99(),
+            latency.p999(),
+            latency.count
+        );
+    }
+
     println!("\nthreads = {threads} (set DEEPOHEAT_NUM_THREADS to override)");
     println!("manifest: BENCH_serve.json");
-    finish_telemetry();
+    bench_telemetry.finish();
     Ok(())
 }

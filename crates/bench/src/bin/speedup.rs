@@ -28,7 +28,7 @@ use std::time::Instant;
 use deepoheat::experiments::{
     HtcExperiment, HtcExperimentConfig, PowerMapExperiment, PowerMapExperimentConfig,
 };
-use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, Args, BenchError};
+use deepoheat_bench::{init_telemetry, run_or_exit, Args, BenchError};
 use deepoheat_linalg::Matrix;
 use deepoheat_telemetry as telemetry;
 
@@ -56,7 +56,7 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
-    init_telemetry("speedup", &args);
+    let bench_telemetry = init_telemetry("speedup", &args);
     let repeats = args.get_usize("repeats", 7)?;
     let train = args.get_usize("train", 50)?;
 
@@ -208,6 +208,6 @@ fn run() -> Result<(), BenchError> {
             batch_ms
         );
     }
-    finish_telemetry();
+    bench_telemetry.finish();
     Ok(())
 }

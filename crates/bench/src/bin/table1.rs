@@ -16,7 +16,7 @@
 
 use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
 use deepoheat::report::table_row;
-use deepoheat_bench::{finish_telemetry, init_telemetry, run_or_exit, secs, Args, BenchError};
+use deepoheat_bench::{init_telemetry, run_or_exit, secs, Args, BenchError};
 use deepoheat_grf::paper_test_suite;
 use deepoheat_telemetry as telemetry;
 
@@ -26,7 +26,7 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = Args::from_env();
-    init_telemetry("table1", &args);
+    let bench_telemetry = init_telemetry("table1", &args);
     let mode = args.get_str("mode", "physics");
     let quick = args.flag("quick");
     // Supervised steps are ~3x cheaper than jet-propagating physics steps,
@@ -101,6 +101,6 @@ fn run() -> Result<(), BenchError> {
     println!("{}", table_row("PAPE (%)", &pape_row, 3));
     println!("\npaper reports: MAPE 0.03/0.03/0.02/0.05/0.14/0.04/0.13/0.07/0.16/0.08");
     println!("               PAPE 0.10/0.20/0.24/0.38/0.52/0.49/0.71/0.66/1.00/0.40");
-    finish_telemetry();
+    bench_telemetry.finish();
     Ok(())
 }

@@ -116,6 +116,65 @@ pub fn secs(d: std::time::Duration) -> String {
     format!("{:.1}s", d.as_secs_f64())
 }
 
+/// Handle returned by [`init_telemetry`]; finishing it writes the run's
+/// exposition and profiling artefacts alongside the manifest.
+#[must_use = "call finish() to write the manifest, metrics snapshot, and flamegraph"]
+#[derive(Debug)]
+pub struct BenchTelemetry {
+    events_path: std::path::PathBuf,
+    folded_path: std::path::PathBuf,
+    metrics_out: Option<std::path::PathBuf>,
+    /// Byte length of the (append-mode) event log when this run started;
+    /// the flamegraph folds only this run's spans, not earlier runs'.
+    events_start: u64,
+}
+
+impl BenchTelemetry {
+    /// Finishes the run: dumps the Prometheus snapshot (when
+    /// `--metrics-out` was passed), writes the manifest via
+    /// [`finish_telemetry`], and renders this run's span tree as a
+    /// folded-stack flamegraph next to the event log
+    /// (`BENCH_<name>.folded`). All output is best-effort: profiling
+    /// failures warn, they never fail the bench.
+    pub fn finish(self) {
+        if let Some(path) = &self.metrics_out {
+            match deepoheat_telemetry::expose_text() {
+                Some(text) => {
+                    if let Err(err) = std::fs::write(path, text) {
+                        eprintln!("telemetry: cannot write {}: {err}", path.display());
+                    } else {
+                        eprintln!("telemetry: metrics snapshot written ({})", path.display());
+                    }
+                }
+                None => eprintln!("telemetry: no recorder installed, skipping --metrics-out"),
+            }
+        }
+        finish_telemetry();
+        match std::fs::read_to_string(&self.events_path) {
+            Ok(contents) => {
+                let this_run = contents.get(self.events_start as usize..).unwrap_or("");
+                let records: Vec<deepoheat_telemetry::SpanRecord> = this_run
+                    .lines()
+                    .filter_map(deepoheat_telemetry::SpanRecord::from_jsonl_line)
+                    .collect();
+                let folded = deepoheat_telemetry::fold_stacks(&records);
+                if let Err(err) = std::fs::write(&self.folded_path, &folded) {
+                    eprintln!("telemetry: cannot write {}: {err}", self.folded_path.display());
+                } else {
+                    eprintln!(
+                        "telemetry: flamegraph folded stacks written ({}, {} span(s))",
+                        self.folded_path.display(),
+                        records.len()
+                    );
+                }
+            }
+            Err(err) => {
+                eprintln!("telemetry: cannot re-read {}: {err}", self.events_path.display());
+            }
+        }
+    }
+}
+
 /// Installs the global telemetry recorder for a bench binary.
 ///
 /// The final run manifest is written to `BENCH_<name>.json` in the
@@ -123,9 +182,12 @@ pub fn secs(d: std::time::Duration) -> String {
 /// `target/BENCH_<name>.jsonl` so only the summary artefact lands at the
 /// repo root. Passing `--telemetry-dir <dir>` puts both files under
 /// `<dir>` instead. Passing `--trace` additionally mirrors events to
-/// stderr. Call [`finish_telemetry`] at the end of `main` to flush the
-/// manifest.
-pub fn init_telemetry(name: &str, args: &Args) {
+/// stderr, and `--metrics-out <path>` dumps a Prometheus-text snapshot of
+/// every metric at the end of the run. Call [`BenchTelemetry::finish`] at
+/// the end of `main` to flush the manifest and write the profiling
+/// artefacts (a `BENCH_<name>.folded` flamegraph lands next to the event
+/// log).
+pub fn init_telemetry(name: &str, args: &Args) -> BenchTelemetry {
     let (manifest_dir, events_dir) = match args.values.get("telemetry-dir") {
         Some(dir) => (std::path::PathBuf::from(dir), std::path::PathBuf::from(dir)),
         None => (std::path::PathBuf::from("."), std::path::PathBuf::from("target")),
@@ -162,6 +224,14 @@ pub fn init_telemetry(name: &str, args: &Args) {
         builder = builder.console();
     }
     builder.install();
+    // Measured *after* the sink's torn-tail repair truncated the log.
+    let events_start = std::fs::metadata(&events_path).map(|m| m.len()).unwrap_or(0);
+    BenchTelemetry {
+        folded_path: events_dir.join(format!("BENCH_{name}.folded")),
+        events_path,
+        metrics_out: args.values.get("metrics-out").map(std::path::PathBuf::from),
+        events_start,
+    }
 }
 
 /// Records `config` key/values as gauges/events and finishes the run,

@@ -321,6 +321,7 @@ impl DeepOHeat {
         &self,
         branch_inputs: &[&Matrix],
     ) -> Result<BranchEmbedding, DeepOHeatError> {
+        let _span = deepoheat_telemetry::span("model.encode_branches");
         self.check_branch_inputs(branch_inputs)?;
         let mut product: Option<Matrix> = None;
         for (input, branch) in branch_inputs.iter().zip(&self.branches) {
@@ -374,6 +375,7 @@ impl DeepOHeat {
         coords: &Matrix,
         chunk_rows: usize,
     ) -> Result<Matrix, DeepOHeatError> {
+        let _span = deepoheat_telemetry::span("model.trunk_batch");
         self.check_coords(coords)?;
         if embedding.latent_dim() != self.latent_dim() {
             return Err(DeepOHeatError::InputMismatch {
@@ -428,6 +430,7 @@ impl DeepOHeat {
         branch_inputs: &[&Matrix],
         coords: &Matrix,
     ) -> Result<Matrix, DeepOHeatError> {
+        let _span = deepoheat_telemetry::span("model.predict");
         let theta = self.predict_theta(branch_inputs, coords)?;
         Ok(theta.map(|v| self.output_offset + self.output_scale * v))
     }

@@ -635,8 +635,12 @@ pub(crate) fn cg_ladder(
             );
         }
         let x0 = best.as_ref().map(|(x, _)| x.as_slice());
+        // One span per rung attempt: in the trace tree, a solve that
+        // escalated shows as fdm.solve → N fdm.cg.attempt children.
+        let attempt_span = telemetry::span("fdm.cg.attempt");
         let mut attempt: CgAttempt =
             conjugate_gradient_attempt(matrix, rhs, x0, &pre.as_ref(), cg_options)?;
+        drop(attempt_span);
         total_iterations += attempt.iterations;
         if let Some(t) = attempt.trace.take() {
             let merged = merged_trace.get_or_insert_with(CgTrace::default);

@@ -63,6 +63,7 @@ pub struct InferenceEngine {
     model: DeepOHeat,
     options: ServeOptions,
     cache: EmbeddingCache,
+    shut_down: bool,
 }
 
 impl InferenceEngine {
@@ -75,7 +76,7 @@ impl InferenceEngine {
     pub fn new(model: DeepOHeat, options: ServeOptions) -> Result<Self, ServeError> {
         options.validate()?;
         let cache = EmbeddingCache::new(options.cache_capacity);
-        Ok(InferenceEngine { model, options, cache })
+        Ok(InferenceEngine { model, options, cache, shut_down: false })
     }
 
     /// The wrapped model.
@@ -117,6 +118,7 @@ impl InferenceEngine {
             return Ok(cached);
         }
         telemetry::counter("serve.cache.misses", 1);
+        let _span = telemetry::span("serve.encode");
         let embedding = Arc::new(self.model.encode_branches(branch_inputs)?);
         let before = self.cache.stats().evictions;
         self.cache.insert(key, Arc::clone(&embedding));
@@ -141,13 +143,18 @@ impl InferenceEngine {
         embedding: &BranchEmbedding,
         coords: &Matrix,
     ) -> Result<Matrix, ServeError> {
+        let _span = telemetry::span("serve.trunk");
         let out = self.model.eval_trunk_batch(embedding, coords, self.options.trunk_chunk)?;
         telemetry::counter("serve.queries", coords.rows() as u64);
         Ok(out)
     }
 
     /// One-call convenience: cache-aware branch encoding followed by a
-    /// batched trunk evaluation.
+    /// batched trunk evaluation. The whole call is wrapped in a
+    /// `serve.request` span — one trace per request — feeding the
+    /// `serve.request.seconds` latency histogram with child spans for the
+    /// encode (`serve.encode`, cache misses only) and trunk
+    /// (`serve.trunk`) phases.
     ///
     /// # Errors
     ///
@@ -158,8 +165,31 @@ impl InferenceEngine {
         branch_inputs: &[&Matrix],
         coords: &Matrix,
     ) -> Result<Matrix, ServeError> {
+        let _span = telemetry::span("serve.request");
         let embedding = self.encode_branches(branch_inputs)?;
         self.eval_trunk_batch(&embedding, coords)
+    }
+
+    /// Finishes the engine's telemetry story: emits the final
+    /// `serve.cache.hit_rate` gauge and flushes every sink so short runs
+    /// don't lose buffered tail events. Called automatically on drop;
+    /// call it explicitly to control *when* the flush cost is paid (e.g.
+    /// outside a timed region). Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        if telemetry::is_enabled() {
+            telemetry::gauge("serve.cache.hit_rate", self.cache.stats().hit_rate());
+            telemetry::flush();
+        }
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -215,6 +245,19 @@ mod tests {
         assert_eq!(stats.misses, 2, "each design encoded exactly once");
         assert_eq!(stats.hits, 4);
         assert_eq!(engine.cache_len(), 2);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_safe_without_telemetry() {
+        let mut engine =
+            InferenceEngine::new(model(), ServeOptions::default()).expect("valid options");
+        let input = Matrix::filled(1, 4, 0.5);
+        let coords = Matrix::filled(3, 3, 0.1);
+        engine.predict(&[&input], &coords).expect("predict");
+        // No recorder installed: shutdown (and the later drop) must be
+        // inert no-ops rather than panicking or emitting.
+        engine.shutdown();
+        engine.shutdown();
     }
 
     #[test]

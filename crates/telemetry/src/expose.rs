@@ -1,0 +1,159 @@
+//! Prometheus text exposition (version 0.0.4) for metric snapshots.
+//!
+//! The serving roadmap needs a scrape surface; until an HTTP listener
+//! exists, benches dump one snapshot per run via `--metrics-out` and CI
+//! archives it. Dotted metric names are sanitised to underscores under a
+//! `deepoheat_` namespace, histograms render as cumulative `_bucket`
+//! series plus `_sum`/`_count`, and the bounded-error quantile estimates
+//! are exported as plain gauges (`_p50` … `_p999`) so dashboards need no
+//! server-side quantile math.
+
+use crate::metrics::MetricsSnapshot;
+
+/// `some.dotted.name` → `deepoheat_some_dotted_name`, with any character
+/// outside `[a-zA-Z0-9_]` mapped to `_` (Prometheus name charset).
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("deepoheat_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    out
+}
+
+/// Formats an f64 the way Prometheus expects (`+Inf`/`-Inf`/`NaN`
+/// spellings for non-finite values).
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Renders a [`MetricsSnapshot`] in Prometheus text exposition format.
+/// Every series carries a `run="<run>"` label so snapshots from different
+/// benches can be joined in one dashboard. Output is deterministic (the
+/// snapshot maps are ordered).
+pub fn render_prometheus(snapshot: &MetricsSnapshot, run: &str) -> String {
+    let run_label = format!("{{run=\"{}\"}}", run.replace('\\', "\\\\").replace('"', "\\\""));
+    let mut out = String::new();
+
+    for (name, value) in &snapshot.counters {
+        let prom = sanitize(name);
+        out.push_str(&format!("# TYPE {prom} counter\n{prom}{run_label} {value}\n"));
+    }
+
+    for (name, value) in &snapshot.gauges {
+        let prom = sanitize(name);
+        out.push_str(&format!("# TYPE {prom} gauge\n{prom}{run_label} {}\n", format_value(*value)));
+    }
+
+    for (name, h) in &snapshot.histograms {
+        let prom = sanitize(name);
+        out.push_str(&format!("# TYPE {prom} histogram\n"));
+        // Cumulative buckets; the zero bucket (observations ≤ 0) folds
+        // into the first emitted bound's cumulative count.
+        let mut cumulative = h.zero;
+        for &(bound, count) in &h.buckets {
+            cumulative += count;
+            out.push_str(&format!(
+                "{prom}_bucket{{run=\"{run}\",le=\"{}\"}} {cumulative}\n",
+                format_value(bound)
+            ));
+        }
+        out.push_str(&format!("{prom}_bucket{{run=\"{run}\",le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{prom}_sum{run_label} {}\n", format_value(h.sum)));
+        out.push_str(&format!("{prom}_count{run_label} {}\n", h.count));
+        if h.nonfinite > 0 {
+            out.push_str(&format!(
+                "# TYPE {prom}_nonfinite counter\n{prom}_nonfinite{run_label} {}\n",
+                h.nonfinite
+            ));
+        }
+        for (suffix, value) in
+            [("p50", h.p50()), ("p90", h.p90()), ("p99", h.p99()), ("p999", h.p999())]
+        {
+            out.push_str(&format!(
+                "# TYPE {prom}_{suffix} gauge\n{prom}_{suffix}{run_label} {}\n",
+                format_value(value)
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricRegistry;
+
+    #[test]
+    fn sanitize_maps_dots_and_prefixes() {
+        assert_eq!(sanitize("serve.cache.hits"), "deepoheat_serve_cache_hits");
+        assert_eq!(sanitize("a-b.c"), "deepoheat_a_b_c");
+    }
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let r = MetricRegistry::new();
+        r.counter("serve.queries.count", 12);
+        r.gauge("serve.cache.hit_rate", 0.75);
+        r.observe("serve.request.seconds", 0.002);
+        r.observe("serve.request.seconds", 0.004);
+        let text = render_prometheus(&r.snapshot(), "serve");
+
+        assert!(text.contains("# TYPE deepoheat_serve_queries_count counter\n"));
+        assert!(text.contains("deepoheat_serve_queries_count{run=\"serve\"} 12\n"));
+        assert!(text.contains("deepoheat_serve_cache_hit_rate{run=\"serve\"} 0.75\n"));
+        assert!(text.contains("# TYPE deepoheat_serve_request_seconds histogram\n"));
+        assert!(text.contains("deepoheat_serve_request_seconds_count{run=\"serve\"} 2\n"));
+        assert!(text.contains("le=\"+Inf\"} 2\n"));
+        assert!(text.contains("deepoheat_serve_request_seconds_p99{run=\"serve\"} "));
+        // Every non-comment line is "name{labels} value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(series.contains("run=\"serve\""), "{line}");
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN", "{line}");
+        }
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_monotone() {
+        let r = MetricRegistry::new();
+        for v in [0.001, 0.01, 0.1, 1.0, 10.0] {
+            r.observe("h.seconds", v);
+        }
+        let text = render_prometheus(&r.snapshot(), "t");
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.contains("_bucket{"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert_eq!(*counts.last().unwrap(), 5, "+Inf bucket holds the total");
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "cumulative: {counts:?}");
+    }
+
+    #[test]
+    fn nonfinite_observations_surface_as_side_counter() {
+        let r = MetricRegistry::new();
+        r.observe("h.seconds", 1.0);
+        r.observe("h.seconds", f64::NAN);
+        let text = render_prometheus(&r.snapshot(), "t");
+        assert!(text.contains("deepoheat_h_seconds_nonfinite{run=\"t\"} 1\n"));
+        assert!(text.contains("deepoheat_h_seconds_count{run=\"t\"} 1\n"));
+    }
+
+    #[test]
+    fn run_label_is_escaped() {
+        let r = MetricRegistry::new();
+        r.counter("c.count", 1);
+        let text = render_prometheus(&r.snapshot(), "we\"ird");
+        assert!(text.contains("run=\"we\\\"ird\""));
+    }
+}

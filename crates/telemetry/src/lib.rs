@@ -6,12 +6,16 @@
 //! convergence inside the reference solver, end-to-end speedups — so every
 //! layer of the workspace reports into this crate:
 //!
-//! * **Metrics** — named counters, gauges, and fixed-bucket histograms in
-//!   a thread-safe [`MetricRegistry`], snapshotted into the run manifest.
-//!   Names follow `subsystem.name.unit` (`fdm.solve.seconds`,
-//!   `nn.adam.lr`, `linalg.cg.iterations`).
+//! * **Metrics** — named counters, gauges, and log-bucketed quantile
+//!   histograms in a thread-safe [`MetricRegistry`], snapshotted into the
+//!   run manifest with `p50/p90/p99/p999`. Names follow
+//!   `subsystem.name.unit` (`fdm.solve.seconds`, `nn.adam.lr`,
+//!   `linalg.cg.iterations`).
 //! * **Spans** — RAII timers ([`span`]) that record wall time into a
-//!   histogram and emit a `span` event on completion.
+//!   histogram and emit a `span` event on completion. Each span carries a
+//!   request-scoped trace ID and a parent link, so the JSONL stream can be
+//!   reconstructed into span trees ([`SpanRecord`]) and folded-stack
+//!   flamegraphs ([`fold_stacks`]).
 //! * **Events** — structured records ([`event`]) with typed fields, e.g.
 //!   one per training step carrying the per-loss-term breakdown.
 //! * **Sinks** — pluggable outputs: [`ConsoleSink`] for humans,
@@ -46,14 +50,18 @@
 //! assert!(!telemetry::is_enabled());
 //! ```
 
+mod expose;
 mod manifest;
 mod metrics;
 mod sink;
+mod trace;
 mod value;
 
+pub use expose::render_prometheus;
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, HistogramSnapshot, MetricRegistry, MetricsSnapshot};
 pub use sink::{ConsoleSink, Event, EventKind, JsonlSink, MemorySink, Sink};
+pub use trace::{fold_stacks, SpanRecord};
 pub use value::Value;
 
 use std::collections::BTreeMap;
@@ -218,6 +226,32 @@ pub fn finish() -> Option<RunManifest> {
     Some(recorder.into_manifest())
 }
 
+/// Flushes every installed sink **without** finishing the run. Useful at
+/// natural checkpoints (engine shutdown, end of a bench phase) so short
+/// runs don't lose buffered tail events to a crash. No-op when telemetry
+/// is off.
+pub fn flush() {
+    with_recorder(|r| {
+        for sink in &r.sinks {
+            sink.flush();
+        }
+    });
+}
+
+/// Snapshot of one named histogram from the live registry, or `None` when
+/// telemetry is off or the histogram has recorded nothing. Lets callers
+/// surface quantiles (e.g. `serve.request.seconds.p99`) as gauges before
+/// the run finishes.
+pub fn histogram_snapshot(name: &str) -> Option<HistogramSnapshot> {
+    with_recorder(|r| r.registry.histogram_snapshot(name)).flatten()
+}
+
+/// Renders the current metric registry in Prometheus text exposition
+/// format (see [`render_prometheus`]), or `None` when telemetry is off.
+pub fn expose_text() -> Option<String> {
+    with_recorder(|r| render_prometheus(&r.registry.snapshot(), &r.name))
+}
+
 /// Adds `delta` to the named counter. No-op when telemetry is off.
 #[inline]
 pub fn counter(name: &str, delta: u64) {
@@ -256,26 +290,101 @@ pub fn event(name: &str, fields: &[(&str, Value)]) {
     });
 }
 
+/// A request-scoped trace identity: the trace a unit of work belongs to
+/// and the span currently in scope. Obtained from [`current_context`] and
+/// handed across threads to [`span_with_parent`] so worker-side spans stay
+/// attached to the originating request's tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace ID shared by every span of one request (never 0).
+    pub trace: u64,
+    /// Span ID of the innermost active span (never 0).
+    pub span: u64,
+}
+
+use std::cell::Cell;
+use std::sync::atomic::AtomicU64;
+
+/// Monotonic ID wells. Span IDs are unique per process across traces, so a
+/// parent link is unambiguous even when events from concurrent requests
+/// interleave in one JSONL stream. 0 is reserved for "none".
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The innermost active span on this thread. Spans are thread-affine:
+    /// the context propagates to nested spans on the same thread
+    /// automatically, and crosses threads only explicitly via
+    /// [`span_with_parent`].
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The trace context of the innermost active span on this thread, if any.
+/// Capture it before handing work to another thread, then open the
+/// worker-side span with [`span_with_parent`].
+pub fn current_context() -> Option<TraceContext> {
+    CURRENT.with(Cell::get)
+}
+
 /// Starts an RAII span timer. On drop it records the wall time into the
-/// `<name>.seconds` histogram and emits a `span` event. Inert (no clock
-/// read) when telemetry is off.
+/// `<name>.seconds` histogram and emits a `span` event carrying `trace`,
+/// `span`, and (for non-root spans) `parent` IDs. Nested spans on the same
+/// thread link to the enclosing span automatically; a root span starts a
+/// fresh trace. Inert (no clock read, no IDs) when telemetry is off.
 #[must_use = "a span records its timing when dropped"]
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    Span { name, start: if is_enabled() { Some(Instant::now()) } else { None } }
+    Span::start(name, if is_enabled() { current_context() } else { None })
 }
 
-/// RAII guard returned by [`span`].
+/// Starts a span parented to an explicit [`TraceContext`] instead of this
+/// thread's current one — the cross-thread propagation primitive. Pass
+/// `None` to force a new root trace.
+#[must_use = "a span records its timing when dropped"]
+pub fn span_with_parent(name: &'static str, parent: Option<TraceContext>) -> Span {
+    Span::start(name, parent)
+}
+
+/// RAII guard returned by [`span`] / [`span_with_parent`].
 #[derive(Debug)]
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    /// This span's identity (`None` when telemetry was off at creation).
+    context: Option<TraceContext>,
+    /// Span ID of the parent, if this span is not a trace root.
+    parent: Option<u64>,
+    /// The thread-local context to restore on drop.
+    saved: Option<TraceContext>,
 }
 
 impl Span {
+    fn start(name: &'static str, parent: Option<TraceContext>) -> Span {
+        if !is_enabled() {
+            return Span { name, start: None, context: None, parent: None, saved: None };
+        }
+        let trace = parent.map_or_else(|| NEXT_TRACE.fetch_add(1, Ordering::Relaxed), |p| p.trace);
+        let context = TraceContext { trace, span: NEXT_SPAN.fetch_add(1, Ordering::Relaxed) };
+        let saved = CURRENT.with(|c| c.replace(Some(context)));
+        Span {
+            name,
+            start: Some(Instant::now()),
+            context: Some(context),
+            parent: parent.map(|p| p.span),
+            saved,
+        }
+    }
+
     /// Elapsed time so far (`None` when telemetry was off at creation).
     pub fn elapsed(&self) -> Option<Duration> {
         self.start.map(|s| s.elapsed())
+    }
+
+    /// This span's trace context (`None` when telemetry was off at
+    /// creation). Hand it to [`span_with_parent`] on another thread to
+    /// parent worker spans under this one.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.context
     }
 }
 
@@ -283,13 +392,20 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             let seconds = start.elapsed().as_secs_f64();
+            CURRENT.with(|c| c.set(self.saved));
+            let context = self.context;
+            let parent = self.parent;
             with_recorder(|r| {
                 r.registry.observe(&format!("{}.seconds", self.name), seconds);
-                r.emit(
-                    EventKind::Span,
-                    self.name,
-                    vec![("seconds".to_string(), Value::F64(seconds))],
-                );
+                let mut fields = vec![("seconds".to_string(), Value::F64(seconds))];
+                if let Some(ctx) = context {
+                    fields.push(("trace".to_string(), Value::U64(ctx.trace)));
+                    fields.push(("span".to_string(), Value::U64(ctx.span)));
+                }
+                if let Some(parent) = parent {
+                    fields.push(("parent".to_string(), Value::U64(parent)));
+                }
+                r.emit(EventKind::Span, self.name, fields);
             });
         }
     }
@@ -384,5 +500,94 @@ mod tests {
         }
         let manifest = finish().unwrap();
         assert_eq!(manifest.metrics.histograms["unit.op.seconds"].count, 3);
+    }
+
+    #[test]
+    fn nested_spans_share_a_trace_and_link_parents() {
+        let _guard = lock();
+        let sink = MemorySink::new();
+        Recorder::builder("trace").sink(Box::new(sink.clone())).install();
+        assert!(current_context().is_none(), "no span open yet");
+        {
+            let root = span("outer");
+            let root_ctx = root.context().expect("enabled");
+            assert_eq!(current_context(), Some(root_ctx));
+            {
+                let inner = span("inner");
+                let inner_ctx = inner.context().unwrap();
+                assert_eq!(inner_ctx.trace, root_ctx.trace, "same trace");
+                assert_ne!(inner_ctx.span, root_ctx.span, "fresh span id");
+                assert_eq!(current_context(), Some(inner_ctx));
+            }
+            assert_eq!(current_context(), Some(root_ctx), "restored after child drop");
+        }
+        assert!(current_context().is_none(), "restored after root drop");
+        finish();
+
+        let records: Vec<SpanRecord> =
+            sink.events().iter().filter_map(SpanRecord::from_event).collect();
+        assert_eq!(records.len(), 2);
+        // Events arrive in drop order: inner first.
+        let (inner, outer) = (&records[0], &records[1]);
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.trace, outer.trace);
+        assert_eq!(inner.parent, Some(outer.span));
+        assert_eq!(outer.parent, None, "root span has no parent");
+    }
+
+    #[test]
+    fn separate_roots_get_separate_traces() {
+        let _guard = lock();
+        let sink = MemorySink::new();
+        Recorder::builder("traces").sink(Box::new(sink.clone())).install();
+        drop(span("first"));
+        drop(span("second"));
+        finish();
+        let records: Vec<SpanRecord> =
+            sink.events().iter().filter_map(SpanRecord::from_event).collect();
+        assert_eq!(records.len(), 2);
+        assert_ne!(records[0].trace, records[1].trace);
+    }
+
+    #[test]
+    fn span_with_parent_crosses_threads() {
+        let _guard = lock();
+        let sink = MemorySink::new();
+        Recorder::builder("xthread").sink(Box::new(sink.clone())).install();
+        {
+            let root = span("request");
+            let ctx = root.context();
+            std::thread::spawn(move || {
+                drop(span_with_parent("worker", ctx));
+            })
+            .join()
+            .unwrap();
+        }
+        finish();
+        let records: Vec<SpanRecord> =
+            sink.events().iter().filter_map(SpanRecord::from_event).collect();
+        let worker = records.iter().find(|r| r.name == "worker").unwrap();
+        let request = records.iter().find(|r| r.name == "request").unwrap();
+        assert_eq!(worker.trace, request.trace, "context crossed the thread");
+        assert_eq!(worker.parent, Some(request.span));
+    }
+
+    #[test]
+    fn flush_and_live_accessors_work_mid_run() {
+        let _guard = lock();
+        Recorder::builder("live").install();
+        observe("live.op.seconds", 0.5);
+        observe("live.op.seconds", 0.5);
+        flush(); // must not finish the run
+        assert!(is_enabled());
+        let snap = histogram_snapshot("live.op.seconds").expect("recorded");
+        assert_eq!(snap.count, 2);
+        assert!(histogram_snapshot("absent").is_none());
+        let text = expose_text().expect("enabled");
+        assert!(text.contains("deepoheat_live_op_seconds_count{run=\"live\"} 2"));
+        finish();
+        assert!(histogram_snapshot("live.op.seconds").is_none());
+        assert!(expose_text().is_none());
     }
 }

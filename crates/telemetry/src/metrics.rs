@@ -1,49 +1,92 @@
-//! Thread-safe metric primitives: counters, gauges, and fixed-bucket
-//! histograms, collected in a [`MetricRegistry`].
+//! Thread-safe metric primitives: counters, gauges, and log-bucketed
+//! quantile histograms, collected in a [`MetricRegistry`].
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use crate::value::write_json_f64;
 
-/// A fixed-bucket histogram.
+/// Geometric bucket growth factor. Buckets are 2% wide, so reporting the
+/// geometric midpoint of a bucket bounds the relative error of any
+/// quantile estimate by `√GAMMA − 1 ≈ 0.995% < 1%`.
+#[cfg(test)]
+const GAMMA: f64 = 1.02;
+/// `ln(GAMMA)`, precomputed so bucket indexing is one `ln` + one divide.
+/// (`f64::ln` is not a `const fn`; the value is pinned by a unit test.)
+const LN_GAMMA: f64 = 0.019_802_627_296_179_73;
+/// `√GAMMA`, the midpoint factor: the estimate for bucket `i` is
+/// `bound(i) / SQRT_GAMMA`.
+const SQRT_GAMMA: f64 = 1.009_950_493_836_207_8;
+
+/// Inclusive upper bound of log bucket `i`: `GAMMA^i`, evaluated as
+/// `exp(i·ln GAMMA)` so the indexing math and the bound math agree bit
+/// for bit.
+#[inline]
+fn bucket_bound(i: i64) -> f64 {
+    (i as f64 * LN_GAMMA).exp()
+}
+
+/// Index of the log bucket holding `v` (for finite `v > 0`): the unique
+/// `i` with `bound(i−1) < v ≤ bound(i)`. The float fix-up loops run at
+/// most once in practice; they make the invariant exact despite `ln`/`exp`
+/// rounding, so bucketing is deterministic on any host.
+fn bucket_index(v: f64) -> i64 {
+    debug_assert!(v > 0.0 && v.is_finite());
+    let mut i = (v.ln() / LN_GAMMA).ceil() as i64;
+    while bucket_bound(i - 1) >= v {
+        i -= 1;
+    }
+    while bucket_bound(i) < v {
+        i += 1;
+    }
+    i
+}
+
+/// A log-bucketed (HDR-style) histogram with bounded-error quantiles.
 ///
-/// Bucket semantics: an observation `v` is counted in the **first** bucket
-/// whose upper bound satisfies `v <= bound` (upper bounds are *inclusive*,
-/// lower bounds *exclusive*); observations greater than the last bound go
-/// to the overflow bucket. Bounds must be strictly increasing and finite.
+/// Observations land in geometric buckets `(GAMMA^(i−1), GAMMA^i]` with
+/// `GAMMA = 1.02`, kept sparsely, so the histogram covers the full
+/// positive `f64` range with ≤1% relative quantile error and never needs
+/// pre-declared bounds. Three side classes keep the bucket math honest:
+///
+/// * **zero-or-negative** observations (coarse clocks can measure 0)
+///   count into a dedicated `zero` bucket below every log bucket;
+/// * **non-finite** observations (NaN/±inf) count into a dedicated
+///   `nonfinite` counter and are excluded from `count`, `sum`, `mean`,
+///   and every quantile — they are visible, never skewing;
+/// * `min`/`max` track exact finite extremes, and quantile estimates are
+///   clamped into `[min, max]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
-    bounds: Vec<f64>,
-    counts: Vec<u64>,
+    /// Sparse log buckets: index → count, ascending (BTreeMap keeps the
+    /// walk order deterministic).
+    buckets: BTreeMap<i64, u64>,
+    /// Finite observations `≤ 0`.
+    zero: u64,
+    /// NaN / ±inf observations (excluded from all statistics).
+    nonfinite: u64,
+    /// Finite observations (including the zero bucket).
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
 }
 
+impl Default for Histogram {
+    /// Same as [`Histogram::new`]; a derived impl would zero `min`/`max`
+    /// instead of the empty sentinels the quantile clamp relies on.
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
 impl Histogram {
-    /// Creates a histogram with the given inclusive upper bounds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bounds` is empty, non-finite, or not strictly
-    /// increasing.
-    pub fn new(bounds: Vec<f64>) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
-        for w in bounds.windows(2) {
-            assert!(
-                w[0] < w[1],
-                "histogram bounds must be strictly increasing: {} !< {}",
-                w[0],
-                w[1]
-            );
-        }
-        assert!(bounds.iter().all(|b| b.is_finite()), "histogram bounds must be finite");
-        let n = bounds.len();
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
         Histogram {
-            bounds,
-            counts: vec![0; n + 1],
+            buckets: BTreeMap::new(),
+            zero: 0,
+            nonfinite: 0,
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
@@ -51,83 +94,129 @@ impl Histogram {
         }
     }
 
-    /// Default buckets for span durations in seconds: a 1–2–5 series from
-    /// 1 µs to 100 s.
-    pub fn time_buckets() -> Self {
-        let mut bounds = Vec::new();
-        let mut decade = 1e-6;
-        while decade <= 100.0 {
-            for mult in [1.0, 2.0, 5.0] {
-                bounds.push(decade * mult);
-            }
-            decade *= 10.0;
-        }
-        Histogram::new(bounds)
-    }
-
-    /// The inclusive upper bounds (one per non-overflow bucket).
-    pub fn bounds(&self) -> &[f64] {
-        &self.bounds
-    }
-
-    /// Records one observation. Non-finite observations count toward
-    /// `count` (so they are visible) but not toward any bucket.
+    /// Records one observation. Non-finite observations bump only the
+    /// dedicated `nonfinite` counter; everything finite feeds the
+    /// statistics and exactly one bucket.
     pub fn observe(&mut self, v: f64) {
-        self.count += 1;
         if !v.is_finite() {
+            self.nonfinite += 1;
             return;
         }
+        self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
-        let bucket = self.bounds.partition_point(|&b| b < v);
-        self.counts[bucket] += 1;
+        if v <= 0.0 {
+            self.zero += 1;
+        } else {
+            *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        }
     }
 
-    /// Total number of observations.
+    /// Total number of finite observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of non-finite observations seen (not part of [`count`]).
+    ///
+    /// [`count`]: Histogram::count
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite
     }
 
     /// An immutable summary of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count,
+            nonfinite: self.nonfinite,
+            zero: self.zero,
             sum: self.sum,
             min: if self.min.is_finite() { self.min } else { 0.0 },
             max: if self.max.is_finite() { self.max } else { 0.0 },
-            buckets: self.bounds.iter().copied().zip(self.counts.iter().copied()).collect(),
-            overflow: *self.counts.last().expect("counts has bounds.len() + 1 entries"),
+            buckets: self.buckets.iter().map(|(&i, &c)| (bucket_bound(i), c)).collect(),
         }
     }
 }
 
 /// A point-in-time summary of one [`Histogram`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct HistogramSnapshot {
-    /// Total observations (including non-finite ones).
+    /// Finite observations (including the zero bucket).
     pub count: u64,
+    /// Non-finite observations — excluded from every other statistic.
+    pub nonfinite: u64,
+    /// Finite observations `≤ 0`.
+    pub zero: u64,
     /// Sum of finite observations.
     pub sum: f64,
     /// Smallest finite observation (0 when empty).
     pub min: f64,
     /// Largest finite observation (0 when empty).
     pub max: f64,
-    /// `(inclusive upper bound, count)` per bucket.
+    /// `(inclusive upper bound, count)` per occupied log bucket,
+    /// ascending. Bounds are `1.02^i`; the bucket spans
+    /// `(bound/1.02, bound]`.
     pub buckets: Vec<(f64, u64)>,
-    /// Observations above the last bound.
-    pub overflow: u64,
 }
 
 impl HistogramSnapshot {
     /// Mean of the finite observations (0 when empty).
     pub fn mean(&self) -> f64 {
-        let finite: u64 = self.buckets.iter().map(|(_, c)| c).sum::<u64>() + self.overflow;
-        if finite == 0 {
+        if self.count == 0 {
             0.0
         } else {
-            self.sum / finite as f64
+            self.sum / self.count as f64
         }
+    }
+
+    /// Nearest-rank quantile estimate with ≤1% relative error for
+    /// positive observations: walks the cumulative bucket counts to the
+    /// bucket holding the `⌈q·count⌉`-th smallest sample and returns that
+    /// bucket's geometric midpoint, clamped into `[min, max]`.
+    ///
+    /// `q` is clamped to `[0, 1]`; an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = self.zero;
+        if cumulative >= rank {
+            // The target sample is ≤ 0: `min` is the only exact statistic
+            // we keep for that range.
+            return self.min.min(0.0);
+        }
+        for &(bound, count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= rank {
+                return (bound / SQRT_GAMMA).clamp(self.min, self.max);
+            }
+        }
+        // Unreachable when the invariants hold (cumulative counts sum to
+        // `count`); report the largest observation rather than panicking.
+        self.max
+    }
+
+    /// Median (50th percentile) estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile estimate.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
     }
 }
 
@@ -160,18 +249,17 @@ impl MetricRegistry {
         gauges.insert(name.to_string(), value);
     }
 
-    /// Records an observation in the named histogram, creating it with
-    /// [`Histogram::time_buckets`] on first use.
+    /// Records an observation in the named histogram (created empty on
+    /// first use — log buckets need no pre-declared bounds).
     pub fn observe(&self, name: &str, value: f64) {
         let mut histograms = self.histograms.lock().expect("histogram map poisoned");
-        histograms.entry(name.to_string()).or_insert_with(Histogram::time_buckets).observe(value);
+        histograms.entry(name.to_string()).or_default().observe(value);
     }
 
-    /// Registers a histogram with custom bucket bounds (replacing any
-    /// recorded data under that name).
-    pub fn register_histogram(&self, name: &str, histogram: Histogram) {
-        let mut histograms = self.histograms.lock().expect("histogram map poisoned");
-        histograms.insert(name.to_string(), histogram);
+    /// Snapshot of one named histogram, if it has recorded anything.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        let histograms = self.histograms.lock().expect("histogram map poisoned");
+        histograms.get(name).map(Histogram::snapshot)
     }
 
     /// Takes a consistent point-in-time snapshot of every metric.
@@ -231,6 +319,10 @@ impl MetricsSnapshot {
             crate::value::write_json_string(out, name);
             out.push_str(":{\"count\":");
             out.push_str(&h.count.to_string());
+            out.push_str(",\"nonfinite\":");
+            out.push_str(&h.nonfinite.to_string());
+            out.push_str(",\"zero\":");
+            out.push_str(&h.zero.to_string());
             out.push_str(",\"sum\":");
             write_json_f64(out, h.sum);
             out.push_str(",\"min\":");
@@ -239,28 +331,23 @@ impl MetricsSnapshot {
             write_json_f64(out, h.max);
             out.push_str(",\"mean\":");
             write_json_f64(out, h.mean());
+            for (label, value) in
+                [("p50", h.p50()), ("p90", h.p90()), ("p99", h.p99()), ("p999", h.p999())]
+            {
+                out.push_str(",\"");
+                out.push_str(label);
+                out.push_str("\":");
+                write_json_f64(out, value);
+            }
             out.push_str(",\"buckets\":[");
-            let mut first = true;
-            for &(bound, count) in &h.buckets {
-                if count == 0 {
-                    continue; // sparse encoding: empty buckets are elided
-                }
-                if !first {
+            for (j, &(bound, count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
                     out.push(',');
                 }
-                first = false;
                 out.push_str("{\"le\":");
                 write_json_f64(out, bound);
                 out.push_str(",\"count\":");
                 out.push_str(&count.to_string());
-                out.push('}');
-            }
-            if h.overflow > 0 {
-                if !first {
-                    out.push(',');
-                }
-                out.push_str("{\"le\":null,\"count\":");
-                out.push_str(&h.overflow.to_string());
                 out.push('}');
             }
             out.push_str("]}");
@@ -274,49 +361,119 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_are_upper_inclusive() {
-        let mut h = Histogram::new(vec![1.0, 2.0, 5.0]);
-        h.observe(1.0); // lands in le=1.0 (inclusive upper bound)
-        h.observe(1.0000001); // lands in le=2.0
-        h.observe(5.0); // lands in le=5.0
-        h.observe(5.1); // overflow
+    fn gamma_constants_are_consistent() {
+        assert!((LN_GAMMA - GAMMA.ln()).abs() < 1e-18);
+        assert!((SQRT_GAMMA - GAMMA.sqrt()).abs() < 1e-15);
+        // The documented error bound.
+        assert!(GAMMA.sqrt() - 1.0 < 0.01);
+    }
+
+    #[test]
+    fn bucket_index_invariant_holds_across_magnitudes() {
+        for &v in &[1e-9, 2.3e-6, 1e-3, 0.5, 1.0, 1.02, 7.25, 1e4, 3.7e12, 1e300] {
+            let i = bucket_index(v);
+            assert!(bucket_bound(i - 1) < v, "lower bound open: {v}");
+            assert!(v <= bucket_bound(i), "upper bound inclusive: {v}");
+        }
+        // Exact powers of GAMMA land in their own bucket (inclusive upper).
+        let b = bucket_bound(10);
+        assert_eq!(bucket_index(b), 10);
+    }
+
+    #[test]
+    fn observations_land_in_one_bucket_each() {
+        let mut h = Histogram::new();
+        for v in [0.5, 0.5, 1.7, 400.0] {
+            h.observe(v);
+        }
         let s = h.snapshot();
-        assert_eq!(s.buckets, vec![(1.0, 1), (2.0, 1), (5.0, 1)]);
-        assert_eq!(s.overflow, 1);
         assert_eq!(s.count, 4);
+        assert_eq!(s.buckets.iter().map(|(_, c)| c).sum::<u64>(), 4);
+        assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0), "bounds ascend");
     }
 
     #[test]
-    fn time_buckets_are_monotone_and_span_microseconds_to_minutes() {
-        let h = Histogram::time_buckets();
-        let bounds = h.bounds();
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
-        assert!(bounds[0] <= 1e-6);
-        assert!(*bounds.last().unwrap() >= 100.0);
-        assert!(bounds.iter().all(|b| b.is_finite() && *b > 0.0));
-    }
-
-    #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn unordered_bounds_are_rejected() {
-        Histogram::new(vec![1.0, 1.0]);
-    }
-
-    #[test]
-    fn non_finite_observations_count_but_do_not_bucket() {
-        let mut h = Histogram::new(vec![1.0]);
+    fn non_finite_routes_to_dedicated_counter_not_statistics() {
+        let mut h = Histogram::new();
+        h.observe(1.0);
         h.observe(f64::NAN);
         h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(3.0);
         let s = h.snapshot();
-        assert_eq!(s.count, 2);
-        assert_eq!(s.buckets[0].1, 0);
-        assert_eq!(s.overflow, 0);
-        assert_eq!(s.sum, 0.0);
+        assert_eq!(s.nonfinite, 3);
+        assert_eq!(s.count, 2, "count excludes non-finite");
+        assert_eq!(s.sum, 4.0);
+        assert!((s.mean() - 2.0).abs() < 1e-15, "mean unskewed by NaN/inf");
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        // Quantiles ignore the non-finite observations entirely.
+        assert!(s.p50() > 0.0 && s.p50().is_finite());
+        assert!(s.p999() <= 3.0);
+    }
+
+    #[test]
+    fn zero_and_negative_observations_use_the_zero_bucket() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-2.0);
+        h.observe(5.0);
+        let s = h.snapshot();
+        assert_eq!(s.zero, 2);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets.iter().map(|(_, c)| c).sum::<u64>(), 1);
+        // p50 targets the 2nd smallest sample (0.0): reported from the
+        // zero bucket.
+        assert!(s.p50() <= 0.0);
+        assert_eq!(s.min, -2.0);
+    }
+
+    #[test]
+    fn quantiles_track_exact_values_within_one_percent() {
+        let mut h = Histogram::new();
+        let mut values: Vec<f64> = Vec::new();
+        // Deterministic multiplicative spread across four decades.
+        for i in 0..5000u64 {
+            let v = 1e-4 * 1.003f64.powi((i % 2500) as i32) * (1.0 + (i as f64) * 1e-5);
+            values.push(v);
+            h.observe(v);
+        }
+        values.sort_by(f64::total_cmp);
+        let s = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let estimate = s.quantile(q);
+            let rel = (estimate - exact).abs() / exact;
+            assert!(rel <= 0.01, "q={q}: exact {exact}, estimate {estimate}, rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn single_observation_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.observe(0.125);
+        let s = h.snapshot();
+        // min==max clamps every quantile to the exact sample.
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), 0.125);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert!(s.buckets.is_empty());
     }
 
     #[test]
     fn snapshot_statistics() {
-        let mut h = Histogram::new(vec![10.0]);
+        let mut h = Histogram::new();
         for v in [1.0, 2.0, 3.0] {
             h.observe(v);
         }
@@ -339,6 +496,9 @@ mod tests {
         assert_eq!(s.counters["a.b.count"], 5);
         assert_eq!(s.gauges["a.lr"], 0.05);
         assert_eq!(s.histograms["a.step.seconds"].count, 1);
+        let one = r.histogram_snapshot("a.step.seconds").expect("recorded");
+        assert_eq!(one.count, 1);
+        assert!(r.histogram_snapshot("absent").is_none());
     }
 
     #[test]
@@ -364,16 +524,20 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_json_is_wellformed() {
+    fn snapshot_json_is_wellformed_and_carries_quantiles() {
         let r = MetricRegistry::new();
         r.counter("c.x.count", 1);
         r.gauge("g.y", 2.5);
         r.observe("h.z.seconds", 0.5);
+        r.observe("h.z.seconds", f64::NAN);
         let mut json = String::new();
         r.snapshot().write_json(&mut json);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"c.x.count\":1"));
         assert!(json.contains("\"g.y\":2.5"));
-        assert!(json.contains("\"le\":0.5"));
+        assert!(json.contains("\"nonfinite\":1"));
+        assert!(json.contains("\"p50\":0.5"), "{json}");
+        assert!(json.contains("\"p999\":0.5"));
+        assert!(json.contains("\"le\":"));
     }
 }

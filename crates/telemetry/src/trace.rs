@@ -1,0 +1,295 @@
+//! Span-tree reconstruction from the JSONL event stream, and a
+//! folded-stack export for flamegraph tooling.
+//!
+//! Every `span` event in the JSONL log carries `trace`/`span` IDs plus a
+//! `parent` link (absent for trace roots). [`SpanRecord::from_jsonl_line`]
+//! recovers those records, and [`fold_stacks`] rebuilds the trees and
+//! renders them in the folded-stack format consumed by `flamegraph.pl`,
+//! `inferno`, and speedscope: one `root;child;leaf <microseconds>` line
+//! per unique stack, aggregated over all traces.
+
+use std::collections::BTreeMap;
+
+use crate::sink::{Event, EventKind};
+use crate::value::Value;
+
+/// One completed span recovered from the event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace: u64,
+    /// Unique (per process) span ID.
+    pub span: u64,
+    /// Parent span ID (`None` for a trace root).
+    pub parent: Option<u64>,
+    /// Span name, e.g. `serve.request`.
+    pub name: String,
+    /// Wall-clock duration.
+    pub seconds: f64,
+}
+
+impl SpanRecord {
+    /// Extracts a record from an in-memory [`Event`], or `None` if the
+    /// event is not a span or predates trace IDs.
+    pub fn from_event(event: &Event) -> Option<SpanRecord> {
+        if event.kind != EventKind::Span {
+            return None;
+        }
+        let get_u64 = |key: &str| {
+            event.fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+                Value::U64(n) => Some(*n),
+                _ => None,
+            })
+        };
+        let seconds =
+            event.fields.iter().find(|(k, _)| k == "seconds").and_then(|(_, v)| match v {
+                Value::F64(s) => Some(*s),
+                _ => None,
+            })?;
+        Some(SpanRecord {
+            trace: get_u64("trace")?,
+            span: get_u64("span")?,
+            parent: get_u64("parent"),
+            name: event.name.clone(),
+            seconds,
+        })
+    }
+
+    /// Parses one JSONL line into a record, or `None` for non-span lines
+    /// (gauges, application events) and span lines without trace IDs.
+    ///
+    /// This is a targeted extractor for the fixed shape `Event::write_json`
+    /// produces — top-level `"key":value` pairs with no nested objects —
+    /// not a general JSON parser.
+    pub fn from_jsonl_line(line: &str) -> Option<SpanRecord> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        if json_str_field(line, "kind")? != "span" {
+            return None;
+        }
+        Some(SpanRecord {
+            trace: json_u64_field(line, "trace")?,
+            span: json_u64_field(line, "span")?,
+            parent: json_u64_field(line, "parent"),
+            name: json_str_field(line, "name")?.to_string(),
+            seconds: json_f64_field(line, "seconds")?,
+        })
+    }
+}
+
+/// The raw text following `"key":` in `line`, up to the value's end.
+fn json_raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    Some(&line[start..])
+}
+
+/// A string-valued field (no escape handling — metric/span names written
+/// by this crate never need escapes; an escaped name simply fails to
+/// match).
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = json_raw_field(line, key)?.strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+fn json_num_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = json_raw_field(line, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    json_num_field(line, key)?.parse().ok()
+}
+
+fn json_f64_field(line: &str, key: &str) -> Option<f64> {
+    json_num_field(line, key)?.parse().ok()
+}
+
+/// Renders span records as folded stacks: `a;b;c <microseconds>` per
+/// unique stack, where the value is the stack's **self time** (span
+/// duration minus direct children, clamped at 0), aggregated across every
+/// occurrence and sorted lexicographically so output is deterministic.
+///
+/// Spans whose parent is missing from `records` (e.g. the log was
+/// truncated mid-run) are treated as roots rather than dropped, so a
+/// partial log still profiles cleanly.
+pub fn fold_stacks(records: &[SpanRecord]) -> String {
+    let by_id: BTreeMap<u64, &SpanRecord> = records.iter().map(|r| (r.span, r)).collect();
+    // Direct-children time per parent span, for self-time computation.
+    let mut child_seconds: BTreeMap<u64, f64> = BTreeMap::new();
+    for r in records {
+        if let Some(parent) = r.parent {
+            if by_id.contains_key(&parent) {
+                *child_seconds.entry(parent).or_insert(0.0) += r.seconds;
+            }
+        }
+    }
+
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for r in records {
+        // Walk parent links up to the root to build the stack path.
+        let mut stack = vec![r.name.as_str()];
+        let mut cursor = r.parent;
+        // Depth guard: a cycle can only come from a corrupt log, but a
+        // profiler must not hang on one.
+        let mut depth = 0;
+        while let Some(parent) = cursor.and_then(|id| by_id.get(&id)) {
+            stack.push(parent.name.as_str());
+            cursor = parent.parent;
+            depth += 1;
+            if depth > 512 {
+                break;
+            }
+        }
+        stack.reverse();
+        let self_seconds =
+            (r.seconds - child_seconds.get(&r.span).copied().unwrap_or(0.0)).max(0.0);
+        let micros = (self_seconds * 1e6).round() as u64;
+        *folded.entry(stack.join(";")).or_insert(0) += micros;
+    }
+
+    let mut out = String::new();
+    for (stack, micros) in &folded {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&micros.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn span_event(name: &str, trace: u64, span: u64, parent: Option<u64>, secs: f64) -> Event {
+        let mut fields = vec![
+            ("seconds".to_string(), Value::F64(secs)),
+            ("trace".to_string(), Value::U64(trace)),
+            ("span".to_string(), Value::U64(span)),
+        ];
+        if let Some(p) = parent {
+            fields.push(("parent".to_string(), Value::U64(p)));
+        }
+        Event { kind: EventKind::Span, name: name.to_string(), elapsed: Duration::ZERO, fields }
+    }
+
+    #[test]
+    fn from_event_roundtrip() {
+        let rec = SpanRecord::from_event(&span_event("a.b", 7, 9, Some(3), 0.25)).unwrap();
+        assert_eq!(rec.trace, 7);
+        assert_eq!(rec.span, 9);
+        assert_eq!(rec.parent, Some(3));
+        assert_eq!(rec.name, "a.b");
+        assert_eq!(rec.seconds, 0.25);
+        // Root spans have no parent field.
+        let root = SpanRecord::from_event(&span_event("r", 7, 1, None, 1.0)).unwrap();
+        assert_eq!(root.parent, None);
+    }
+
+    #[test]
+    fn from_event_rejects_non_spans_and_untraced_spans() {
+        let gauge = Event {
+            kind: EventKind::Gauge,
+            name: "g".into(),
+            elapsed: Duration::ZERO,
+            fields: vec![("value".into(), Value::F64(1.0))],
+        };
+        assert!(SpanRecord::from_event(&gauge).is_none());
+        let untraced = Event {
+            kind: EventKind::Span,
+            name: "s".into(),
+            elapsed: Duration::ZERO,
+            fields: vec![("seconds".into(), Value::F64(1.0))],
+        };
+        assert!(SpanRecord::from_event(&untraced).is_none());
+    }
+
+    #[test]
+    fn jsonl_line_roundtrips_through_event_writer() {
+        let event = span_event("serve.request", 42, 100, Some(99), 0.001953125);
+        let mut line = String::new();
+        event.write_json(&mut line);
+        let rec = SpanRecord::from_jsonl_line(&line).unwrap();
+        assert_eq!(rec.trace, 42);
+        assert_eq!(rec.span, 100);
+        assert_eq!(rec.parent, Some(99));
+        assert_eq!(rec.name, "serve.request");
+        assert_eq!(rec.seconds, 0.001953125);
+    }
+
+    #[test]
+    fn jsonl_line_skips_other_kinds_and_garbage() {
+        assert!(SpanRecord::from_jsonl_line(r#"{"t":1,"kind":"gauge","name":"g"}"#).is_none());
+        assert!(SpanRecord::from_jsonl_line("not json").is_none());
+        assert!(SpanRecord::from_jsonl_line("").is_none());
+        // Span without IDs (pre-tracing log): skipped, not an error.
+        assert!(SpanRecord::from_jsonl_line(r#"{"t":1,"kind":"span","name":"s","seconds":0.5}"#)
+            .is_none());
+    }
+
+    #[test]
+    fn fold_stacks_builds_paths_and_self_time() {
+        let records = vec![
+            SpanRecord { trace: 1, span: 1, parent: None, name: "root".into(), seconds: 1.0 },
+            SpanRecord { trace: 1, span: 2, parent: Some(1), name: "mid".into(), seconds: 0.6 },
+            SpanRecord { trace: 1, span: 3, parent: Some(2), name: "leaf".into(), seconds: 0.2 },
+        ];
+        let folded = fold_stacks(&records);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["root 400000", "root;mid 400000", "root;mid;leaf 200000"],
+            "{folded}"
+        );
+    }
+
+    #[test]
+    fn fold_stacks_aggregates_repeated_stacks() {
+        let records = vec![
+            SpanRecord { trace: 1, span: 1, parent: None, name: "req".into(), seconds: 0.001 },
+            SpanRecord { trace: 2, span: 2, parent: None, name: "req".into(), seconds: 0.002 },
+        ];
+        assert_eq!(fold_stacks(&records), "req 3000\n");
+    }
+
+    #[test]
+    fn fold_stacks_treats_missing_parents_as_roots() {
+        // Parent span 99 was lost to log truncation.
+        let records = vec![SpanRecord {
+            trace: 1,
+            span: 2,
+            parent: Some(99),
+            name: "orphan".into(),
+            seconds: 0.5,
+        }];
+        assert_eq!(fold_stacks(&records), "orphan 500000\n");
+    }
+
+    #[test]
+    fn fold_stacks_clamps_negative_self_time() {
+        // Child measured longer than parent (clock skew / overlap): the
+        // parent's self time clamps to 0 instead of going negative.
+        let records = vec![
+            SpanRecord { trace: 1, span: 1, parent: None, name: "p".into(), seconds: 0.1 },
+            SpanRecord { trace: 1, span: 2, parent: Some(1), name: "c".into(), seconds: 0.3 },
+        ];
+        let folded = fold_stacks(&records);
+        assert_eq!(folded, "p 0\np;c 300000\n");
+    }
+
+    #[test]
+    fn fold_stacks_empty_input() {
+        assert_eq!(fold_stacks(&[]), "");
+    }
+}

@@ -1,0 +1,103 @@
+#![deny(unsafe_code)]
+//! Crash-replay discipline for the JSONL event log: a run that appends to
+//! the log a crashed predecessor left behind must (1) drop the torn final
+//! line, (2) preserve every complete line, (3) leave a log in which
+//! *every* line parses as a complete JSON object, and (4) write the run
+//! manifest atomically with no temp-file residue — so post-mortem tooling
+//! (span-tree reconstruction, flamegraph folding) always works on
+//! whatever the disk holds.
+
+use std::fs;
+use std::path::PathBuf;
+
+use deepoheat_telemetry as telemetry;
+use telemetry::JsonlSink;
+
+/// A scratch dir unique to this test process, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new() -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("deepoheat-crash-replay-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+// One test function: the recorder is process-global, so concurrent
+// install()/finish() from sibling tests would interleave runs.
+#[test]
+fn replay_after_torn_tail_yields_a_fully_parseable_log_and_atomic_manifest() {
+    let scratch = ScratchDir::new();
+    let events_path = scratch.0.join("events.jsonl");
+    let manifest_path = scratch.0.join("run.manifest.json");
+
+    // --- the crashed predecessor: two flushed lines + a torn tail -------
+    let survivor_a =
+        r#"{"t":0.01,"kind":"span","name":"serve.request","seconds":0.004,"trace":1,"span":1}"#;
+    let survivor_b = r#"{"t":0.02,"kind":"gauge","name":"train.loss","value":3.5}"#;
+    fs::write(&events_path, format!("{survivor_a}\n{survivor_b}\n{{\"t\":0.03,\"kind\":\"ev"))
+        .expect("write torn log");
+
+    // --- the replaying run: append, record a span tree, finish ----------
+    let sink = JsonlSink::append(&events_path)
+        .expect("reopen torn log")
+        .with_manifest_path(&manifest_path);
+    telemetry::Recorder::builder("crash_replay").sink(Box::new(sink)).install();
+    {
+        let _request = telemetry::span("serve.request");
+        let _trunk = telemetry::span("serve.trunk");
+        telemetry::counter("serve.queries", 8);
+        telemetry::observe("probe.sum", 1.25);
+    }
+    telemetry::flush();
+    let manifest = telemetry::finish().expect("manifest returned");
+    assert_eq!(manifest.name, "crash_replay");
+
+    // --- (1)+(2)+(3): the log is complete lines, old and new ------------
+    let replayed = fs::read_to_string(&events_path).expect("re-read log");
+    let lines: Vec<&str> = replayed.lines().collect();
+    assert_eq!(lines[0], survivor_a, "pre-crash lines must survive the repair");
+    assert_eq!(lines[1], survivor_b);
+    assert!(
+        !replayed.contains("\"kind\":\"ev"),
+        "the torn fragment must be dropped, log:\n{replayed}"
+    );
+    assert!(replayed.ends_with('\n'), "log must be newline-terminated");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "every line must be a complete JSON object, got: {line}"
+        );
+    }
+
+    // --- span-tree reconstruction works on the replayed log -------------
+    let spans: Vec<telemetry::SpanRecord> =
+        lines.iter().filter_map(|l| telemetry::SpanRecord::from_jsonl_line(l)).collect();
+    // The surviving pre-crash span plus this run's request + trunk.
+    assert_eq!(spans.len(), 3, "spans: {spans:?}");
+    let folded = telemetry::fold_stacks(&spans);
+    assert!(
+        folded.lines().any(|l| l.starts_with("serve.request;serve.trunk ")),
+        "folded stacks must nest trunk under request:\n{folded}"
+    );
+
+    // --- (4): manifest written atomically, no temp residue --------------
+    let manifest_text = fs::read_to_string(&manifest_path).expect("manifest exists");
+    assert!(manifest_text.contains("\"serve.queries\""), "{manifest_text}");
+    assert!(manifest_text.contains("\"probe.sum\""), "{manifest_text}");
+    let residue: Vec<String> = fs::read_dir(&scratch.0)
+        .expect("scan scratch dir")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert!(residue.is_empty(), "atomic write left temp files: {residue:?}");
+}

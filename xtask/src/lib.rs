@@ -21,12 +21,17 @@
 //! fresh `BENCH_*.json` manifests against the committed
 //! `xtask/bench-baseline.json` within per-gauge tolerance bands (see the
 //! [`benchcheck`] module).
+//!
+//! `cargo xtask metrics-doc` keeps TELEMETRY.md's metric tables in sync
+//! with the names the code actually emits (see the [`metricsdoc`]
+//! module).
 
 pub mod allowlist;
 pub mod baseline;
 pub mod benchcheck;
 pub mod json;
 pub mod lints;
+pub mod metricsdoc;
 pub mod scanner;
 
 use std::collections::BTreeMap;

@@ -10,6 +10,8 @@
 //! cargo xtask benchcheck                    # gate fresh BENCH_*.json against the baseline
 //! cargo xtask benchcheck --dir target/bench # manifests live elsewhere
 //! cargo xtask benchcheck --update-baseline  # re-record baseline values from fresh manifests
+//!
+//! cargo xtask metrics-doc            # diff emitted metric names against TELEMETRY.md
 //! ```
 //!
 //! See STATIC_ANALYSIS.md for what each lint enforces and why, and
@@ -17,19 +19,53 @@
 
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose]\n       cargo xtask benchcheck [--dir DIR] [--update-baseline]";
+const USAGE: &str = "usage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose]\n       cargo xtask benchcheck [--dir DIR] [--update-baseline]\n       cargo xtask metrics-doc";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("benchcheck") => benchcheck(&args[1..]),
+        Some("metrics-doc") => metrics_doc(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown subcommand `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
             eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn metrics_doc(flags: &[String]) -> ExitCode {
+    if let Some(other) = flags.first() {
+        eprintln!("xtask metrics-doc: unknown flag `{other}`\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let root = xtask::workspace_root();
+    match xtask::metricsdoc::run_metrics_doc(&root) {
+        Ok(outcome) if outcome.is_clean() => {
+            println!(
+                "xtask metrics-doc: ok — {} emission site(s) covered by {} documented name(s)",
+                outcome.code.len(),
+                outcome.doc.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(outcome) => {
+            for failure in &outcome.failures {
+                eprintln!("error    [metrics-doc] {failure}");
+            }
+            eprintln!(
+                "xtask metrics-doc: {} failure(s) — update {} (or the emitting code)",
+                outcome.failures.len(),
+                xtask::metricsdoc::DOC_PATH
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask metrics-doc: {err}");
             ExitCode::FAILURE
         }
     }

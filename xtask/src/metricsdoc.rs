@@ -1,0 +1,468 @@
+//! `cargo xtask metrics-doc` — drift check between the metric names the
+//! code emits and the names TELEMETRY.md documents.
+//!
+//! The extractor walks every workspace source (excluding the telemetry
+//! crate itself, whose examples and tests use throwaway demo names, and
+//! excluding test code) for `telemetry::counter/gauge/observe/event/span`
+//! call sites and reads the metric-name argument:
+//!
+//! * a plain string literal is taken verbatim;
+//! * a `format!("…{placeholder}…")` literal becomes a `*` pattern
+//!   (`parallel.{name}.speedup` → `parallel.*.speedup`);
+//! * anything else is a violation — dynamic names defeat the check, so
+//!   they are banned outside the telemetry crate;
+//! * span names are recorded with the `.seconds` suffix their duration
+//!   histogram carries in the manifest.
+//!
+//! The documented side is every backticked lowercase dotted token between
+//! the `<!-- metrics-doc:begin -->` / `<!-- metrics-doc:end -->` markers
+//! in TELEMETRY.md. Documented names may themselves be `*` patterns. The
+//! check fails in **both** directions: an emitted name no documented
+//! pattern covers, and a documented name no emission site matches.
+
+use std::path::Path;
+
+use crate::scanner::{find_from, ScannedFile};
+
+/// Relative path of the documentation file holding the metric tables.
+pub const DOC_PATH: &str = "TELEMETRY.md";
+/// Opens a documented-metrics region in [`DOC_PATH`].
+pub const BEGIN_MARKER: &str = "<!-- metrics-doc:begin -->";
+/// Closes a documented-metrics region in [`DOC_PATH`].
+pub const END_MARKER: &str = "<!-- metrics-doc:end -->";
+
+/// The emitting functions and the kind each records under.
+const EMITTERS: &[(&str, &str)] = &[
+    ("counter", "counter"),
+    ("gauge", "gauge"),
+    ("observe", "histogram"),
+    ("event", "event"),
+    ("span_with_parent", "span"),
+    ("span", "span"),
+];
+
+/// One metric-name emission site found in the source tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeMetric {
+    /// Emitted name; `*` marks a `format!` placeholder.
+    pub name: String,
+    /// counter | gauge | histogram | event | span.
+    pub kind: &'static str,
+    /// Workspace-relative path of the call site.
+    pub path: String,
+    /// 1-based line of the call site.
+    pub line: usize,
+}
+
+/// One documented metric name (possibly a `*` pattern) from TELEMETRY.md.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocMetric {
+    /// Documented name or `*` pattern.
+    pub name: String,
+    /// 1-based line in the doc.
+    pub line: usize,
+}
+
+/// Everything one metrics-doc run produced.
+#[derive(Debug, Default)]
+pub struct MetricsDocOutcome {
+    /// Every emission site found in the sources.
+    pub code: Vec<CodeMetric>,
+    /// Every documented name between the markers.
+    pub doc: Vec<DocMetric>,
+    /// Human-readable failures; empty means code and doc agree.
+    pub failures: Vec<String>,
+}
+
+impl MetricsDocOutcome {
+    /// Whether the check passed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Files whose emissions are exempt: the telemetry crate's own sources
+/// (doctests and unit tests emit demo names) and anything outside
+/// `crates/` and the workspace `examples/` (xtask and vendored code emit
+/// nothing by policy).
+fn exempt(path: &str) -> bool {
+    if path.starts_with("crates/telemetry/") {
+        return true;
+    }
+    !(path.starts_with("crates/") || path.starts_with("examples/"))
+}
+
+/// Extracts every metric-name emission from the given sources. Call sites
+/// whose name is not a (possibly `format!`-wrapped) string literal land in
+/// `problems`.
+pub fn extract_code_metrics(sources: &[(String, String)]) -> (Vec<CodeMetric>, Vec<String>) {
+    let mut code = Vec::new();
+    let mut problems = Vec::new();
+    for (path, text) in sources {
+        if exempt(path) {
+            continue;
+        }
+        let file = ScannedFile::new(path.clone(), text.clone());
+        for &(func, kind) in EMITTERS {
+            let needle = format!("telemetry::{func}(");
+            let mut from = 0;
+            while let Some(pos) = find_from(&file.masked, needle.as_bytes(), from) {
+                from = pos + needle.len();
+                if file.in_test_code(pos) {
+                    continue;
+                }
+                let line = file.line_of(pos);
+                match parse_name(&file.raw, pos + needle.len()) {
+                    Ok(mut name) => {
+                        if kind == "span" {
+                            name.push_str(".seconds");
+                        }
+                        code.push(CodeMetric { name, kind, path: path.clone(), line });
+                    }
+                    Err(why) => problems.push(format!(
+                        "{path}:{line} telemetry::{func} name is not checkable: {why}"
+                    )),
+                }
+            }
+        }
+    }
+    (code, problems)
+}
+
+/// Reads the metric-name argument starting at byte `start` of `raw` (just
+/// past the opening parenthesis). Accepts `"lit"`, `&format!("lit", …)`
+/// and `format!("lit", …)`; `{…}` placeholders become `*`.
+fn parse_name(raw: &str, start: usize) -> Result<String, String> {
+    let bytes = raw.as_bytes();
+    let mut i = start;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if bytes.get(i) == Some(&b'&') {
+        i += 1;
+        skip_ws(&mut i);
+    }
+    let mut is_format = false;
+    if raw[i..].starts_with("format!") {
+        is_format = true;
+        i += "format!".len();
+        skip_ws(&mut i);
+        if bytes.get(i) != Some(&b'(') {
+            return Err("format! without parentheses".to_string());
+        }
+        i += 1;
+        skip_ws(&mut i);
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return Err("first argument must be a string literal (or format! of one)".to_string());
+    }
+    i += 1;
+    let mut literal = String::new();
+    while i < bytes.len() && bytes[i] != b'"' {
+        if bytes[i] == b'\\' && i + 1 < bytes.len() {
+            return Err("escape sequences are not supported in metric names".to_string());
+        }
+        literal.push(bytes[i] as char);
+        i += 1;
+    }
+    if i >= bytes.len() {
+        return Err("unterminated string literal".to_string());
+    }
+    if !is_format {
+        return Ok(literal);
+    }
+    // format! literal: collapse each `{…}` placeholder to a `*` wildcard.
+    let mut out = String::new();
+    let mut chars = literal.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+                out.push('{');
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+                out.push('}');
+            }
+            '{' => {
+                for inner in chars.by_ref() {
+                    if inner == '}' {
+                        break;
+                    }
+                }
+                out.push('*');
+            }
+            _ => out.push(c),
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts documented names: every backticked token made of
+/// `[a-z0-9_.*]` containing a `.`, on lines between the begin/end
+/// markers.
+///
+/// # Errors
+///
+/// Returns a message when the markers are absent or unbalanced.
+pub fn extract_doc_metrics(doc: &str) -> Result<Vec<DocMetric>, String> {
+    let mut out = Vec::new();
+    let mut inside = false;
+    let mut seen_any = false;
+    for (idx, line) in doc.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.contains(BEGIN_MARKER) {
+            if inside {
+                return Err(format!("{DOC_PATH}:{lineno}: nested {BEGIN_MARKER}"));
+            }
+            inside = true;
+            seen_any = true;
+            continue;
+        }
+        if line.contains(END_MARKER) {
+            if !inside {
+                return Err(format!("{DOC_PATH}:{lineno}: {END_MARKER} without begin"));
+            }
+            inside = false;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        for token in backticked_tokens(line) {
+            if token.contains('.')
+                && token
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._*".contains(c))
+            {
+                out.push(DocMetric { name: token.to_string(), line: lineno });
+            }
+        }
+    }
+    if inside {
+        return Err(format!("{DOC_PATH}: unterminated {BEGIN_MARKER}"));
+    }
+    if !seen_any {
+        return Err(format!(
+            "{DOC_PATH}: no {BEGIN_MARKER} marker — wrap the metric tables so \
+             `cargo xtask metrics-doc` can find them"
+        ));
+    }
+    Ok(out)
+}
+
+/// The backticked segments of a line (odd-indexed splits on `` ` ``).
+fn backticked_tokens(line: &str) -> impl Iterator<Item = &str> {
+    line.split('`').enumerate().filter_map(|(i, seg)| (i % 2 == 1).then_some(seg))
+}
+
+/// Glob match where `*` spans any (possibly empty) run of characters. The
+/// text side is treated literally, so a code pattern like
+/// `parallel.*.speedup` is covered by an identical documented pattern or
+/// by a broader one such as `parallel.*`.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Iterative wildcard matcher with backtracking over the last `*`.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti]) && p[pi] != '*' {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            mark = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Diffs the two sides, returning one failure line per drift. Undocumented
+/// names are reported once (first emission site) even when emitted from
+/// several places.
+pub fn diff(code: &[CodeMetric], doc: &[DocMetric]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut reported: Vec<&str> = Vec::new();
+    for c in code {
+        if reported.contains(&c.name.as_str()) {
+            continue;
+        }
+        if !doc.iter().any(|d| glob_match(&d.name, &c.name)) {
+            reported.push(&c.name);
+            failures.push(format!(
+                "{}:{} {} `{}` is not documented in {DOC_PATH}",
+                c.path, c.line, c.kind, c.name
+            ));
+        }
+    }
+    for d in doc {
+        if !code.iter().any(|c| glob_match(&d.name, &c.name)) {
+            failures
+                .push(format!("{DOC_PATH}:{} documents `{}` but nothing emits it", d.line, d.name));
+        }
+    }
+    failures
+}
+
+/// Runs the full check against the workspace at `root`.
+///
+/// # Errors
+///
+/// Returns a message for I/O failures or a malformed doc (drift is
+/// reported through [`MetricsDocOutcome::failures`], not as an error).
+pub fn run_metrics_doc(root: &Path) -> Result<MetricsDocOutcome, String> {
+    let sources = crate::collect_sources(root)?;
+    let (code, mut failures) = extract_code_metrics(&sources);
+    let doc_path = root.join(DOC_PATH);
+    let doc_text = std::fs::read_to_string(&doc_path)
+        .map_err(|e| format!("read {}: {e}", doc_path.display()))?;
+    let doc = extract_doc_metrics(&doc_text)?;
+    failures.extend(diff(&code, &doc));
+    failures.sort();
+    Ok(MetricsDocOutcome { code, doc, failures })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, text: &str) -> (String, String) {
+        (path.to_string(), text.to_string())
+    }
+
+    #[test]
+    fn extracts_literals_spans_and_format_patterns() {
+        let sources = vec![src(
+            "crates/fdm/src/x.rs",
+            r#"
+            fn f(name: &str) {
+                telemetry::counter("fdm.steps.count", 1);
+                let _s = telemetry::span("fdm.solve");
+                telemetry::gauge(&format!("parallel.{name}.speedup"), 1.0);
+            }
+            "#,
+        )];
+        let (code, problems) = extract_code_metrics(&sources);
+        assert!(problems.is_empty(), "{problems:?}");
+        let names: Vec<&str> = code.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["fdm.steps.count", "parallel.*.speedup", "fdm.solve.seconds"]);
+        assert_eq!(code[2].kind, "span");
+    }
+
+    #[test]
+    fn skips_test_code_telemetry_crate_and_comments() {
+        let sources = vec![
+            src(
+                "crates/serve/src/x.rs",
+                "//! demo: telemetry::gauge(\"doc.example\", 1.0)\n\
+                 #[cfg(test)]\nmod tests { fn t() { telemetry::counter(\"test.only\", 1); } }\n",
+            ),
+            src("crates/telemetry/src/lib.rs", "fn f() { telemetry::gauge(\"demo.x\", 1.0); }\n"),
+            src("xtask/src/x.rs", "fn f() { telemetry::gauge(\"xtask.x\", 1.0); }\n"),
+        ];
+        let (code, problems) = extract_code_metrics(&sources);
+        assert!(code.is_empty(), "{code:?}");
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn non_literal_names_are_problems() {
+        let sources =
+            vec![src("crates/serve/src/x.rs", "fn f(n: &str) { telemetry::gauge(n, 1.0); }\n")];
+        let (code, problems) = extract_code_metrics(&sources);
+        assert!(code.is_empty());
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("crates/serve/src/x.rs:1"), "{}", problems[0]);
+    }
+
+    #[test]
+    fn doc_extraction_is_marker_scoped_and_charset_filtered() {
+        let doc = "\
+# Telemetry\n\
+`outside.name` is ignored.\n\
+<!-- metrics-doc:begin -->\n\
+| `serve.queries` | counter | total |\n\
+| `parallel.*` / `BENCH_serve.json` | gauge | timings |\n\
+<!-- metrics-doc:end -->\n\
+prose about `another.outside` here\n";
+        let names: Vec<String> =
+            extract_doc_metrics(doc).unwrap().into_iter().map(|d| d.name).collect();
+        assert_eq!(names, ["serve.queries", "parallel.*"]);
+    }
+
+    #[test]
+    fn missing_markers_and_unbalanced_markers_error() {
+        assert!(extract_doc_metrics("# no markers\n").is_err());
+        assert!(extract_doc_metrics("<!-- metrics-doc:begin -->\n").is_err());
+        assert!(extract_doc_metrics("<!-- metrics-doc:end -->\n").is_err());
+    }
+
+    #[test]
+    fn glob_match_semantics() {
+        assert!(glob_match("serve.queries", "serve.queries"));
+        assert!(glob_match("parallel.*", "parallel.matmul_320.speedup"));
+        assert!(glob_match("parallel.*.speedup", "parallel.*.speedup"));
+        assert!(glob_match("parallel.*", "parallel.*.speedup"));
+        assert!(!glob_match("parallel.*.speedup", "parallel.threads"));
+        assert!(!glob_match("serve.queries", "serve.queries_per_sec"));
+    }
+
+    #[test]
+    fn diff_reports_both_directions_once_per_name() {
+        let code = vec![
+            CodeMetric {
+                name: "a.x".into(),
+                kind: "gauge",
+                path: "crates/serve/src/x.rs".into(),
+                line: 3,
+            },
+            CodeMetric {
+                name: "a.x".into(),
+                kind: "gauge",
+                path: "crates/serve/src/y.rs".into(),
+                line: 9,
+            },
+            CodeMetric {
+                name: "b.y".into(),
+                kind: "counter",
+                path: "crates/fdm/src/x.rs".into(),
+                line: 1,
+            },
+        ];
+        let doc = vec![
+            DocMetric { name: "b.y".into(), line: 10 },
+            DocMetric { name: "c.stale".into(), line: 11 },
+        ];
+        let failures = diff(&code, &doc);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("`a.x` is not documented"), "{}", failures[0]);
+        assert!(failures[0].contains("x.rs:3"), "{}", failures[0]);
+        assert!(failures[1].contains("`c.stale`"), "{}", failures[1]);
+    }
+
+    #[test]
+    fn span_with_parent_sites_do_not_double_count() {
+        let sources = vec![src(
+            "crates/serve/src/x.rs",
+            "fn f() { let _s = telemetry::span_with_parent(\"serve.worker\", None); }\n",
+        )];
+        let (code, problems) = extract_code_metrics(&sources);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(code.len(), 1, "{code:?}");
+        assert_eq!(code[0].name, "serve.worker.seconds");
+    }
+}
