@@ -6,9 +6,16 @@
 //! repeated-design request stream, and writes queries/sec, cache hit
 //! rate, and the batched-vs-naive speedups to `BENCH_serve.json`.
 //!
+//! A final overload phase drives the concurrent [`ServeFrontend`] with an
+//! open-loop Zipf-popularity request schedule at 1× and 2× of measured
+//! capacity, recording shed rate, served-latency quantiles, and the queue
+//! high-watermark as `serve.overload.*` gauges — `benchcheck` holds the 2×
+//! run to a nonzero shed rate and a queue depth bounded by its capacity.
+//!
 //! ```text
 //! cargo run --release -p deepoheat-bench --bin serve_throughput -- \
-//!     [--quick] [--points N] [--designs N] [--rounds N] [--repeats N]
+//!     [--quick] [--points N] [--designs N] [--rounds N] [--repeats N] \
+//!     [--shards N] [--overload-points N] [--overload-requests N]
 //! ```
 //!
 //! The naive column evaluates every branch net *and* the trunk once per
@@ -25,7 +32,7 @@ use deepoheat::{DeepOHeat, DeepOHeatConfig};
 use deepoheat_bench::{init_telemetry, run_or_exit, Args, BenchError};
 use deepoheat_linalg::Matrix;
 use deepoheat_parallel as parallel;
-use deepoheat_serve::{InferenceEngine, ServeOptions};
+use deepoheat_serve::{FrontendOptions, InferenceEngine, ServeError, ServeFrontend, ServeOptions};
 use deepoheat_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -226,6 +233,173 @@ fn run() -> Result<(), BenchError> {
             latency.count
         );
     }
+
+    // --- 6 · overload: open-loop Zipf load against the front-end -----------
+    // Measures what the admission layer does when arrivals outrun service:
+    // at 1× the measured capacity the queue should stay shallow; at 2× the
+    // bounded queues must shed (typed `Overloaded`) rather than grow, and
+    // the tail latency of *served* requests stays bounded by queue depth ×
+    // service time. `benchcheck` gates the 2× shed rate (must be nonzero),
+    // the p99.9, and the queue high-watermark (structurally ≤ capacity).
+    let overload_points = args.get_usize("overload-points", if quick { 128 } else { 256 })?;
+    let overload_requests = args.get_usize("overload-requests", if quick { 200 } else { 400 })?;
+    let shards = args.get_usize("shards", 2)?;
+    let queue_capacity = 16;
+    let small_coords = query_points(overload_points);
+    let frontend_options = || FrontendOptions {
+        shards,
+        queue_capacity,
+        retry_backoff_micros: 0,
+        engine: ServeOptions { cache_capacity: n_designs, ..ServeOptions::default() },
+        ..FrontendOptions::default()
+    };
+
+    // Correctness gate first: front-end answers must be bit-identical to
+    // the single-caller engine before any overload timing is trusted.
+    let mut reference = InferenceEngine::new(m.clone(), frontend_options().engine)?;
+    let mut probe_frontend = ServeFrontend::new(m.clone(), frontend_options())?;
+    for (i, map) in maps.iter().enumerate() {
+        let expect = reference.predict(&[map], &small_coords)?;
+        let served = probe_frontend.call(&[map], &small_coords)?;
+        if expect.as_slice() != served.values.as_slice() {
+            return Err(format!(
+                "front-end result diverges from the single-caller engine for design {i}"
+            )
+            .into());
+        }
+    }
+    println!(
+        "correctness: front-end == single-caller engine, bitwise ({n_designs} designs, \
+         {shards} shard(s))"
+    );
+
+    // Capacity estimate: warm closed-loop service rate through the
+    // front-end (queue + completion overhead included). Deliberately NOT
+    // scaled by shard count: Zipf popularity concentrates load on the hot
+    // design's home shard, so the extra shards are headroom for the skew,
+    // not a multiplier. This keeps "1×" sustainable and "2×" overloaded.
+    let capacity_calls = if quick { 40 } else { 80 };
+    let capacity_t0 = Instant::now();
+    for i in 0..capacity_calls {
+        let served = probe_frontend.call(&[&maps[i % n_designs]], &small_coords)?;
+        std::hint::black_box(served.values.as_slice()[0]);
+    }
+    let service_secs = capacity_t0.elapsed().as_secs_f64() / capacity_calls as f64;
+    probe_frontend.shutdown();
+    let capacity_qps = if service_secs > 0.0 { 1.0 / service_secs } else { 1.0 };
+    telemetry::gauge("serve.overload.capacity_qps", capacity_qps);
+    println!(
+        "capacity estimate    {capacity_qps:>9.0} requests/s (closed loop, {:.4}s/request, \
+         {shards} shard(s))",
+        service_secs
+    );
+
+    // Zipf(1.1) design popularity: design 0 is hot, the tail is cold —
+    // the shape a branch-embedding cache sees in practice.
+    let zipf_cdf: Vec<f64> = {
+        let weights: Vec<f64> = (0..n_designs).map(|i| 1.0 / ((i + 1) as f64).powf(1.1)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect()
+    };
+
+    struct Overload {
+        shed_rate: f64,
+        p50: f64,
+        p99: f64,
+        p999: f64,
+        max_depth: usize,
+        served: usize,
+    }
+    let run_overload = |label: &str, rate_qps: f64| -> Result<Overload, BenchError> {
+        let mut frontend = ServeFrontend::new(m.clone(), frontend_options())?;
+        // Warm every design's home shard so the run measures admission
+        // behaviour, not first-touch encode cost.
+        for map in &maps {
+            frontend.call(&[map], &small_coords)?;
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let interarrival = 1.0 / rate_qps;
+        let mut tickets = Vec::with_capacity(overload_requests);
+        let mut shed = 0usize;
+        let t0 = Instant::now();
+        for i in 0..overload_requests {
+            // Open-loop arrivals: the schedule does not slow down when the
+            // server falls behind — that is the whole point.
+            let target = interarrival * i as f64;
+            while t0.elapsed().as_secs_f64() < target {
+                std::hint::spin_loop();
+            }
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let design = zipf_cdf.iter().position(|&c| u <= c).unwrap_or(n_designs - 1);
+            match frontend.submit(&[&maps[design]], &small_coords) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(ServeError::Overloaded { .. } | ServeError::DeadlineExceeded { .. }) => {
+                    shed += 1;
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+        let mut latencies = Vec::with_capacity(tickets.len());
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(served) => latencies.push(served.total_micros as f64 * 1e-6),
+                Err(ServeError::Overloaded { .. } | ServeError::DeadlineExceeded { .. }) => {
+                    shed += 1;
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+        let max_depth = frontend.queue_max_depth();
+        frontend.shutdown();
+        latencies.sort_by(f64::total_cmp);
+        let quantile = |q: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+            latencies[idx]
+        };
+        let result = Overload {
+            shed_rate: shed as f64 / overload_requests as f64,
+            p50: quantile(0.50),
+            p99: quantile(0.99),
+            p999: quantile(0.999),
+            max_depth,
+            served: latencies.len(),
+        };
+        println!(
+            "overload {label:<4} {rate_qps:>7.0} req/s   shed {:>5.1}%   p50 {:.4}s   \
+             p99 {:.4}s   p99.9 {:.4}s   queue high-water {:>2}   ({} served)",
+            100.0 * result.shed_rate,
+            result.p50,
+            result.p99,
+            result.p999,
+            result.max_depth,
+            result.served,
+        );
+        Ok(result)
+    };
+
+    let at_1x = run_overload("1x", capacity_qps)?;
+    telemetry::gauge("serve.overload.1x.shed_rate", at_1x.shed_rate);
+    telemetry::gauge("serve.overload.1x.p50_seconds", at_1x.p50);
+    telemetry::gauge("serve.overload.1x.p99_seconds", at_1x.p99);
+    telemetry::gauge("serve.overload.1x.p999_seconds", at_1x.p999);
+    telemetry::gauge("serve.overload.1x.queue_max_depth", at_1x.max_depth as f64);
+
+    let at_2x = run_overload("2x", 2.0 * capacity_qps)?;
+    telemetry::gauge("serve.overload.2x.shed_rate", at_2x.shed_rate);
+    telemetry::gauge("serve.overload.2x.p50_seconds", at_2x.p50);
+    telemetry::gauge("serve.overload.2x.p99_seconds", at_2x.p99);
+    telemetry::gauge("serve.overload.2x.p999_seconds", at_2x.p999);
+    telemetry::gauge("serve.overload.2x.queue_max_depth", at_2x.max_depth as f64);
 
     println!("\nthreads = {threads} (set DEEPOHEAT_NUM_THREADS to override)");
     println!("manifest: BENCH_serve.json");

@@ -17,13 +17,15 @@ use crate::{axpy, dot, norm2, CsrMatrix, LinalgError};
 ///
 /// Implementations must represent a symmetric positive-definite operator for
 /// CG to remain valid.
+///
+/// # Contract
+///
+/// `r` and `z` must both have the operator's dimension. The CG driver is
+/// the only in-tree caller and always sizes both buffers from the system
+/// it validated, so the bundled implementations check the lengths with
+/// `debug_assert_eq!` only — the release solve path stays panic-free.
 pub trait Preconditioner {
     /// Applies the preconditioner, writing `z ≈ A⁻¹ r` into `z`.
-    ///
-    /// # Panics
-    ///
-    /// Implementations may panic if `r.len() != z.len()` or the lengths do
-    /// not match the operator dimension.
     fn apply(&self, r: &[f64], z: &mut [f64]);
 }
 
@@ -74,7 +76,7 @@ impl JacobiPreconditioner {
 
 impl Preconditioner for JacobiPreconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        assert_eq!(r.len(), self.inv_diag.len(), "jacobi: residual length mismatch");
+        debug_assert_eq!(r.len(), self.inv_diag.len(), "jacobi: residual length mismatch");
         for ((zi, &ri), &di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
             *zi = ri * di;
         }
@@ -121,7 +123,7 @@ impl SsorPreconditioner {
 impl Preconditioner for SsorPreconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         let n = self.diag.len();
-        assert_eq!(r.len(), n, "ssor: residual length mismatch");
+        debug_assert_eq!(r.len(), n, "ssor: residual length mismatch");
         let w = self.omega;
         // Forward sweep: (D/ω + L) y = r.
         let mut y = vec![0.0; n];

@@ -257,8 +257,8 @@ impl IncompleteCholesky {
 impl crate::Preconditioner for IncompleteCholesky {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         let n = self.diag.len();
-        assert_eq!(r.len(), n, "ic0: residual length mismatch");
-        assert_eq!(z.len(), n, "ic0: output length mismatch");
+        debug_assert_eq!(r.len(), n, "ic0: residual length mismatch");
+        debug_assert_eq!(z.len(), n, "ic0: output length mismatch");
         // Forward substitution L y = r (row-oriented), reusing `z` as `y`.
         for i in 0..n {
             let mut acc = r[i];

@@ -345,6 +345,72 @@ pub fn run_scope(jobs: Vec<Job<'_>>) {
 }
 
 // ---------------------------------------------------------------------------
+// Long-lived services
+// ---------------------------------------------------------------------------
+
+/// Owner of one long-lived service thread started by [`spawn_service`].
+///
+/// Dropping the handle joins the thread, so a service must have an
+/// external shutdown signal (closed queue, flag, …) that its loop observes
+/// before the handle is dropped — the handle itself carries no way to
+/// interrupt the closure. A panic inside the service is contained to the
+/// service thread; [`ServiceHandle::join`] reports it as `true` instead of
+/// propagating.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    name: String,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The name the service was spawned with.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Waits for the service to finish. Returns `true` when the service
+    /// panicked, `false` when it returned normally. Idempotent via
+    /// consumption: the handle is gone afterwards.
+    pub fn join(mut self) -> bool {
+        match self.handle.take() {
+            Some(h) => h.join().is_err(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            // Swallow the panic payload: drop-time joins run on unwind
+            // paths where a second panic would abort the process.
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns a named long-lived OS thread outside the scoped pool.
+///
+/// The pool above serves *fork-join* parallelism; services (shard workers,
+/// background drains) need a thread that outlives any one scope. This
+/// crate is the only one permitted to call [`std::thread::spawn`] (the
+/// determinism lints enforce that), so service threads are minted here and
+/// handed out as [`ServiceHandle`]s. The service closure may freely use
+/// the scoped helpers; it runs as an ordinary external submitter, not a
+/// pool worker.
+pub fn spawn_service<F>(name: &str, f: F) -> ServiceHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let builder = thread::Builder::new().name(name.to_string());
+    let handle = builder
+        .spawn(f)
+        .expect("invariant: OS refused to spawn a service thread (resource exhaustion)");
+    ServiceHandle { name: name.to_string(), handle: Some(handle) }
+}
+
+// ---------------------------------------------------------------------------
 // Deterministic chunked helpers
 // ---------------------------------------------------------------------------
 
@@ -592,5 +658,36 @@ mod tests {
             run_scope(jobs);
         });
         assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn service_runs_named_and_joins_cleanly() {
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let svc = spawn_service("svc-test", move || {
+            assert_eq!(thread::current().name(), Some("svc-test"));
+            hits2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(svc.name(), "svc-test");
+        assert!(!svc.join(), "service returned normally");
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn service_panic_is_contained_and_reported() {
+        let svc = spawn_service("svc-panic", || panic!("deliberate test panic"));
+        assert!(svc.join(), "join reports the panic");
+        // Drop-time join of a panicked service must not propagate either.
+        let svc = spawn_service("svc-panic-drop", || panic!("deliberate test panic"));
+        drop(svc);
+    }
+
+    #[test]
+    fn service_can_use_scoped_helpers() {
+        let svc = spawn_service("svc-pool", || {
+            let total = par_reduce(100, 16, |r| r.map(|i| i as f64).sum());
+            assert!((total - 4950.0).abs() < 1e-12);
+        });
+        assert!(!svc.join());
     }
 }

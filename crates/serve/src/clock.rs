@@ -1,0 +1,79 @@
+//! Injectable time source for deadline bookkeeping.
+//!
+//! The determinism lints confine `std::time::Instant` to the telemetry
+//! crate, and the chaos harness needs replayable deadlines anyway, so the
+//! front-end reads time through a [`Clock`] trait: [`WallClock`] delegates
+//! to [`deepoheat_telemetry::monotonic_micros`] in production, and
+//! [`ManualClock`] lets tests advance time by hand so a "deadline expired
+//! in the queue" scenario is a deterministic fact rather than a race.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonic microsecond clock the front-end stamps admissions and
+/// checks deadlines against. Implementations must be monotonic
+/// (non-decreasing across calls, from any thread).
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Microseconds since an arbitrary fixed epoch.
+    fn now_micros(&self) -> u64;
+}
+
+/// Production clock: the process-wide monotonic clock exported by the
+/// telemetry crate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        deepoheat_telemetry::monotonic_micros()
+    }
+}
+
+/// Test clock that only moves when told to. Clones share the same
+/// underlying counter, so a handle kept by the test advances the time the
+/// front-end's workers observe.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start` microseconds.
+    #[must_use]
+    pub fn new(start: u64) -> Self {
+        ManualClock { micros: Arc::new(AtomicU64::new(start)) }
+    }
+
+    /// Advances the clock by `delta` microseconds.
+    pub fn advance(&self, delta: u64) {
+        self.micros.fetch_add(delta, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_clones_share_time() {
+        let clock = ManualClock::new(5);
+        let view: &dyn Clock = &clock.clone();
+        assert_eq!(view.now_micros(), 5);
+        clock.advance(37);
+        assert_eq!(view.now_micros(), 42);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock;
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+}

@@ -14,6 +14,32 @@ pub enum ServeError {
     },
     /// The underlying model evaluation failed.
     Model(DeepOHeatError),
+    /// The request was shed because the target shard's admission queue
+    /// was full — the typed backpressure signal; callers should back off
+    /// and resubmit.
+    Overloaded {
+        /// Shard whose queue refused the request.
+        shard: usize,
+        /// Queue depth observed at rejection time.
+        depth: usize,
+    },
+    /// The request's deadline expired before a result was produced.
+    DeadlineExceeded {
+        /// Pipeline stage that observed the expiry (`"admission"`,
+        /// `"queue"`, or `"trunk"`).
+        stage: &'static str,
+    },
+    /// A shard kept failing past the retry budget.
+    ShardFailed {
+        /// Shard that served the final attempt.
+        shard: usize,
+        /// Total attempts made (initial try plus retries).
+        attempts: u32,
+        /// Description of the last failure.
+        what: String,
+    },
+    /// The front-end is shutting down and no longer admits requests.
+    ShuttingDown,
 }
 
 impl fmt::Display for ServeError {
@@ -21,6 +47,16 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::InvalidOptions { what } => write!(f, "invalid serve options: {what}"),
             ServeError::Model(e) => write!(f, "model evaluation failure: {e}"),
+            ServeError::Overloaded { shard, depth } => {
+                write!(f, "overloaded: shard {shard} admission queue full at depth {depth}")
+            }
+            ServeError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded during {stage}")
+            }
+            ServeError::ShardFailed { shard, attempts, what } => {
+                write!(f, "shard {shard} failed after {attempts} attempt(s): {what}")
+            }
+            ServeError::ShuttingDown => write!(f, "serving front-end is shutting down"),
         }
     }
 }
@@ -29,7 +65,7 @@ impl Error for ServeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ServeError::Model(e) => Some(e),
-            ServeError::InvalidOptions { .. } => None,
+            _ => None,
         }
     }
 }
@@ -49,6 +85,10 @@ mod tests {
         let errors = [
             ServeError::InvalidOptions { what: "zero cache capacity".into() },
             ServeError::Model(DeepOHeatError::InputMismatch { what: "bad".into() }),
+            ServeError::Overloaded { shard: 1, depth: 16 },
+            ServeError::DeadlineExceeded { stage: "queue" },
+            ServeError::ShardFailed { shard: 0, attempts: 3, what: "injected".into() },
+            ServeError::ShuttingDown,
         ];
         for e in errors {
             let s = e.to_string();

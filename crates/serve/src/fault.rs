@@ -1,0 +1,204 @@
+//! Deterministic serve-layer fault injection.
+//!
+//! Extends the PR-2 training-side `FaultPlan` idea (faults keyed by step
+//! index, fire-once semantics) to the request pipeline: a
+//! [`ServeFaultPlan`] names, **per request id and per pipeline stage**,
+//! which attempts fail. Request ids are assigned in admission order
+//! starting at 0, so a plan is a pure function of the request sequence —
+//! the same plan against the same sequence injects the identical faults,
+//! at any thread count, which is what makes a chaos run replayable.
+//!
+//! Stages mirror the pipeline: *admission* (the front door refuses the
+//! request), *encode* / *trunk* (the model phases fail transiently),
+//! *shard* (the worker fails before touching the engine, feeding the
+//! circuit breaker). A `hold` set additionally parks matching requests at
+//! a gate before the encode phase until [released], letting tests fill a
+//! queue to a known depth and observe shedding without timing races.
+//!
+//! [released]: crate::ServeFrontend::release_holds
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The pipeline stage a fault fires in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChaosStage {
+    /// Reject at the admission gate (typed `Overloaded` rejection).
+    Admission,
+    /// Fail the branch-encode phase (transient; retried).
+    Encode,
+    /// Fail the trunk-evaluation phase (transient; retried).
+    Trunk,
+    /// Fail the shard before any model work (transient; retried) — the
+    /// canonical circuit-breaker food.
+    Shard,
+}
+
+/// Attempts `0..n` of a request fail; [`ALWAYS`](ServeFaultPlan::ALWAYS)
+/// makes every attempt fail (a persistently broken request/shard).
+type FailingAttempts = u32;
+
+/// A replayable serve-layer fault schedule, keyed by request id.
+///
+/// Maps use `BTreeMap`/`BTreeSet` so iteration (and hence `Debug` output
+/// and equality) is deterministic, matching the workspace hash-container
+/// lint for result-producing crates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    /// Request ids rejected at admission (the value is ignored beyond
+    /// being present; admission has exactly one attempt).
+    pub admission_reject: BTreeSet<u64>,
+    /// Request id → number of leading attempts whose encode phase fails.
+    pub encode_fail: BTreeMap<u64, FailingAttempts>,
+    /// Request id → number of leading attempts whose trunk phase fails.
+    pub trunk_fail: BTreeMap<u64, FailingAttempts>,
+    /// Request id → number of leading attempts that fail at the shard
+    /// boundary, before any engine work.
+    pub shard_fail: BTreeMap<u64, FailingAttempts>,
+    /// Request ids held at the pre-encode gate until the front-end's
+    /// holds are released (or shutdown releases them).
+    pub hold: BTreeSet<u64>,
+}
+
+impl ServeFaultPlan {
+    /// Sentinel: every attempt of the request fails at that stage.
+    pub const ALWAYS: u32 = u32::MAX;
+
+    /// A plan injecting nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        ServeFaultPlan::default()
+    }
+
+    /// True when the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.admission_reject.is_empty()
+            && self.encode_fail.is_empty()
+            && self.trunk_fail.is_empty()
+            && self.shard_fail.is_empty()
+            && self.hold.is_empty()
+    }
+
+    /// Derives a pseudo-random plan for `requests` request ids from a
+    /// seed: roughly `fault_percent`% of ids get a fault, spread over the
+    /// four stages, with every seventh faulted id made persistent
+    /// ([`ALWAYS`](Self::ALWAYS)) so retry exhaustion is exercised too.
+    /// Pure function of its arguments — same seed, same plan — and never
+    /// emits holds (holds are for hand-built scenarios).
+    #[must_use]
+    pub fn from_seed(seed: u64, requests: u64, fault_percent: u8) -> Self {
+        let mut plan = ServeFaultPlan::default();
+        // xorshift64*: tiny, deterministic, and good enough to scatter
+        // faults; a zero state would be a fixed point, so displace it.
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        if state == 0 {
+            state = 0x2545_F491_4F6C_DD1D;
+        }
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut faulted = 0u64;
+        for id in 0..requests {
+            let roll = next();
+            if roll % 100 >= u64::from(fault_percent.min(100)) {
+                continue;
+            }
+            faulted += 1;
+            let attempts = if faulted.is_multiple_of(7) { Self::ALWAYS } else { 1 };
+            match (roll >> 8) % 4 {
+                0 => {
+                    plan.admission_reject.insert(id);
+                }
+                1 => {
+                    plan.encode_fail.insert(id, attempts);
+                }
+                2 => {
+                    plan.trunk_fail.insert(id, attempts);
+                }
+                _ => {
+                    plan.shard_fail.insert(id, attempts);
+                }
+            }
+        }
+        plan
+    }
+
+    /// Does `stage` fail for attempt `attempt` of request `id`?
+    #[must_use]
+    pub fn fails(&self, stage: ChaosStage, id: u64, attempt: u32) -> bool {
+        let map = match stage {
+            ChaosStage::Admission => return self.admission_reject.contains(&id),
+            ChaosStage::Encode => &self.encode_fail,
+            ChaosStage::Trunk => &self.trunk_fail,
+            ChaosStage::Shard => &self.shard_fail,
+        };
+        map.get(&id).is_some_and(|&n| attempt < n)
+    }
+
+    /// Is the request parked at the pre-encode gate?
+    #[must_use]
+    pub fn holds(&self, id: u64) -> bool {
+        self.hold.contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = ServeFaultPlan::none();
+        assert!(plan.is_empty());
+        for stage in
+            [ChaosStage::Admission, ChaosStage::Encode, ChaosStage::Trunk, ChaosStage::Shard]
+        {
+            assert!(!plan.fails(stage, 0, 0));
+        }
+        assert!(!plan.holds(3));
+    }
+
+    #[test]
+    fn leading_attempts_fail_then_recover() {
+        let mut plan = ServeFaultPlan::none();
+        plan.encode_fail.insert(4, 2);
+        assert!(plan.fails(ChaosStage::Encode, 4, 0));
+        assert!(plan.fails(ChaosStage::Encode, 4, 1));
+        assert!(!plan.fails(ChaosStage::Encode, 4, 2));
+        assert!(!plan.fails(ChaosStage::Encode, 5, 0));
+        plan.shard_fail.insert(9, ServeFaultPlan::ALWAYS);
+        assert!(plan.fails(ChaosStage::Shard, 9, 1_000_000));
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_rate_shaped() {
+        let a = ServeFaultPlan::from_seed(42, 500, 20);
+        let b = ServeFaultPlan::from_seed(42, 500, 20);
+        assert_eq!(a, b, "same seed replays the identical plan");
+        assert_ne!(a, ServeFaultPlan::from_seed(43, 500, 20));
+        let faults = a.admission_reject.len()
+            + a.encode_fail.len()
+            + a.trunk_fail.len()
+            + a.shard_fail.len();
+        // ~20% of 500; wide deterministic band.
+        assert!((50..=150).contains(&faults), "fault count {faults} out of band");
+        assert!(a.hold.is_empty(), "seeded plans never hold");
+        assert!(ServeFaultPlan::from_seed(7, 100, 0).is_empty());
+    }
+
+    #[test]
+    fn seeded_plan_includes_persistent_faults() {
+        let plan = ServeFaultPlan::from_seed(1, 2_000, 30);
+        let persistent = plan
+            .encode_fail
+            .values()
+            .chain(plan.trunk_fail.values())
+            .chain(plan.shard_fail.values())
+            .filter(|&&n| n == ServeFaultPlan::ALWAYS)
+            .count();
+        assert!(persistent > 0, "large plans exercise retry exhaustion");
+    }
+}

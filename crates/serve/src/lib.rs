@@ -28,6 +28,18 @@
 //! [`deepoheat_telemetry`] when a recorder is installed, and is free of
 //! overhead otherwise.
 //!
+//! # Concurrent front-end
+//!
+//! [`ServeFrontend`] layers an overload-safe concurrent request path over
+//! N sharded engines: content-hash routing to per-shard caches, bounded
+//! admission queues with typed [`ServeError::Overloaded`] shedding,
+//! per-request deadlines propagated into trunk chunking
+//! ([`ServeError::DeadlineExceeded`]), retry with bounded backoff for
+//! transient shard errors, and per-shard circuit breakers that reroute
+//! around an unhealthy shard with a [`Served::degraded`] flag. The whole
+//! pipeline is chaos-testable through a deterministic, replayable
+//! [`ServeFaultPlan`]; see the [`frontend`] module docs for the contract.
+//!
 //! ```
 //! use deepoheat::{DeepOHeat, DeepOHeatConfig};
 //! use deepoheat_linalg::Matrix;
@@ -52,11 +64,18 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod clock;
 mod engine;
 mod error;
+mod fault;
+pub mod frontend;
+mod queue;
 
 pub use cache::{CacheKey, CacheStats, EmbeddingCache};
+pub use clock::{Clock, ManualClock, WallClock};
 pub use engine::{InferenceEngine, ServeOptions};
 pub use error::ServeError;
+pub use fault::{ChaosStage, ServeFaultPlan};
+pub use frontend::{FrontendOptions, FrontendStats, ServeFrontend, Served, Ticket};
 
 pub use deepoheat::BranchEmbedding;

@@ -1,0 +1,156 @@
+//! Bounded MPSC admission queue with explicit backpressure.
+//!
+//! The overload contract of the front-end lives here: a queue never grows
+//! past its capacity, a full queue rejects at the door (`try_push` hands
+//! the item back so the caller can shed with a typed error), and closing
+//! the queue wakes every blocked consumer so shutdown cannot hang.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a [`BoundedQueue::try_push`] was refused; the rejected item rides
+/// along so the producer can complete it with a typed error.
+#[derive(Debug)]
+pub(crate) enum PushRefused<T> {
+    /// The queue is at capacity — shed the request.
+    Full(T),
+    /// The queue was closed — the front-end is shutting down.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    max_depth: usize,
+}
+
+/// A capacity-bounded FIFO shared between submitters and one shard worker.
+#[derive(Debug)]
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false, max_depth: 0 }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Mutex poisoning only happens when a holder panicked; the queue's
+    /// state is a plain FIFO that every critical section leaves
+    /// consistent, so we recover the guard instead of propagating a panic
+    /// into the serving path.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `item` unless the queue is full or closed. On success
+    /// returns the depth *after* the push (for queue-depth telemetry).
+    pub(crate) fn try_push(&self, item: T) -> Result<usize, PushRefused<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushRefused::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushRefused::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        inner.max_depth = inner.max_depth.max(depth);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed **and**
+    /// drained; `None` means the consumer should exit. Closing never
+    /// discards queued items — they are handed out first so every admitted
+    /// request still resolves.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue and wakes every blocked consumer.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current depth.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// High-watermark depth observed since construction.
+    pub(crate) fn max_depth(&self) -> usize {
+        self.lock().max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_depth_tracking() {
+        let q = BoundedQueue::new(3);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn full_queue_hands_the_item_back() {
+        let q = BoundedQueue::new(1);
+        assert!(q.try_push(10).is_ok());
+        match q.try_push(11) {
+            Err(PushRefused::Full(item)) => assert_eq!(item, 11),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").ok();
+        q.close();
+        match q.try_push("b") {
+            Err(PushRefused::Closed(item)) => assert_eq!(item, "b"),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // The queued item survives the close; only then does pop end.
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let q = std::sync::Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = std::sync::Arc::clone(&q);
+        let svc = deepoheat_parallel::spawn_service("queue-test-pop", move || {
+            assert_eq!(q2.pop(), None);
+        });
+        // Give the consumer a moment to park, then close.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert!(!svc.join(), "consumer exited cleanly");
+    }
+}

@@ -1,0 +1,431 @@
+//! Deterministic chaos suite for the concurrent serving front-end.
+//!
+//! Contract under test (ISSUE 7): with faults injected at every pipeline
+//! stage — admission, encode, trunk-eval, shard — the front-end never
+//! hangs or deadlocks. Every request resolves to a result, a typed
+//! rejection, or a flagged degraded result; the same seed replays the
+//! identical fault sequence and outcome; and every successful answer is
+//! bit-identical to the single-caller engine.
+//!
+//! Every test body runs under a watchdog that aborts the process on
+//! timeout, so a hang is a loud CI failure, not a stuck job.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use deepoheat::{DeepOHeat, DeepOHeatConfig};
+use deepoheat_linalg::Matrix;
+use deepoheat_serve::{
+    FrontendOptions, ManualClock, ServeError, ServeFaultPlan, ServeFrontend, ServeOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seconds a single test body may run before the watchdog kills the
+/// whole process. Generous: these tests finish in well under a second.
+const WATCHDOG_SECS: u64 = 120;
+
+/// Runs `f` on a helper thread and aborts the process if it does not
+/// finish in time — the "zero hangs" assertion the CI chaos job relies
+/// on. Panics from `f` propagate to the test harness as usual.
+fn with_watchdog<T: Send + 'static>(name: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let result = f();
+        let _ = tx.send(());
+        result
+    });
+    match rx.recv_timeout(Duration::from_secs(WATCHDOG_SECS)) {
+        Ok(()) => match worker.join() {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        },
+        Err(_) => {
+            eprintln!("watchdog: chaos test {name} exceeded {WATCHDOG_SECS}s; aborting process");
+            std::process::abort();
+        }
+    }
+}
+
+fn model() -> DeepOHeat {
+    let cfg = DeepOHeatConfig::single_branch(4, &[8], &[8], 6);
+    let mut rng = StdRng::seed_from_u64(7);
+    DeepOHeat::new(&cfg, &mut rng).expect("config is valid")
+}
+
+fn design(i: usize) -> Matrix {
+    Matrix::from_fn(1, 4, |_, j| 0.05 * (i as f64 + 1.0) + 0.1 * j as f64)
+}
+
+fn coords() -> Matrix {
+    Matrix::from_fn(23, 3, |i, j| (i as f64).mul_add(0.04, j as f64 * 0.2))
+}
+
+fn base_options() -> FrontendOptions {
+    FrontendOptions { retry_backoff_micros: 0, ..FrontendOptions::default() }
+}
+
+/// Compact, comparable summary of one request's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Served { degraded: bool, attempts: u32, checksum: u64 },
+    Rejected(String),
+}
+
+fn checksum(values: &Matrix) -> u64 {
+    values
+        .as_slice()
+        .iter()
+        .fold(values.as_slice().len() as u64, |acc, v| acc.rotate_left(7) ^ v.to_bits())
+}
+
+fn outcome_of(result: Result<deepoheat_serve::Served, ServeError>) -> Outcome {
+    match result {
+        Ok(served) => Outcome::Served {
+            degraded: served.degraded,
+            attempts: served.attempts,
+            checksum: checksum(&served.values),
+        },
+        Err(e) => Outcome::Rejected(e.to_string()),
+    }
+}
+
+#[test]
+fn faults_at_every_stage_every_request_resolves() {
+    with_watchdog("faults_at_every_stage_every_request_resolves", || {
+        const REQUESTS: usize = 60;
+        let m = model();
+        let queries = coords();
+        let expected: Vec<Matrix> = (0..5)
+            .map(|i| m.predict(&[&design(i)], &queries).expect("reference predict"))
+            .collect();
+        let plan = ServeFaultPlan::from_seed(97, REQUESTS as u64, 40);
+        assert!(!plan.is_empty(), "seeded plan injects faults");
+        let opts = FrontendOptions {
+            shards: 2,
+            queue_capacity: 256,
+            max_retries: 2,
+            faults: plan,
+            ..base_options()
+        };
+        let frontend = ServeFrontend::new(m, opts).expect("valid options");
+        // Pipelined submission: admission on this thread, service on the
+        // shard workers, waits interleaved afterwards.
+        let mut pending = Vec::new();
+        for r in 0..REQUESTS {
+            let input = design(r % 5);
+            match frontend.submit(&[&input], &queries) {
+                Ok(ticket) => pending.push((r, Some(ticket))),
+                Err(e) => {
+                    assert!(
+                        matches!(e, ServeError::Overloaded { .. }),
+                        "admission rejection must be typed overload, got {e}"
+                    );
+                    pending.push((r, None));
+                }
+            }
+        }
+        let mut served = 0u64;
+        let mut rejected = 0u64;
+        for (r, ticket) in pending {
+            match ticket {
+                None => rejected += 1,
+                Some(ticket) => match ticket.wait() {
+                    Ok(response) => {
+                        assert_eq!(
+                            response.values.as_slice(),
+                            expected[r % 5].as_slice(),
+                            "request {r}: served values must be bit-identical"
+                        );
+                        served += 1;
+                    }
+                    Err(
+                        ServeError::Overloaded { .. }
+                        | ServeError::DeadlineExceeded { .. }
+                        | ServeError::ShardFailed { .. }
+                        | ServeError::ShuttingDown,
+                    ) => rejected += 1,
+                    Err(other) => panic!("request {r}: untyped rejection {other}"),
+                },
+            }
+        }
+        assert_eq!(served + rejected, REQUESTS as u64, "every request resolved");
+        assert!(served > 0, "most requests survive a 40% fault rate");
+        let stats = frontend.stats();
+        assert_eq!(stats.submitted, REQUESTS as u64);
+        assert_eq!(stats.served, served);
+        assert!(stats.shard_failures > 0, "plan injected transient failures");
+    });
+}
+
+#[test]
+fn same_seed_replays_identical_outcomes() {
+    with_watchdog("same_seed_replays_identical_outcomes", || {
+        const REQUESTS: usize = 48;
+        let run = |seed: u64| -> Vec<Outcome> {
+            let plan = ServeFaultPlan::from_seed(seed, REQUESTS as u64, 35);
+            let opts =
+                FrontendOptions { shards: 2, max_retries: 1, faults: plan, ..base_options() };
+            let frontend = ServeFrontend::new(model(), opts).expect("valid options");
+            let queries = coords();
+            // Sequential calls: the outcome stream is then a pure
+            // function of (model, plan, request sequence).
+            (0..REQUESTS).map(|r| outcome_of(frontend.call(&[&design(r % 4)], &queries))).collect()
+        };
+        let first = run(1234);
+        let second = run(1234);
+        assert_eq!(first, second, "same seed must replay identical outcomes");
+        let other = run(4321);
+        assert_ne!(first, other, "different seed produces a different sequence");
+        assert!(
+            first.iter().any(|o| matches!(o, Outcome::Rejected(_))),
+            "the replayed sequence includes typed rejections"
+        );
+        assert!(
+            first.iter().any(|o| matches!(o, Outcome::Served { .. })),
+            "the replayed sequence includes successes"
+        );
+    });
+}
+
+#[test]
+fn deadline_expiry_is_scripted_by_the_manual_clock() {
+    with_watchdog("deadline_expiry_is_scripted_by_the_manual_clock", || {
+        let clock = ManualClock::new(0);
+        let mut plan = ServeFaultPlan::none();
+        plan.hold.insert(0); // first request parks at the pre-encode gate
+        let opts = FrontendOptions { shards: 1, faults: plan, ..base_options() };
+        let frontend = ServeFrontend::new_with_clock(model(), opts, Arc::new(clock.clone()))
+            .expect("valid options");
+        let input = design(0);
+        let queries = coords();
+
+        // Request 0: held at the gate, no deadline — must survive.
+        let held = frontend.submit(&[&input], &queries).expect("admitted");
+        // Request 1: 1ms budget, queued behind the held request.
+        let doomed =
+            frontend.submit_with_budget(&[&input], &queries, Some(1_000)).expect("admitted");
+        // Let the budget lapse while everything is parked, then release.
+        clock.advance(2_000);
+        frontend.release_holds();
+
+        let ok = held.wait().expect("held request completes after release");
+        assert!(!ok.degraded);
+        let err = doomed.wait().expect_err("expired in queue");
+        assert!(matches!(err, ServeError::DeadlineExceeded { stage: "queue" }), "got {err}");
+        assert_eq!(frontend.stats().shed_deadline, 1);
+    });
+}
+
+#[test]
+fn full_queue_sheds_with_typed_overload() {
+    with_watchdog("full_queue_sheds_with_typed_overload", || {
+        let mut plan = ServeFaultPlan::none();
+        plan.hold.insert(0); // wedge the only worker open
+        let opts = FrontendOptions { shards: 1, queue_capacity: 2, faults: plan, ..base_options() };
+        let frontend = ServeFrontend::new(model(), opts).expect("valid options");
+        let input = design(3);
+        let queries = coords();
+
+        let wedge = frontend.submit(&[&input], &queries).expect("admitted");
+        // Wait until the worker has dequeued the wedge and parked.
+        while frontend.queue_depths()[0] > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let q1 = frontend.submit(&[&input], &queries).expect("fills slot 1");
+        let q2 = frontend.submit(&[&input], &queries).expect("fills slot 2");
+        let err = frontend.submit(&[&input], &queries).expect_err("queue full");
+        assert!(
+            matches!(err, ServeError::Overloaded { shard: 0, depth: 2 }),
+            "typed backpressure, got {err}"
+        );
+        assert_eq!(frontend.stats().shed_overloaded, 1);
+        assert_eq!(frontend.queue_max_depth(), 2, "bounded at capacity");
+
+        frontend.release_holds();
+        for ticket in [wedge, q1, q2] {
+            assert!(ticket.wait().is_ok(), "queued work still completes");
+        }
+    });
+}
+
+#[test]
+fn admission_faults_reject_at_the_door() {
+    with_watchdog("admission_faults_reject_at_the_door", || {
+        let mut plan = ServeFaultPlan::none();
+        plan.admission_reject.insert(1);
+        let opts = FrontendOptions { shards: 1, faults: plan, ..base_options() };
+        let frontend = ServeFrontend::new(model(), opts).expect("valid options");
+        let queries = coords();
+        assert!(frontend.call(&[&design(0)], &queries).is_ok());
+        let err = frontend.call(&[&design(0)], &queries).expect_err("id 1 rejected");
+        assert!(matches!(err, ServeError::Overloaded { .. }), "got {err}");
+        assert!(frontend.call(&[&design(0)], &queries).is_ok());
+        assert_eq!(frontend.stats().shed_overloaded, 1);
+    });
+}
+
+#[test]
+fn transient_faults_retry_and_recover_bitwise_exact() {
+    with_watchdog("transient_faults_retry_and_recover_bitwise_exact", || {
+        let m = model();
+        let queries = coords();
+        let expected = m.predict(&[&design(0)], &queries).expect("reference predict");
+        let mut plan = ServeFaultPlan::none();
+        plan.shard_fail.insert(0, 1); // first attempt of id 0 fails
+        plan.encode_fail.insert(1, 1);
+        plan.trunk_fail.insert(2, 1);
+        let opts = FrontendOptions { shards: 1, max_retries: 2, faults: plan, ..base_options() };
+        let frontend = ServeFrontend::new(m, opts).expect("valid options");
+        for r in 0..3 {
+            let served = frontend.call(&[&design(0)], &queries).expect("retry succeeds");
+            assert_eq!(served.attempts, 2, "request {r} succeeded on the retry");
+            assert_eq!(
+                served.values.as_slice(),
+                expected.as_slice(),
+                "request {r}: retried answer is bit-identical"
+            );
+        }
+        let stats = frontend.stats();
+        assert_eq!(stats.retries, 3);
+        assert_eq!(stats.shard_failures, 3);
+        assert_eq!(stats.served, 3);
+    });
+}
+
+#[test]
+fn retry_exhaustion_is_a_typed_shard_failure() {
+    with_watchdog("retry_exhaustion_is_a_typed_shard_failure", || {
+        let mut plan = ServeFaultPlan::none();
+        plan.shard_fail.insert(0, ServeFaultPlan::ALWAYS);
+        let opts = FrontendOptions { shards: 1, max_retries: 1, faults: plan, ..base_options() };
+        let frontend = ServeFrontend::new(model(), opts).expect("valid options");
+        let err = frontend.call(&[&design(0)], &coords()).expect_err("budget exhausted");
+        match err {
+            ServeError::ShardFailed { attempts, .. } => assert_eq!(attempts, 2),
+            other => panic!("expected ShardFailed, got {other}"),
+        }
+        let stats = frontend.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.retries, 1);
+    });
+}
+
+#[test]
+fn breaker_opens_reroutes_degraded_then_recovers() {
+    with_watchdog("breaker_opens_reroutes_degraded_then_recovers", || {
+        let m = model();
+        let queries = coords();
+        // A design whose home is shard 0, so the scripted failures land
+        // on a known breaker.
+        let opts_probe = FrontendOptions { shards: 2, ..base_options() };
+        let probe = ServeFrontend::new(m.clone(), opts_probe).expect("valid options");
+        let input = (0..64)
+            .map(design)
+            .find(|d| probe.home_shard(&[d]) == 0)
+            .expect("some design hashes to shard 0");
+        drop(probe);
+        let expected = m.predict(&[&input], &queries).expect("reference predict");
+
+        let mut plan = ServeFaultPlan::none();
+        plan.shard_fail.insert(0, ServeFaultPlan::ALWAYS);
+        plan.shard_fail.insert(1, ServeFaultPlan::ALWAYS);
+        let opts = FrontendOptions {
+            shards: 2,
+            max_retries: 0,
+            breaker_threshold: 2,
+            breaker_cooldown: 1,
+            faults: plan,
+            ..base_options()
+        };
+        let frontend = ServeFrontend::new(m, opts).expect("valid options");
+
+        // ids 0, 1: persistent shard faults -> two consecutive failures
+        // on shard 0 -> breaker opens.
+        for _ in 0..2 {
+            let err = frontend.call(&[&input], &queries).expect_err("scripted failure");
+            assert!(matches!(err, ServeError::ShardFailed { shard: 0, .. }), "got {err}");
+        }
+        assert_eq!(frontend.stats().breaker_opens, 1);
+
+        // id 2: home is open -> rerouted to shard 1, served exactly but
+        // flagged degraded.
+        let served = frontend.call(&[&input], &queries).expect("rerouted");
+        assert!(served.degraded, "reroute must be flagged");
+        assert_eq!(served.shard, 1);
+        assert_eq!(served.home_shard, 0);
+        assert_eq!(served.values.as_slice(), expected.as_slice(), "degraded ≠ inexact");
+
+        // id 3: cooldown elapsed -> probe goes to home, succeeds, breaker
+        // closes; id 4 is plain home traffic again.
+        let probe_served = frontend.call(&[&input], &queries).expect("probe");
+        assert_eq!(probe_served.shard, 0, "probe reaches the home shard");
+        assert!(!probe_served.degraded);
+        let after = frontend.call(&[&input], &queries).expect("recovered");
+        assert_eq!(after.shard, 0);
+        assert!(!after.degraded);
+
+        let stats = frontend.stats();
+        assert_eq!(stats.degraded_served, 1);
+        assert!(stats.reroutes >= 1);
+    });
+}
+
+#[test]
+fn warm_path_is_bit_identical_across_shard_counts() {
+    with_watchdog("warm_path_is_bit_identical_across_shard_counts", || {
+        let m = model();
+        let queries = coords();
+        let designs: Vec<Matrix> = (0..6).map(design).collect();
+        // Single-caller reference engine.
+        let mut engine = deepoheat_serve::InferenceEngine::new(m.clone(), ServeOptions::default())
+            .expect("valid options");
+        let expected: Vec<Matrix> =
+            designs.iter().map(|d| engine.predict(&[d], &queries).expect("reference")).collect();
+        for shards in [1, 2, 4] {
+            let opts = FrontendOptions { shards, ..base_options() };
+            let frontend = ServeFrontend::new(m.clone(), opts).expect("valid options");
+            for round in 0..2 {
+                // Round 0 is cold, round 1 warm (per-shard cache hit);
+                // both must be bitwise identical to the reference.
+                let tickets: Vec<_> = designs
+                    .iter()
+                    .map(|d| frontend.submit(&[d], &queries).expect("admitted"))
+                    .collect();
+                for (i, ticket) in tickets.into_iter().enumerate() {
+                    let served = ticket.wait().expect("served");
+                    assert_eq!(
+                        served.values.as_slice(),
+                        expected[i].as_slice(),
+                        "shards={shards} round={round} design={i}"
+                    );
+                    assert!(!served.degraded);
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn shutdown_resolves_everything_and_is_idempotent() {
+    with_watchdog("shutdown_resolves_everything_and_is_idempotent", || {
+        let mut plan = ServeFaultPlan::none();
+        plan.hold.insert(0);
+        let opts = FrontendOptions { shards: 1, queue_capacity: 8, faults: plan, ..base_options() };
+        let mut frontend = ServeFrontend::new(model(), opts).expect("valid options");
+        let input = design(1);
+        let queries = coords();
+        let tickets: Vec<_> =
+            (0..4).map(|_| frontend.submit(&[&input], &queries).expect("admitted")).collect();
+        // Shutdown with one request parked at the gate and the rest
+        // queued: must release, drain, and resolve everything.
+        frontend.shutdown();
+        frontend.shutdown(); // idempotent
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert!(ticket.wait().is_ok(), "queued request {i} resolved at shutdown");
+        }
+        let err = frontend.submit(&[&input], &queries).expect_err("closed to admissions");
+        assert!(matches!(err, ServeError::ShuttingDown));
+    });
+}

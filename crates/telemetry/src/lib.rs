@@ -252,6 +252,20 @@ pub fn expose_text() -> Option<String> {
     with_recorder(|r| render_prometheus(&r.registry.snapshot(), &r.name))
 }
 
+static MONOTONIC_EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+
+/// Microseconds elapsed on a monotonic clock since an arbitrary
+/// process-local epoch (fixed on first call). This is the one wall-time
+/// primitive exported to result-producing crates: the determinism lints
+/// confine [`std::time::Instant`] to this crate, so deadline bookkeeping
+/// elsewhere (e.g. `deepoheat-serve` request budgets) reads time through
+/// here — and swaps in a manual clock for deterministic tests. Works with
+/// or without a recorder installed.
+pub fn monotonic_micros() -> u64 {
+    let epoch = MONOTONIC_EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Adds `delta` to the named counter. No-op when telemetry is off.
 #[inline]
 pub fn counter(name: &str, delta: u64) {
@@ -422,6 +436,17 @@ mod tests {
 
     fn lock() -> std::sync::MutexGuard<'static, ()> {
         TEST_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn monotonic_micros_is_nondecreasing_and_recorder_free() {
+        // No lock needed: the monotonic clock is independent of the
+        // recorder slot.
+        let a = monotonic_micros();
+        let b = monotonic_micros();
+        assert!(b >= a);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(monotonic_micros() > a);
     }
 
     #[test]
