@@ -113,14 +113,55 @@ fn run() -> Result<(), BenchError> {
     println!("== perf_baseline: serial (1 thread) vs pool ({threads} threads) ==\n");
 
     // --- 1 · dense matmul --------------------------------------------------
-    let m = if quick { 160 } else { 320 };
-    let a = Matrix::from_fn(m, m, |i, j| ((i * 31 + j * 7) % 17) as f64 * 0.1 - 0.8);
-    let b = Matrix::from_fn(m, m, |i, j| ((i * 13 + j * 3) % 23) as f64 * 0.05 - 0.5);
-    compare(&format!("matmul_{m}"), repeats, || {
-        let c = a.matmul(&b)?;
-        std::hint::black_box(c.sum());
-        Ok(())
-    })?;
+    // The 160 case runs in both modes: benchcheck's
+    // `parallel.matmul_160.speedup` gauge guards the
+    // PARALLEL_MATMUL_THRESHOLD retune (a 160³ product sits just above the
+    // threshold, so pool dispatch must never lose measurably to serial).
+    let mut matmul_sizes = vec![160usize];
+    if !quick {
+        matmul_sizes.push(320);
+    }
+    for m in matmul_sizes {
+        let a = Matrix::from_fn(m, m, |i, j| ((i * 31 + j * 7) % 17) as f64 * 0.1 - 0.8);
+        let b = Matrix::from_fn(m, m, |i, j| ((i * 13 + j * 3) % 23) as f64 * 0.05 - 0.5);
+        compare(&format!("matmul_{m}"), repeats, || {
+            let c = a.matmul(&b)?;
+            std::hint::black_box(c.sum());
+            Ok(())
+        })?;
+    }
+
+    // --- 1b · single-thread kernel throughput ------------------------------
+    // Absolute GFLOP/s of the packed register-blocked kernel on one
+    // thread, plus its ratio over the naive triple loop at 512 (the ratio
+    // is robust across machines; the absolute numbers have generous
+    // benchcheck floors).
+    let one = parallel::ThreadPool::new(1);
+    for m in [64usize, 160, 512] {
+        let a = Matrix::from_fn(m, m, |i, j| ((i * 31 + j * 7) % 17) as f64 * 0.1 - 0.8);
+        let b = Matrix::from_fn(m, m, |i, j| ((i * 13 + j * 3) % 23) as f64 * 0.05 - 0.5);
+        let blocked = time_median(repeats, || {
+            one.install(|| {
+                std::hint::black_box(a.matmul(&b)?.sum());
+                Ok(())
+            })
+        })?;
+        let flops = 2.0 * (m as f64).powi(3);
+        let gflops = if blocked > 0.0 { flops / blocked / 1e9 } else { 0.0 };
+        telemetry::gauge(&format!("linalg.matmul_{m}.gflops"), gflops);
+        println!("matmul_{m:<17} {gflops:>9.2} GFLOP/s (1 thread)");
+        if m == 512 {
+            let naive = time_median(repeats, || {
+                one.install(|| {
+                    std::hint::black_box(a.matmul_naive(&b)?.sum());
+                    Ok(())
+                })
+            })?;
+            let ratio = if blocked > 0.0 { naive / blocked } else { 1.0 };
+            telemetry::gauge("linalg.matmul_512.speedup_vs_naive", ratio);
+            println!("matmul_512_vs_naive      {ratio:>9.2}x (1 thread)");
+        }
+    }
 
     // --- 2 · CG solve ------------------------------------------------------
     let n = if quick { 16 } else { 32 };
@@ -163,7 +204,6 @@ fn run() -> Result<(), BenchError> {
     // initial state (the pool contract makes the *values* identical; this
     // keeps the *work* identical too).
     let steps = if quick { 1 } else { 3 };
-    let one = parallel::ThreadPool::new(1);
     let train = |steps: usize, exp: &mut dyn Trainable| -> Result<(), BenchError> {
         for _ in 0..steps {
             exp.train_step()?;

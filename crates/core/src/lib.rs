@@ -56,6 +56,7 @@ mod error;
 
 pub mod checkpoint;
 pub mod experiments;
+mod lowered;
 pub mod metrics;
 mod model;
 pub mod model_io;
@@ -65,6 +66,7 @@ pub mod resilience;
 
 pub use checkpoint::{CheckpointError, TrainingSnapshot};
 pub use error::DeepOHeatError;
+pub use lowered::TrunkF32;
 pub use model::{
     BoundDeepOHeat, BranchEmbedding, DeepOHeat, DeepOHeatConfig, FourierConfig, TemperatureJet,
     DEFAULT_TRUNK_CHUNK,

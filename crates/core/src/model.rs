@@ -358,10 +358,14 @@ impl DeepOHeat {
     /// the trunk through the `deepoheat-parallel` pool in fixed
     /// `chunk_rows`-sized query chunks.
     ///
-    /// Per chunk this computes the trunk features, the combine
-    /// `θ = B Φᵀ`, and the affine output transform; chunks are stitched
+    /// Per chunk this computes the trunk features and then a single fused
+    /// combine-and-transform kernel `T = offset + scale · (B Φᵀ)`
+    /// ([`Matrix::matmul_transposed_affine`]), which applies the output
+    /// transform in the matmul store epilogue instead of materialising the
+    /// raw `θ` matrix and mapping it in a second pass. Chunks are stitched
     /// back in chunk-index order. Because every per-point quantity is a
-    /// function of that point's row alone, the result is **bit-identical**
+    /// function of that point's row alone — and the fused epilogue rounds
+    /// identically to the two-pass form — the result is **bit-identical**
     /// to [`DeepOHeat::predict`] — and to a point-at-a-time loop — at any
     /// thread count and any `chunk_rows` (`0` means "one chunk").
     ///
@@ -398,8 +402,11 @@ impl DeepOHeat {
                 };
                 self.trunk.forward_inference(&trunk_in)?
             };
-            let theta = embedding.features().matmul_transposed(&phi)?;
-            Ok::<Matrix, DeepOHeatError>(theta.map(|v| self.output_offset + self.output_scale * v))
+            Ok::<Matrix, DeepOHeatError>(embedding.features().matmul_transposed_affine(
+                &phi,
+                self.output_offset,
+                self.output_scale,
+            )?)
         })?;
         // Stitch the per-chunk `n_configs × chunk_len` column blocks back
         // into `n_configs × n_points`, left to right in chunk order.

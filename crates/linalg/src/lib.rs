@@ -29,7 +29,9 @@
 mod cg;
 mod cholesky;
 mod error;
+mod kernels;
 mod matrix;
+mod matrix32;
 mod sparse;
 mod vector;
 
@@ -40,5 +42,6 @@ pub use cg::{
 pub use cholesky::{Cholesky, IncompleteCholesky};
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use matrix32::Matrix32;
 pub use sparse::{CooMatrix, CsrMatrix};
 pub use vector::{axpy, dot, norm2, scale_in_place};

@@ -3,25 +3,8 @@ use std::ops::{Add, Mul, Sub};
 
 use deepoheat_parallel as parallel;
 
+use crate::kernels::{self, Epilogue};
 use crate::LinalgError;
-
-/// Multiply-add count below which [`Matrix::matmul`] and
-/// [`Matrix::matmul_transposed`] stay on the calling thread and never touch
-/// the worker pool.
-///
-/// The old per-call `std::thread::scope` implementation paid ~100 µs of
-/// spawn/join per multiplication, which forced a high threshold (256k
-/// multiply-adds). Dispatching to the persistent pool costs on the order
-/// of a few microseconds — roughly what 32k multiply-adds take serially —
-/// so the crossover moves down accordingly. Below it, the serial kernel is
-/// called directly: small matrices (layer biases, 2–3 wide coordinate
-/// batches, tiny jets) never pay any dispatch cost at all.
-const PARALLEL_MATMUL_THRESHOLD: usize = 32 * 1024;
-
-/// Target multiply-adds per pooled matmul job. Larger than the dispatch
-/// threshold so each job amortises its queue round-trip; derived from the
-/// problem shape only, never from the thread count.
-const MATMUL_CHUNK_WORK: usize = 256 * 1024;
 
 /// Fixed chunk length (in elements) for pooled elementwise kernels.
 const ELEMENTWISE_CHUNK: usize = 64 * 1024;
@@ -244,21 +227,24 @@ impl Matrix {
 
     /// Returns row `r` as a slice.
     ///
-    /// # Panics
+    /// # Contract
     ///
-    /// Panics if `r >= self.rows()`.
+    /// `r` must be a valid row index. Every in-tree caller iterates
+    /// `0..rows()`, so the bound is checked with `debug_assert!` only; an
+    /// out-of-range index still stops at the slice bounds check rather
+    /// than reading out of bounds.
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        debug_assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Returns row `r` as a mutable slice.
     ///
-    /// # Panics
+    /// # Contract
     ///
-    /// Panics if `r >= self.rows()`.
+    /// `r` must be a valid row index; see [`Matrix::row`].
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        debug_assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -319,10 +305,14 @@ impl Matrix {
 
     /// Matrix multiplication `self * rhs`.
     ///
-    /// Uses a cache-friendly `i-k-j` loop ordering and dispatches fixed row
-    /// bands to the persistent `deepoheat-parallel` pool once the product
-    /// exceeds [`PARALLEL_MATMUL_THRESHOLD`] multiply-adds; smaller
-    /// products run serially with no dispatch cost.
+    /// Runs on the packed, register-blocked microkernel suite in
+    /// [`crate::kernels`]: the right-hand side is packed once into
+    /// `NR`-wide column panels, output tiles are produced by an `MR × NR`
+    /// register-blocked kernel (AVX2 when the CPU has it, a bit-identical
+    /// scalar tile otherwise), and large products dispatch fixed row bands
+    /// to the persistent `deepoheat-parallel` pool. Results are bitwise
+    /// independent of thread count and instruction set; each output
+    /// element is a plain ascending-`k` sum of products.
     ///
     /// # Errors
     ///
@@ -347,17 +337,127 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let (k, n) = (self.cols, rhs.cols);
-        dispatch_rows(&self.data, &mut out.data, self.rows, k, n, |lhs_rows, out_chunk, nrows| {
-            matmul_rows(lhs_rows, &rhs.data, out_chunk, k, n, 0, nrows);
-        });
+        kernels::gemm(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            false,
+            &Epilogue::None,
+        );
+        Ok(out)
+    }
+
+    /// Reference triple-loop multiplication with no packing, blocking,
+    /// SIMD or pool dispatch. Bit-identical to [`Matrix::matmul`] by the
+    /// kernel determinism contract; kept public so property tests and the
+    /// benchmark suite can measure and verify the blocked kernels against
+    /// a fixed naive baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_naive",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        kernels::gemm_naive(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            false,
+            &Epilogue::None,
+        );
+        Ok(out)
+    }
+
+    /// Fused `self * rhs + bias` (row-broadcast): the bias add happens in
+    /// the microkernel's store epilogue instead of a second pass, so no
+    /// intermediate product matrix is materialised. Bit-identical to
+    /// `matmul(rhs)?.add_row_broadcast(bias)` — the raw sum is fully
+    /// formed before the bias is added, exactly like the two-pass version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`
+    /// or `bias.len() != rhs.cols()`.
+    pub fn matmul_bias(&self, rhs: &Matrix, bias: &[f64]) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows || bias.len() != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_bias",
+                lhs: self.shape(),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        kernels::gemm(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            false,
+            &Epilogue::Bias(bias),
+        );
+        Ok(out)
+    }
+
+    /// Fused `f(self * rhs + bias)`: bias add and activation both run in
+    /// the store epilogue while the output tile is hot in L1. This is the
+    /// dense-layer + activation forward path; bit-identical to matmul →
+    /// broadcast → elementwise map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`
+    /// or `bias.len() != rhs.cols()`.
+    pub fn matmul_bias_map<F>(
+        &self,
+        rhs: &Matrix,
+        bias: &[f64],
+        f: F,
+    ) -> Result<Matrix, LinalgError>
+    where
+        F: Fn(f64) -> f64 + Sync,
+    {
+        if self.cols != rhs.rows || bias.len() != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_bias_map",
+                lhs: self.shape(),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        kernels::gemm(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            false,
+            &Epilogue::BiasMap { bias, f: &f },
+        );
         Ok(out)
     }
 
     /// Computes `self * rhs.transpose()` without materialising the transpose.
     ///
     /// This is the hot kernel of the DeepONet combine step
-    /// `T = B Φᵀ`, where both operands are tall-and-skinny.
+    /// `T = B Φᵀ`, where both operands are tall-and-skinny. The transposed
+    /// operand is handled entirely in the packing step — both
+    /// multiplication shapes share the same microkernel.
     ///
     /// # Errors
     ///
@@ -371,10 +471,54 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        let (k, n) = (self.cols, rhs.rows);
-        dispatch_rows(&self.data, &mut out.data, self.rows, k, n, |lhs_rows, out_chunk, nrows| {
-            matmul_transposed_rows(lhs_rows, &rhs.data, out_chunk, k, n, nrows);
-        });
+        kernels::gemm(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.rows,
+            true,
+            &Epilogue::None,
+        );
+        Ok(out)
+    }
+
+    /// Fused trunk-combine kernel: `offset + scale * (self * rhsᵀ)` with
+    /// the affine output transform applied in the store epilogue. Replaces
+    /// `matmul_transposed(rhs)?.map(|v| offset + scale * v)` — the
+    /// Hadamard-multiply + row-sum and the output transform run in one
+    /// pass with no intermediate matrix, and the result is bit-identical
+    /// to the two-pass version (the raw dot product is fully accumulated
+    /// before the affine expression is evaluated once per element).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_transposed_affine(
+        &self,
+        rhs: &Matrix,
+        offset: f64,
+        scale: f64,
+    ) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transposed_affine",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        kernels::gemm(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.rows,
+            true,
+            &Epilogue::Affine { offset, scale },
+        );
         Ok(out)
     }
 
@@ -605,84 +749,6 @@ impl Matrix {
     }
 }
 
-/// The single pool-integration point for both multiplication kernels:
-/// splits the `rows × n` output into fixed row bands of roughly
-/// [`MATMUL_CHUNK_WORK`] multiply-adds each and runs
-/// `kernel(lhs_rows, out_band, band_rows)` for every band on the current
-/// pool. Products under [`PARALLEL_MATMUL_THRESHOLD`] multiply-adds run the
-/// kernel directly on the calling thread — the small-matrix fast path.
-///
-/// Each output row is produced in full by exactly one kernel invocation,
-/// so the result is bitwise independent of how bands map to threads; band
-/// boundaries depend only on `(rows, k, n)`.
-fn dispatch_rows<K>(lhs: &[f64], out: &mut [f64], rows: usize, k: usize, n: usize, kernel: K)
-where
-    K: Fn(&[f64], &mut [f64], usize) + Sync,
-{
-    let work_per_row = k * n;
-    if rows * work_per_row < PARALLEL_MATMUL_THRESHOLD || rows < 2 {
-        kernel(lhs, out, rows);
-        return;
-    }
-    let band_rows = (MATMUL_CHUNK_WORK / work_per_row.max(1)).clamp(1, rows);
-    parallel::par_chunks_mut(out, band_rows * n, |band, out_band| {
-        let r0 = band * band_rows;
-        let nrows = out_band.len() / n.max(1);
-        kernel(&lhs[r0 * k..(r0 + nrows) * k], out_band, nrows);
-    });
-}
-
-/// Serial row-range matmul kernel: `out[r0..r1] = lhs[r0..r1] * rhs`,
-/// with `lhs` given as a slice whose row 0 corresponds to `out` row 0.
-fn matmul_rows(
-    lhs: &[f64],
-    rhs: &[f64],
-    out: &mut [f64],
-    k: usize,
-    n: usize,
-    r0: usize,
-    r1: usize,
-) {
-    for r in r0..r1 {
-        let a_row = &lhs[r * k..(r + 1) * k];
-        let o_row = &mut out[r * n..(r + 1) * n];
-        for (i, &a) in a_row.iter().enumerate() {
-            if a == 0.0 {
-                continue;
-            }
-            let b_row = &rhs[i * n..(i + 1) * n];
-            for (o, &b) in o_row.iter_mut().zip(b_row) {
-                *o += a * b;
-            }
-        }
-    }
-}
-
-/// Serial row-range kernel of `lhs * rhsᵀ`: `out` row `r` holds the dot
-/// products of `lhs` row `r` against every row of `rhs` (given row-major,
-/// un-transposed, `n` rows of length `k`).
-fn matmul_transposed_rows(
-    lhs: &[f64],
-    rhs: &[f64],
-    out: &mut [f64],
-    k: usize,
-    n: usize,
-    nrows: usize,
-) {
-    for r in 0..nrows {
-        let a = &lhs[r * k..(r + 1) * k];
-        let o = &mut out[r * n..(r + 1) * n];
-        for c in 0..n {
-            let b = &rhs[c * k..(c + 1) * k];
-            let mut acc = 0.0;
-            for i in 0..k {
-                acc += a[i] * b[i];
-            }
-            o[c] = acc;
-        }
-    }
-}
-
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
 
@@ -808,10 +874,37 @@ mod tests {
         let a = Matrix::from_fn(128, 80, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
         let b = Matrix::from_fn(80, 64, |r, c| ((r * 17 + c * 3) % 11) as f64 - 5.0);
         let big = a.matmul(&b).unwrap();
-        // Serial reference.
-        let mut expected = Matrix::zeros(128, 64);
-        matmul_rows(a.as_slice(), b.as_slice(), expected.as_mut_slice(), 80, 64, 0, 128);
-        assert_eq!(big, expected);
+        // Naive serial reference, bit for bit.
+        assert_eq!(big, a.matmul_naive(&b).unwrap());
+    }
+
+    #[test]
+    fn fused_epilogues_match_two_pass() {
+        let a = Matrix::from_fn(13, 9, |r, c| ((r * 5 + c * 3) % 17) as f64 * 0.25 - 2.0);
+        let b = Matrix::from_fn(9, 11, |r, c| ((r * 7 + c) % 13) as f64 * 0.5 - 3.0);
+        let bias: Vec<f64> = (0..11).map(|j| j as f64 * 0.125 - 0.5).collect();
+        let bias_row = Matrix::row_vector(&bias);
+
+        let fused = a.matmul_bias(&b, &bias).unwrap();
+        let two_pass = a.matmul(&b).unwrap().add_row_broadcast(&bias_row).unwrap();
+        assert_eq!(fused, two_pass);
+
+        let act = |v: f64| v * (1.0 / (1.0 + (-v).exp()));
+        let fused = a.matmul_bias_map(&b, &bias, act).unwrap();
+        assert_eq!(fused, two_pass.map(act));
+
+        let t = Matrix::from_fn(11, 9, |r, c| ((r * 3 + c * 5) % 7) as f64 - 3.0);
+        let fused = a.matmul_transposed_affine(&t, 1.5, -0.25).unwrap();
+        let two_pass = a.matmul_transposed(&t).unwrap().map(|v| 1.5 + -0.25 * v);
+        assert_eq!(fused, two_pass);
+    }
+
+    #[test]
+    fn fused_epilogues_reject_bad_bias() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        assert!(a.matmul_bias(&b, &[0.0; 3]).is_err());
+        assert!(a.matmul_bias_map(&b, &[0.0; 5], |v| v).is_err());
     }
 
     #[test]

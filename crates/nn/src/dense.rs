@@ -96,13 +96,31 @@ impl Dense {
         }
     }
 
-    /// Graph-free forward pass for fast inference: `x W + b`.
+    /// Graph-free forward pass for fast inference: `x W + b`, with the
+    /// bias add fused into the matmul epilogue (no intermediate product
+    /// matrix). Bit-identical to `matmul` followed by a broadcast add.
     ///
     /// # Errors
     ///
     /// Returns an error if `x.cols() != self.input_dim()`.
     pub fn forward_inference(&self, x: &Matrix) -> Result<Matrix, NnError> {
-        Ok(x.matmul(&self.weight)?.add_row_broadcast(&self.bias)?)
+        Ok(x.matmul_bias(&self.weight, self.bias.as_slice())?)
+    }
+
+    /// Fused forward + activation for fast inference: `f(x W + b)` in a
+    /// single kernel pass, applying bias and activation in the matmul
+    /// store epilogue while each output tile is hot in cache. This is the
+    /// hidden-layer hot path of [`crate::Mlp::forward_inference`];
+    /// bit-identical to `forward_inference` followed by an elementwise map.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != self.input_dim()`.
+    pub fn forward_inference_fused<F>(&self, x: &Matrix, f: F) -> Result<Matrix, NnError>
+    where
+        F: Fn(f64) -> f64 + Sync,
+    {
+        Ok(x.matmul_bias_map(&self.weight, self.bias.as_slice(), f)?)
     }
 }
 

@@ -45,6 +45,7 @@ mod error;
 mod fourier;
 mod init;
 mod jet;
+mod lowered;
 mod mlp;
 mod schedule;
 
@@ -54,6 +55,7 @@ pub use error::NnError;
 pub use fourier::FourierFeatures;
 pub use init::{glorot_uniform, normal_matrix};
 pub use jet::{activation_jet, Jet3};
+pub use lowered::{LoweredDense, LoweredFourier, LoweredMlp};
 pub use mlp::{BoundMlp, Mlp, MlpConfig};
 pub use schedule::LrSchedule;
 

@@ -1,0 +1,227 @@
+//! Single-precision (`f32`) lowered inference networks.
+//!
+//! Lowering narrows a trained `f64` network's parameters to `f32` once, up
+//! front, and then runs every forward pass through the [`Matrix32`] fused
+//! kernels. This halves the memory traffic of the dense hot path — the
+//! matmuls are memory-bound at serving batch sizes — at the cost of ~1e-3
+//! relative error in the outputs (bounded by an accuracy test in
+//! `deepoheat-core`). Lowered networks are inference-only: training stays
+//! in `f64`, and `f64` remains the serving default.
+//!
+//! Determinism contract: within the `f32` precision, results are bitwise
+//! independent of thread count, exactly like the `f64` path. Activations
+//! and trigonometric maps are evaluated by widening each element to `f64`,
+//! applying the same scalar function as the `f64` path, and rounding to
+//! nearest back to `f32` — so the two precisions differ only by rounding,
+//! never by algorithm.
+
+use deepoheat_autodiff::Activation;
+use deepoheat_linalg::Matrix32;
+
+use crate::{Dense, FourierFeatures, Mlp, NnError};
+
+/// An `f32` lowering of a [`Dense`] layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredDense {
+    weight: Matrix32,
+    bias: Vec<f32>,
+}
+
+impl LoweredDense {
+    /// Narrows the layer's parameters to `f32`.
+    pub fn from_dense(layer: &Dense) -> Self {
+        LoweredDense {
+            weight: Matrix32::from_f64(layer.weight()),
+            bias: layer.bias().as_slice().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Input dimension (rows of the weight matrix).
+    pub fn input_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimension (columns of the weight matrix).
+    pub fn output_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Fused `x W + b` forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != self.input_dim()`.
+    pub fn forward(&self, x: &Matrix32) -> Result<Matrix32, NnError> {
+        Ok(x.matmul_bias(&self.weight, &self.bias)?)
+    }
+
+    /// Fused `f(x W + b)` forward pass; mirrors
+    /// [`Dense::forward_inference_fused`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != self.input_dim()`.
+    pub fn forward_fused<F>(&self, x: &Matrix32, f: F) -> Result<Matrix32, NnError>
+    where
+        F: Fn(f32) -> f32 + Sync,
+    {
+        Ok(x.matmul_bias_map(&self.weight, &self.bias, f)?)
+    }
+}
+
+/// An `f32` lowering of an [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredMlp {
+    layers: Vec<LoweredDense>,
+    activation: Activation,
+}
+
+impl LoweredMlp {
+    /// Narrows all layer parameters to `f32`; the activation is shared
+    /// with the source network.
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        LoweredMlp {
+            layers: mlp.layers().iter().map(LoweredDense::from_dense).collect(),
+            activation: mlp.activation(),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output feature dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers
+            .last()
+            .expect("invariant: lowered from an Mlp, which is never empty")
+            .output_dim()
+    }
+
+    /// Forward pass mirroring [`Mlp::forward_inference`]: every hidden
+    /// layer runs as one fused `f(x W + b)` kernel pass. The activation is
+    /// evaluated in `f64` per element and rounded to nearest back to `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != self.input_dim()`.
+    pub fn forward(&self, x: &Matrix32) -> Result<Matrix32, NnError> {
+        let activation = self.activation;
+        let act = move |v: f32| activation.eval(0, f64::from(v)) as f32;
+        let (last, hidden) =
+            self.layers.split_last().expect("invariant: lowered from an Mlp, which is never empty");
+        let mut h: Option<Matrix32> = None;
+        for layer in hidden {
+            let input = h.as_ref().unwrap_or(x);
+            h = Some(layer.forward_fused(input, act)?);
+        }
+        last.forward(h.as_ref().unwrap_or(x))
+    }
+}
+
+/// An `f32` lowering of a [`FourierFeatures`] mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredFourier {
+    frequencies: Matrix32,
+}
+
+impl LoweredFourier {
+    /// Narrows the frequency matrix `B` to `f32`.
+    pub fn from_fourier(ff: &FourierFeatures) -> Self {
+        LoweredFourier { frequencies: Matrix32::from_f64(ff.frequencies()) }
+    }
+
+    /// Input dimension accepted by the mapping.
+    pub fn input_dim(&self) -> usize {
+        self.frequencies.rows()
+    }
+
+    /// Output dimension produced by the mapping (`2 × n_frequencies`).
+    pub fn output_dim(&self) -> usize {
+        2 * self.frequencies.cols()
+    }
+
+    /// Forward pass `[sin(x B) | cos(x B)]`, with sin/cos evaluated in
+    /// `f64` per element and rounded to nearest back to `f32` (the `f32`
+    /// libm kernels are not required to be correctly rounded; widening
+    /// keeps this path deterministic across platforms).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != self.input_dim()`.
+    pub fn forward(&self, x: &Matrix32) -> Result<Matrix32, NnError> {
+        let z = x.matmul(&self.frequencies)?;
+        let s = z.map(|v| f64::from(v).sin() as f32);
+        let c = z.map(|v| f64::from(v).cos() as f32);
+        Ok(s.hcat(&c)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MlpConfig;
+    use deepoheat_linalg::Matrix;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn lowered_mlp_tracks_f64_network() {
+        let mut r = rng();
+        let mlp = Mlp::new(&MlpConfig::new(3, &[16, 16], 4, Activation::Swish), &mut r).unwrap();
+        let low = LoweredMlp::from_mlp(&mlp);
+        assert_eq!(low.input_dim(), 3);
+        assert_eq!(low.output_dim(), 4);
+
+        let x = Matrix::from_fn(11, 3, |i, j| 0.07 * i as f64 - 0.13 * j as f64);
+        let full = mlp.forward_inference(&x).unwrap();
+        let narrow = low.forward(&Matrix32::from_f64(&x)).unwrap().to_f64();
+        let scale = full.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in full.iter().zip(narrow.iter()) {
+            assert!((a - b).abs() <= 1e-4 * scale, "{a} vs {b} (scale {scale})");
+        }
+    }
+
+    #[test]
+    fn lowered_fourier_tracks_f64_mapping() {
+        let mut r = rng();
+        let ff = FourierFeatures::new(3, 8, 1.5, &mut r);
+        let low = LoweredFourier::from_fourier(&ff);
+        assert_eq!(low.input_dim(), 3);
+        assert_eq!(low.output_dim(), 16);
+
+        let x = Matrix::from_fn(6, 3, |i, j| 0.21 * i as f64 + 0.05 * j as f64 - 0.4);
+        let full = ff.forward_inference(&x).unwrap();
+        let narrow = low.forward(&Matrix32::from_f64(&x)).unwrap().to_f64();
+        // sin/cos outputs are in [-1, 1]; the argument narrowing dominates.
+        for (a, b) in full.iter().zip(narrow.iter()) {
+            assert!((a - b).abs() <= 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lowered_forward_is_deterministic_across_pool_widths() {
+        let mut r = rng();
+        let mlp = Mlp::new(&MlpConfig::new(3, &[32], 8, Activation::Swish), &mut r).unwrap();
+        let low = LoweredMlp::from_mlp(&mlp);
+        let x =
+            Matrix32::from_f64(&Matrix::from_fn(200, 3, |i, j| 0.01 * i as f64 + 0.2 * j as f64));
+        let base = low.forward(&x).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = deepoheat_parallel::ThreadPool::new(threads);
+            let under = pool.install(|| low.forward(&x)).unwrap();
+            assert_eq!(base, under, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn lowered_dense_shape_errors_propagate() {
+        let mut r = rng();
+        let layer = LoweredDense::from_dense(&Dense::new(4, 2, &mut r));
+        assert!(layer.forward(&Matrix32::zeros(3, 5)).is_err());
+    }
+}

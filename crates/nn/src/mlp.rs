@@ -134,18 +134,25 @@ impl Mlp {
 
     /// Graph-free forward pass for fast inference.
     ///
+    /// Every hidden layer runs as a single fused `f(x W + b)` kernel pass
+    /// ([`Dense::forward_inference_fused`]): bias add and activation happen
+    /// in the matmul store epilogue, so no intermediate pre-activation
+    /// matrix is materialised. Bit-identical to the unfused
+    /// matmul → broadcast → elementwise-map sequence it replaces.
+    ///
     /// # Errors
     ///
     /// Returns an error if `x.cols() != self.input_dim()`.
     pub fn forward_inference(&self, x: &Matrix) -> Result<Matrix, NnError> {
-        let mut h = self.layers[0].forward_inference(x)?;
-        for layer in &self.layers[1..] {
-            // Pooled elementwise activation: for large inference batches
-            // this is the non-matmul half of the wall-clock.
-            h = h.par_map(|v| self.activation.eval(0, v));
-            h = layer.forward_inference(&h)?;
+        let act = |v: f64| self.activation.eval(0, v);
+        let (last, hidden) =
+            self.layers.split_last().expect("invariant: from_layers rejects empty layer lists");
+        let mut h: Option<Matrix> = None;
+        for layer in hidden {
+            let input = h.as_ref().unwrap_or(x);
+            h = Some(layer.forward_inference_fused(input, act)?);
         }
-        Ok(h)
+        last.forward_inference(h.as_ref().unwrap_or(x))
     }
 
     /// Graph-free forward pass dispatched in fixed row chunks on the

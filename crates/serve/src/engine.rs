@@ -3,12 +3,32 @@
 
 use std::sync::Arc;
 
-use deepoheat::{BranchEmbedding, DeepOHeat, DEFAULT_TRUNK_CHUNK};
+use deepoheat::{BranchEmbedding, DeepOHeat, TrunkF32, DEFAULT_TRUNK_CHUNK};
 use deepoheat_linalg::Matrix;
 use deepoheat_telemetry as telemetry;
 
 use crate::cache::{CacheKey, CacheStats, EmbeddingCache};
 use crate::error::ServeError;
+
+/// Numeric precision of the trunk-evaluation hot path.
+///
+/// `F64` (the default) computes exactly what [`DeepOHeat::predict`] does.
+/// `F32` lowers the trunk-side parameters once at engine construction and
+/// runs every query through the single-precision fused kernels — roughly
+/// half the memory traffic on the memory-bound serving matmuls — at the
+/// cost of ~1e-4 relative divergence from the `f64` answer (bounded by an
+/// accuracy test in `deepoheat`). Each precision is individually
+/// deterministic: results are bitwise independent of thread count and
+/// chunking, but the two precisions are *not* bit-comparable to each
+/// other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Double precision; bit-identical to the offline model (default).
+    #[default]
+    F64,
+    /// Single precision via the lowered trunk; opt-in.
+    F32,
+}
 
 /// Validated configuration of an [`InferenceEngine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -21,11 +41,17 @@ pub struct ServeOptions {
     /// and the query count, never on the thread count, so results are
     /// bit-identical at any pool width.
     pub trunk_chunk: usize,
+    /// Numeric precision of the trunk hot path.
+    pub precision: Precision,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { cache_capacity: 64, trunk_chunk: DEFAULT_TRUNK_CHUNK }
+        ServeOptions {
+            cache_capacity: 64,
+            trunk_chunk: DEFAULT_TRUNK_CHUNK,
+            precision: Precision::F64,
+        }
     }
 }
 
@@ -61,6 +87,9 @@ impl ServeOptions {
 #[derive(Debug)]
 pub struct InferenceEngine {
     model: DeepOHeat,
+    /// Lowered `f32` trunk, built once at construction when
+    /// [`ServeOptions::precision`] is [`Precision::F32`].
+    lowered: Option<TrunkF32>,
     options: ServeOptions,
     cache: EmbeddingCache,
     shut_down: bool,
@@ -76,7 +105,11 @@ impl InferenceEngine {
     pub fn new(model: DeepOHeat, options: ServeOptions) -> Result<Self, ServeError> {
         options.validate()?;
         let cache = EmbeddingCache::new(options.cache_capacity);
-        Ok(InferenceEngine { model, options, cache, shut_down: false })
+        let lowered = match options.precision {
+            Precision::F64 => None,
+            Precision::F32 => Some(model.lower_trunk()),
+        };
+        Ok(InferenceEngine { model, lowered, options, cache, shut_down: false })
     }
 
     /// The wrapped model.
@@ -144,7 +177,10 @@ impl InferenceEngine {
         coords: &Matrix,
     ) -> Result<Matrix, ServeError> {
         let _span = telemetry::span("serve.trunk");
-        let out = self.model.eval_trunk_batch(embedding, coords, self.options.trunk_chunk)?;
+        let out = match &self.lowered {
+            Some(trunk) => trunk.eval_trunk_batch(embedding, coords, self.options.trunk_chunk)?,
+            None => self.model.eval_trunk_batch(embedding, coords, self.options.trunk_chunk)?,
+        };
         telemetry::counter("serve.queries", coords.rows() as u64);
         Ok(out)
     }
@@ -231,9 +267,11 @@ mod tests {
 
     #[test]
     fn repeated_designs_encode_once() {
-        let mut engine =
-            InferenceEngine::new(model(), ServeOptions { cache_capacity: 2, trunk_chunk: 8 })
-                .expect("valid options");
+        let mut engine = InferenceEngine::new(
+            model(),
+            ServeOptions { cache_capacity: 2, trunk_chunk: 8, ..ServeOptions::default() },
+        )
+        .expect("valid options");
         let a = Matrix::filled(1, 4, 0.5);
         let b = Matrix::filled(1, 4, 0.25);
         let coords = Matrix::from_fn(5, 3, |i, j| (i + j) as f64 * 0.1);
@@ -258,6 +296,34 @@ mod tests {
         // inert no-ops rather than panicking or emitting.
         engine.shutdown();
         engine.shutdown();
+    }
+
+    #[test]
+    fn f32_precision_is_deterministic_and_tracks_f64() {
+        let m = model();
+        let input = Matrix::from_fn(1, 4, |_, j| 0.1 * (j as f64 + 1.0));
+        let coords = Matrix::from_fn(33, 3, |i, j| 0.03 * i as f64 + 0.2 * j as f64);
+        let mut full = InferenceEngine::new(m.clone(), ServeOptions::default()).unwrap();
+        let opts32 = ServeOptions { precision: Precision::F32, ..ServeOptions::default() };
+        let mut narrow = InferenceEngine::new(m, opts32).unwrap();
+
+        let expected = full.predict(&[&input], &coords).unwrap();
+        let got = narrow.predict(&[&input], &coords).unwrap();
+        assert_eq!(expected.shape(), got.shape());
+        let scale = expected.iter().fold(1.0f64, |s, v| s.max(v.abs()));
+        for (a, b) in expected.iter().zip(got.iter()) {
+            assert!((a - b).abs() <= 1e-4 * scale, "{a} vs {b}");
+        }
+
+        // Within the f32 precision: bit-identical across repeats and
+        // pool widths (the same contract the f64 path guarantees).
+        let emb = narrow.encode_branches(&[&input]).unwrap();
+        let base = narrow.eval_trunk_batch(&emb, &coords).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = deepoheat_parallel::ThreadPool::new(threads);
+            let under = pool.install(|| narrow.eval_trunk_batch(&emb, &coords)).unwrap();
+            assert_eq!(base, under, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -73,7 +73,7 @@ mod queue;
 
 pub use cache::{CacheKey, CacheStats, EmbeddingCache};
 pub use clock::{Clock, ManualClock, WallClock};
-pub use engine::{InferenceEngine, ServeOptions};
+pub use engine::{InferenceEngine, Precision, ServeOptions};
 pub use error::ServeError;
 pub use fault::{ChaosStage, ServeFaultPlan};
 pub use frontend::{FrontendOptions, FrontendStats, ServeFrontend, Served, Ticket};

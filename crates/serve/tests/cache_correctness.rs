@@ -44,8 +44,11 @@ fn warm_hit_is_bit_identical_to_cold_eval() {
     let coords = queries(257);
     let reference = m.predict(&[&input], &coords).expect("unbatched reference");
 
-    let mut engine = InferenceEngine::new(m, ServeOptions { cache_capacity: 4, trunk_chunk: 32 })
-        .expect("valid options");
+    let mut engine = InferenceEngine::new(
+        m,
+        ServeOptions { cache_capacity: 4, trunk_chunk: 32, ..ServeOptions::default() },
+    )
+    .expect("valid options");
     let cold = engine.predict(&[&input], &coords).expect("cold eval");
     assert_eq!(engine.cache_stats().misses, 1);
 
@@ -66,7 +69,7 @@ fn eviction_sequence_is_a_pure_function_of_requests() {
     let sequence: Vec<usize> = (0..40).map(|i| (i * 5 + i / 3) % designs.len()).collect();
     let coords = queries(16);
 
-    let opts = ServeOptions { cache_capacity: 3, trunk_chunk: 8 };
+    let opts = ServeOptions { cache_capacity: 3, trunk_chunk: 8, ..ServeOptions::default() };
     let mut a = InferenceEngine::new(model(), opts.clone()).expect("valid options");
     let mut b = InferenceEngine::new(model(), opts).expect("valid options");
 
@@ -133,7 +136,11 @@ fn serving_is_bit_identical_across_pool_widths_and_chunk_sizes() {
             let out = pool.install(|| {
                 let mut engine = InferenceEngine::new(
                     model(),
-                    ServeOptions { cache_capacity: 2, trunk_chunk: chunk },
+                    ServeOptions {
+                        cache_capacity: 2,
+                        trunk_chunk: chunk,
+                        ..ServeOptions::default()
+                    },
                 )
                 .expect("valid options");
                 // Twice: cover both the cold and the cached path under

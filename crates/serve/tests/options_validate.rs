@@ -55,7 +55,7 @@ fn serve_options_validate_table() {
         },
         Case {
             name: "zero trunk chunk rejected regardless of cache",
-            options: ServeOptions { cache_capacity: 0, trunk_chunk: 0 },
+            options: ServeOptions { cache_capacity: 0, trunk_chunk: 0, ..ServeOptions::default() },
             ok: false,
             mentions: "trunk_chunk",
         },

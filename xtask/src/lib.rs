@@ -100,7 +100,9 @@ pub fn lint_sources(
                 outcome.panic_sites.insert(path.clone(), sites);
             }
         }
-        if lints::UNSAFE_EXEMPT_CRATES.contains(&class.crate_name.as_str()) {
+        if lints::UNSAFE_EXEMPT_CRATES.contains(&class.crate_name.as_str())
+            || lints::UNSAFE_AUDITED_PATHS.contains(&file.path.as_str())
+        {
             outcome.unsafe_inventory.extend(lints::unsafe_sites(&file));
         }
     }

@@ -20,6 +20,12 @@ pub const HASH_LINT_CRATES: &[&str] =
 pub const PANIC_LINT_CRATES: &[&str] = &["linalg", "fdm", "nn", "autodiff", "core", "serve"];
 /// The only crate permitted to contain `unsafe` code (audited separately).
 pub const UNSAFE_EXEMPT_CRATES: &[&str] = &["parallel"];
+/// Individual files outside the exempt crates that may contain `unsafe`:
+/// the SIMD microkernel module of `deepoheat-linalg`. Sites here are held
+/// to the same `// SAFETY:` documentation rule as the exempt crates and
+/// are listed by `--unsafe-report`; the owning crate root keeps
+/// `#![deny(unsafe_code)]` with a module-scoped `#[allow]`.
+pub const UNSAFE_AUDITED_PATHS: &[&str] = &["crates/linalg/src/kernels/simd.rs"];
 
 /// How far above an `unsafe` token a `// SAFETY:` justification may sit.
 const SAFETY_COMMENT_WINDOW_LINES: usize = 12;
@@ -337,7 +343,8 @@ pub fn unsafe_sites(file: &ScannedFile) -> Vec<UnsafeSite> {
 
 /// Runs the unsafe-audit family over one file, appending findings.
 pub fn check_unsafe(file: &ScannedFile, class: &FileClass, out: &mut Vec<Diagnostic>) {
-    let exempt = UNSAFE_EXEMPT_CRATES.contains(&class.crate_name.as_str());
+    let exempt = UNSAFE_EXEMPT_CRATES.contains(&class.crate_name.as_str())
+        || UNSAFE_AUDITED_PATHS.contains(&file.path.as_str());
     if !exempt {
         for off in word_offsets(&file.masked, "unsafe") {
             // `#![deny(unsafe_code)]`-adjacent mentions are masked away
@@ -351,8 +358,9 @@ pub fn check_unsafe(file: &ScannedFile, class: &FileClass, out: &mut Vec<Diagnos
                 file,
                 off,
                 format!(
-                    "`unsafe` in {}: only deepoheat-parallel may contain unsafe code \
-                     (and each site needs a // SAFETY: justification there)",
+                    "`unsafe` in {}: only deepoheat-parallel and the audited kernel modules \
+                     (UNSAFE_AUDITED_PATHS) may contain unsafe code (and each site needs a \
+                     // SAFETY: justification there)",
                     class.crate_name
                 ),
             ));
@@ -494,6 +502,30 @@ mod tests {
         let mut out = Vec::new();
         check_unsafe(&f, &lib_class("parallel"), &mut out);
         assert_eq!(out[0].lint, lint::UNSAFE_UNDOCUMENTED);
+    }
+
+    #[test]
+    fn audited_paths_allow_unsafe_but_still_require_safety_comments() {
+        let path = "crates/linalg/src/kernels/simd.rs";
+        assert!(UNSAFE_AUDITED_PATHS.contains(&path));
+
+        let documented = "// SAFETY: feature detection ran above.\nfn f() { unsafe { core::arch::x86_64::_mm256_setzero_pd(); } }";
+        let f = ScannedFile::new(path, documented);
+        let mut out = Vec::new();
+        check_unsafe(&f, &lib_class("linalg"), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        let undocumented = "fn f(p: *const f64) { unsafe { p.read(); } }";
+        let f = ScannedFile::new(path, undocumented);
+        let mut out = Vec::new();
+        check_unsafe(&f, &lib_class("linalg"), &mut out);
+        assert_eq!(out[0].lint, lint::UNSAFE_UNDOCUMENTED);
+
+        // A sibling file in the same crate stays forbidden.
+        let f = ScannedFile::new("crates/linalg/src/kernels/mod.rs", undocumented);
+        let mut out = Vec::new();
+        check_unsafe(&f, &lib_class("linalg"), &mut out);
+        assert_eq!(out[0].lint, lint::UNSAFE_FORBIDDEN);
     }
 
     #[test]

@@ -151,7 +151,8 @@ fn the_real_workspace_is_clean() {
         "workspace lint found violations:\n{}",
         xtask::format_report(&outcome, false)
     );
-    // The two audited unsafe sites in deepoheat-parallel stay documented.
-    assert_eq!(outcome.unsafe_inventory.len(), 2);
+    // The audited unsafe sites (two in deepoheat-parallel, three in the
+    // linalg AVX2 microkernel module) stay documented.
+    assert_eq!(outcome.unsafe_inventory.len(), 5);
     assert!(outcome.unsafe_inventory.iter().all(|s| s.documented));
 }
