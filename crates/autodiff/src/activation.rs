@@ -37,8 +37,17 @@ impl Activation {
     /// # Panics
     ///
     /// Panics if `order > 3`; higher derivatives are never needed by the
-    /// second-order jet machinery.
+    /// second-order jet machinery. Use [`Activation::try_eval`] when the
+    /// order is not statically bounded.
     pub fn eval(self, order: u8, x: f64) -> f64 {
+        self.try_eval(order, x).expect(
+            "invariant: derivative orders above 3 are never requested - Graph::activation \
+             rejects forward orders above 2 and reverse-mode differentiation adds at most one",
+        )
+    }
+
+    /// Fallible form of [`Activation::eval`]: `None` if `order > 3`.
+    pub fn try_eval(self, order: u8, x: f64) -> Option<f64> {
         match self {
             Activation::Swish => swish(order, x),
             Activation::Tanh => tanh(order, x),
@@ -71,39 +80,39 @@ fn sigmoid(x: f64) -> f64 {
     }
 }
 
-fn swish(order: u8, x: f64) -> f64 {
+fn swish(order: u8, x: f64) -> Option<f64> {
     let s = sigmoid(x);
     let s1 = s * (1.0 - s); // σ'
     let s2 = s1 * (1.0 - 2.0 * s); // σ''
     let s3 = s2 * (1.0 - 2.0 * s) - 2.0 * s1 * s1; // σ'''
     match order {
-        0 => x * s,
-        1 => s + x * s1,
-        2 => 2.0 * s1 + x * s2,
-        3 => 3.0 * s2 + x * s3,
-        _ => panic!("activation derivative order {order} not supported (max 3)"),
+        0 => Some(x * s),
+        1 => Some(s + x * s1),
+        2 => Some(2.0 * s1 + x * s2),
+        3 => Some(3.0 * s2 + x * s3),
+        _ => None,
     }
 }
 
-fn tanh(order: u8, x: f64) -> f64 {
+fn tanh(order: u8, x: f64) -> Option<f64> {
     let t = x.tanh();
     let t1 = 1.0 - t * t; // tanh'
     match order {
-        0 => t,
-        1 => t1,
-        2 => -2.0 * t * t1,
-        3 => -2.0 * t1 * (1.0 - 3.0 * t * t),
-        _ => panic!("activation derivative order {order} not supported (max 3)"),
+        0 => Some(t),
+        1 => Some(t1),
+        2 => Some(-2.0 * t * t1),
+        3 => Some(-2.0 * t1 * (1.0 - 3.0 * t * t)),
+        _ => None,
     }
 }
 
-fn sine(order: u8, x: f64) -> f64 {
+fn sine(order: u8, x: f64) -> Option<f64> {
     match order {
-        0 => x.sin(),
-        1 => x.cos(),
-        2 => -x.sin(),
-        3 => -x.cos(),
-        _ => panic!("activation derivative order {order} not supported (max 3)"),
+        0 => Some(x.sin()),
+        1 => Some(x.cos()),
+        2 => Some(-x.sin()),
+        3 => Some(-x.cos()),
+        _ => None,
     }
 }
 
@@ -160,9 +169,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "order 4")]
+    #[should_panic(expected = "invariant: derivative orders above 3")]
     fn order_four_panics() {
         Activation::Swish.eval(4, 0.0);
+    }
+
+    #[test]
+    fn try_eval_returns_none_above_order_three() {
+        for act in [Activation::Swish, Activation::Tanh, Activation::Sine] {
+            assert!(act.try_eval(4, 0.5).is_none());
+            assert!(act.try_eval(3, 0.5).is_some());
+        }
     }
 
     #[test]

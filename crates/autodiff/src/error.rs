@@ -24,6 +24,14 @@ pub enum AutodiffError {
         /// Shape of the offending node.
         shape: (usize, usize),
     },
+    /// An activation derivative of higher order than the jet machinery
+    /// provides was requested.
+    UnsupportedOrder {
+        /// The requested derivative order.
+        order: u8,
+        /// The highest order available.
+        max: u8,
+    },
 }
 
 impl fmt::Display for AutodiffError {
@@ -32,6 +40,9 @@ impl fmt::Display for AutodiffError {
             AutodiffError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             AutodiffError::UnknownVariable { id, graph_len } => {
                 write!(f, "variable id {id} does not exist in this graph of {graph_len} nodes")
+            }
+            AutodiffError::UnsupportedOrder { order, max } => {
+                write!(f, "activation derivative order {order} is not supported (max {max})")
             }
             AutodiffError::NonScalarLoss { shape } => {
                 write!(f, "backward requires a 1x1 scalar loss, got {}x{}", shape.0, shape.1)

@@ -309,14 +309,13 @@ impl Graph {
     ///
     /// # Errors
     ///
-    /// Returns an error if the handle is foreign.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `order > 2` (the backward pass would need a fourth
-    /// derivative, which is not provided).
+    /// Returns an error if the handle is foreign, or
+    /// [`AutodiffError::UnsupportedOrder`] if `order > 2` (the backward
+    /// pass would need a fourth derivative, which is not provided).
     pub fn activation(&mut self, a: Var, act: Activation, order: u8) -> Result<Var, AutodiffError> {
-        assert!(order <= 2, "activation order {order} not differentiable (max 2)");
+        if order > 2 {
+            return Err(AutodiffError::UnsupportedOrder { order, max: 2 });
+        }
         self.check(a)?;
         // Pooled elementwise evaluation: collocation batches run thousands
         // of rows through transcendental activations per forward pass.

@@ -52,8 +52,15 @@ pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
             .trim()
             .split_once(char::is_whitespace)
             .ok_or_else(|| format!("allowlist line {source_line}: expected `<lint> <path>`"))?;
+        let lint_id = lint_id.trim();
+        if !lint::ALL.contains(&lint_id) {
+            return Err(format!(
+                "allowlist line {source_line}: unknown lint id `{lint_id}` (known: {})",
+                lint::ALL.join(", ")
+            ));
+        }
         entries.push(AllowEntry {
-            lint: lint_id.trim().to_string(),
+            lint: lint_id.to_string(),
             path: path.trim().to_string(),
             justification: justification.to_string(),
             source_line,
@@ -119,6 +126,17 @@ mod tests {
         assert!(parse("determinism-time crates/x.rs\n").is_err());
         assert!(parse("determinism-time crates/x.rs :: \n").is_err());
         assert!(parse("lonely-token :: why\n").is_err());
+    }
+
+    #[test]
+    fn unknown_lint_ids_are_rejected_at_parse_time() {
+        let err = parse("determinism-tmie crates/x.rs :: typo\n").unwrap_err();
+        assert!(err.contains("unknown lint id"), "{err}");
+        // Every new-family id is a valid allowlist key.
+        for id in ["lock-order", "float-eq", "float-cmp-unwrap", "float-as-lossy"] {
+            let text = format!("{id} crates/x.rs :: argued exception\n");
+            assert_eq!(parse(&text).unwrap().len(), 1, "{id}");
+        }
     }
 
     #[test]

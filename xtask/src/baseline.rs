@@ -112,7 +112,9 @@ mod tests {
     use super::*;
 
     fn sites(n: usize) -> Vec<PanicSite> {
-        (0..n).map(|i| PanicSite { line: i + 1, what: ".unwrap()".into() }).collect()
+        (0..n)
+            .map(|i| PanicSite { line: i + 1, offset: i * 10, what: ".unwrap()".into() })
+            .collect()
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! The float-determinism lint family over result-producing crates.
+//!
+//! PERFORMANCE.md promises bitwise-identical results at any thread count;
+//! these lints catch the three habits that quietly break that promise or
+//! smuggle panics into numeric code:
+//!
+//! * [`lint::FLOAT_EQ`] — `==`/`!=` with a floating-point operand
+//!   (a float literal, or an identifier declared `: f64`/`: f32`
+//!   anywhere in the file). Exact comparison is order-sensitive once
+//!   reductions are reassociated; use a tolerance, or allowlist genuine
+//!   exact-zero sentinel checks.
+//! * [`lint::FLOAT_CMP_UNWRAP`] — `partial_cmp(..)` chained into
+//!   `.unwrap()`/`.expect(..)`: panics on NaN, and `sort_by` keys built
+//!   this way make whole pipelines panic-capable. Use `total_cmp`.
+//! * [`lint::FLOAT_AS_LOSSY`] — `as f32` anywhere (silent precision
+//!   loss), and float-to-integer `as` casts (saturating, rounds toward
+//!   zero). Deliberate precision-lowering modules go in the allowlist.
+
+use crate::items;
+use crate::lexer::{is_float_literal, lex, TokKind};
+use crate::lints::{lint, Diagnostic, FileClass, FileKind, HASH_LINT_CRATES};
+use crate::scanner::ScannedFile;
+
+const INT_TYPES: &[&str] =
+    &["i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize"];
+
+/// Runs the family over one file, appending findings.
+pub fn check(file: &ScannedFile, class: &FileClass, out: &mut Vec<Diagnostic>) {
+    if class.kind != FileKind::Library || !HASH_LINT_CRATES.contains(&class.crate_name.as_str()) {
+        return;
+    }
+    let toks = lex(&file.masked);
+    let texts: Vec<&str> = toks.iter().map(|t| t.text(&file.masked)).collect();
+
+    // Identifiers declared as floats (`x: f64`, `y: &mut f32`), scoped to
+    // the enclosing function: a `v: f64` parameter in one helper must not
+    // turn every other function's `v` into a float. Declarations outside
+    // any function (struct fields, consts) land in the file-wide set.
+    let fns = items::extract(file, 0, &class.crate_name).fns;
+    let enclosing_fn =
+        |off: usize| -> Option<usize> { fns.iter().position(|f| f.sig.0 <= off && off < f.body.1) };
+    let mut file_wide = std::collections::BTreeSet::new();
+    let mut per_fn: Vec<std::collections::BTreeSet<&str>> =
+        vec![std::collections::BTreeSet::new(); fns.len()];
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || texts.get(i + 1) != Some(&":") {
+            continue;
+        }
+        let mut j = i + 2;
+        while matches!(texts.get(j), Some(&"&") | Some(&"mut")) {
+            j += 1;
+        }
+        if matches!(texts.get(j), Some(&"f64") | Some(&"f32")) {
+            match enclosing_fn(toks[i].start) {
+                Some(f) => {
+                    per_fn[f].insert(texts[i]);
+                }
+                None => {
+                    file_wide.insert(texts[i]);
+                }
+            }
+        }
+    }
+
+    let is_float_operand = |idx: usize| -> bool {
+        let Some(t) = toks.get(idx) else { return false };
+        match t.kind {
+            TokKind::Number => is_float_literal(texts[idx]),
+            TokKind::Ident => {
+                // A bare identifier only: `v.shape()` or `v(…)` is the
+                // *result* of a call, whose type the ident's cannot prove.
+                if matches!(texts.get(idx + 1), Some(&".") | Some(&"(") | Some(&"::")) {
+                    return false;
+                }
+                file_wide.contains(texts[idx])
+                    || enclosing_fn(t.start).is_some_and(|f| per_fn[f].contains(texts[idx]))
+            }
+            _ => false,
+        }
+    };
+
+    for i in 0..toks.len() {
+        let off = toks[i].start;
+        if file.in_test_code(off) {
+            continue;
+        }
+        match (toks[i].kind, texts[i]) {
+            (TokKind::Punct, "==" | "!=")
+                if is_float_operand(i.wrapping_sub(1)) || is_float_operand(i + 1) =>
+            {
+                out.push(Diagnostic {
+                    lint: lint::FLOAT_EQ,
+                    path: file.path.clone(),
+                    line: file.line_of(off),
+                    message: format!(
+                        "exact float comparison `{}`: reassociated reductions make this \
+                         order-sensitive; compare against a tolerance (or allowlist an \
+                         exact-zero sentinel check with an argument)",
+                        texts[i]
+                    ),
+                });
+            }
+            (TokKind::Ident, "partial_cmp") if texts.get(i + 1) == Some(&"(") => {
+                if let Some(close) = matching_close(&texts, i + 1) {
+                    if texts.get(close + 1) == Some(&".")
+                        && matches!(texts.get(close + 2), Some(&"unwrap") | Some(&"expect"))
+                    {
+                        out.push(Diagnostic {
+                            lint: lint::FLOAT_CMP_UNWRAP,
+                            path: file.path.clone(),
+                            line: file.line_of(off),
+                            message: "`partial_cmp(..).unwrap()` panics on NaN and makes the \
+                                      comparison panic-capable; use `total_cmp` for float keys"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+            (TokKind::Ident, "as") => {
+                let target = texts.get(i + 1).copied().unwrap_or("");
+                if target == "f32" {
+                    out.push(Diagnostic {
+                        lint: lint::FLOAT_AS_LOSSY,
+                        path: file.path.clone(),
+                        line: file.line_of(off),
+                        message: "`as f32` silently narrows precision in a result-producing \
+                                  crate; keep f64 end-to-end or allowlist the deliberate \
+                                  lowering module"
+                            .to_string(),
+                    });
+                } else if INT_TYPES.contains(&target) && is_float_operand(i.wrapping_sub(1)) {
+                    out.push(Diagnostic {
+                        lint: lint::FLOAT_AS_LOSSY,
+                        path: file.path.clone(),
+                        line: file.line_of(off),
+                        message: format!(
+                            "float `as {target}` truncates toward zero and saturates; round \
+                             explicitly (`.round()`/`.floor()`) before converting"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_close(texts: &[&str], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in texts.iter().enumerate().skip(open) {
+        match *t {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::classify;
+
+    fn fired(path: &str, src: &str) -> Vec<&'static str> {
+        let file = ScannedFile::new(path, src);
+        let class = classify(path).unwrap();
+        let mut out = Vec::new();
+        check(&file, &class, &mut out);
+        out.iter().map(|d| d.lint).collect()
+    }
+
+    #[test]
+    fn float_eq_fires_on_literals_and_declared_floats() {
+        let src = "fn f(omega: f64) -> bool { omega == 0.0 }\n";
+        assert_eq!(fired("crates/linalg/src/x.rs", src), vec![lint::FLOAT_EQ]);
+
+        let src =
+            "fn f(n: usize, tol: f64) -> bool { let eps: f64 = 1e-9; n == 3 && tol != eps }\n";
+        assert_eq!(fired("crates/linalg/src/x.rs", src), vec![lint::FLOAT_EQ]);
+    }
+
+    #[test]
+    fn integer_comparisons_do_not_fire() {
+        let src = "fn f(n: usize, m: usize) -> bool { n == m && n != 0 }\n";
+        assert!(fired("crates/linalg/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_fires_and_total_cmp_does_not() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        assert_eq!(fired("crates/core/src/x.rs", src), vec![lint::FLOAT_CMP_UNWRAP]);
+
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }\n";
+        assert!(fired("crates/core/src/x.rs", src).is_empty());
+
+        let src = "fn f(a: f64, b: f64) -> Option<std::cmp::Ordering> { a.partial_cmp(&b) }\n";
+        assert!(fired("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lossy_casts_fire_for_f32_and_float_to_int() {
+        assert_eq!(
+            fired("crates/nn/src/x.rs", "fn f(x: f64) -> f32 { x as f32 }\n"),
+            vec![lint::FLOAT_AS_LOSSY]
+        );
+        assert_eq!(
+            fired("crates/nn/src/x.rs", "fn f(x: f64) -> usize { x as usize }\n"),
+            vec![lint::FLOAT_AS_LOSSY]
+        );
+        // Integer-to-integer casts are not this lint's business.
+        assert!(fired("crates/nn/src/x.rs", "fn f(x: u64) -> usize { x as usize }\n").is_empty());
+    }
+
+    #[test]
+    fn float_idents_are_scoped_to_their_function() {
+        // `v: f64` in one helper must not make another function's `v`
+        // (a u64 here) or `v.shape()` (a method result) float operands.
+        let src = "fn push_f64(buf: &mut Vec<u8>, v: f64) { buf.push(v as u8); }\n\
+                   fn read_count(v: u64) -> usize { v as usize }\n\
+                   fn shapes_match(m: &M, v: &M) -> bool { m.shape() != v.shape() }\n";
+        let fired_lints = fired("crates/core/src/x.rs", src);
+        // The helper's own `v as u8` is a genuine float-to-int cast.
+        assert_eq!(fired_lints, vec![lint::FLOAT_AS_LOSSY]);
+    }
+
+    #[test]
+    fn scope_is_result_producing_library_code_only() {
+        let eq = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        // telemetry is not a result-producing crate.
+        assert!(fired("crates/telemetry/src/x.rs", eq).is_empty());
+        // Test modules are exempt.
+        let test_src = "#[cfg(test)]\nmod tests { fn t(x: f64) -> bool { x == 0.0 } }\n";
+        assert!(fired("crates/linalg/src/x.rs", test_src).is_empty());
+    }
+}

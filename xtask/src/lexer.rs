@@ -1,0 +1,226 @@
+//! A token-level lexer over **masked** Rust source (see [`crate::scanner`]).
+//!
+//! The masking scanner already erased comment and literal bodies, so the
+//! lexer only has to split the remaining code into identifiers, numbers,
+//! lifetimes and punctuation — enough for the item extractor and
+//! call-graph builder to walk real syntax instead of regex-matching it.
+//! Offsets are byte offsets into the original file (masking preserves
+//! length), so every token can be mapped back to a line number.
+
+/// Token classes the downstream passes distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Mutex`, `r#match` minus the `r#`).
+    Ident,
+    /// Numeric literal (`3`, `0.5e-3`, `0xff`, `1_000f64`).
+    Number,
+    /// Lifetime (`'a`, `'_`) — char literals were masked away.
+    Lifetime,
+    /// Punctuation, possibly multi-byte (`::`, `->`, `==`, `..=`).
+    Punct,
+}
+
+/// One token: kind plus byte span in the (masked) source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text, sliced out of the masked source it was lexed from.
+    pub fn text<'a>(&self, masked: &'a [u8]) -> &'a str {
+        std::str::from_utf8(&masked[self.start..self.end]).unwrap_or("")
+    }
+}
+
+/// Multi-byte punctuation, longest-first so prefixes never shadow. `<<`
+/// and `>>` are deliberately absent: splitting shifts into two tokens lets
+/// generic-argument scanners treat every `<`/`>` individually.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes masked source into tokens. Whitespace (including every masked
+/// literal/comment byte) separates tokens and is never part of one.
+pub fn lex(masked: &[u8]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < masked.len() {
+        let b = masked[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b == b'r'
+            && masked.get(i + 1) == Some(&b'#')
+            && masked.get(i + 2).is_some_and(|&c| is_ident_start(c))
+        {
+            // Raw identifier `r#type`: token text is the bare name.
+            let start = i + 2;
+            let end = ident_end(masked, start);
+            toks.push(Tok { kind: TokKind::Ident, start, end });
+            i = end;
+        } else if is_ident_start(b) {
+            let end = ident_end(masked, i);
+            toks.push(Tok { kind: TokKind::Ident, start: i, end });
+            i = end;
+        } else if b.is_ascii_digit() {
+            let end = number_end(masked, i);
+            toks.push(Tok { kind: TokKind::Number, start: i, end });
+            i = end;
+        } else if b == b'\'' {
+            // Char-literal quotes were masked to spaces, so a surviving
+            // `'` opens a lifetime.
+            let end = ident_end(masked, i + 1);
+            toks.push(Tok { kind: TokKind::Lifetime, start: i, end });
+            i = end.max(i + 1);
+        } else {
+            let mut len = 1;
+            for p in MULTI_PUNCT {
+                if masked[i..].starts_with(p.as_bytes()) {
+                    len = p.len();
+                    break;
+                }
+            }
+            toks.push(Tok { kind: TokKind::Punct, start: i, end: i + len });
+            i += len;
+        }
+    }
+    toks
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn ident_end(masked: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < masked.len() && is_ident_byte(masked[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Scans a numeric literal: digits/underscores/type suffixes, a decimal
+/// point only when a digit follows (so `0.0..2.0` splits before `..`),
+/// and exponent signs (`1e-3`).
+fn number_end(masked: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < masked.len() {
+        let b = masked[i];
+        if is_ident_byte(b) {
+            if (b == b'e' || b == b'E')
+                && !masked[start..].starts_with(b"0x")
+                && matches!(masked.get(i + 1), Some(&b'+') | Some(&b'-'))
+                && masked.get(i + 2).is_some_and(u8::is_ascii_digit)
+            {
+                i += 2; // consume the exponent sign along with `e`
+            }
+            i += 1;
+        } else if b == b'.' && masked.get(i + 1).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Whether a [`TokKind::Number`] token is a floating-point literal: it
+/// contains a decimal point, a (non-hex) exponent, or an `f32`/`f64`
+/// suffix.
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.bytes().any(|b| b == b'e' || b == b'E')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::mask_source;
+
+    fn texts(src: &str) -> Vec<String> {
+        let masked = mask_source(src.as_bytes());
+        lex(&masked).iter().map(|t| t.text(&masked).to_string()).collect()
+    }
+
+    #[test]
+    fn splits_identifiers_paths_and_calls() {
+        let t = texts("fn f() { self.queue.state.lock() }");
+        assert_eq!(
+            t,
+            vec![
+                "fn", "f", "(", ")", "{", "self", ".", "queue", ".", "state", ".", "lock", "(",
+                ")", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_byte_punctuation_is_one_token() {
+        let t = texts("a::b -> c == d != e && f ..= g");
+        assert!(t.contains(&"::".to_string()));
+        assert!(t.contains(&"->".to_string()));
+        assert!(t.contains(&"==".to_string()));
+        assert!(t.contains(&"!=".to_string()));
+        assert!(t.contains(&"..=".to_string()));
+    }
+
+    #[test]
+    fn float_ranges_split_before_dotdot() {
+        let t = texts("(0.0..2.0).contains(&omega)");
+        assert!(t.contains(&"0.0".to_string()));
+        assert!(t.contains(&"..".to_string()));
+        assert!(t.contains(&"2.0".to_string()));
+    }
+
+    #[test]
+    fn exponents_and_suffixes_stay_in_one_number() {
+        let t = texts("let x = 1.5e-3 + 2f64 + 0xff;");
+        assert!(t.contains(&"1.5e-3".to_string()), "{t:?}");
+        assert!(t.contains(&"2f64".to_string()));
+        assert!(t.contains(&"0xff".to_string()));
+    }
+
+    #[test]
+    fn float_literal_classification() {
+        assert!(is_float_literal("1.0"));
+        assert!(is_float_literal("1e9"));
+        assert!(is_float_literal("2f64"));
+        assert!(is_float_literal("3f32"));
+        assert!(!is_float_literal("3"));
+        assert!(!is_float_literal("0xfe"));
+        assert!(!is_float_literal("1_000"));
+    }
+
+    #[test]
+    fn lifetimes_and_raw_idents() {
+        let t = texts("fn f<'a>(x: &'a r#type) {}");
+        assert!(t.contains(&"'a".to_string()));
+        assert!(t.contains(&"type".to_string()), "{t:?}");
+    }
+
+    #[test]
+    fn masked_strings_produce_no_tokens() {
+        let t = texts(r#"call("unwrap() inside a string")"#);
+        assert_eq!(t, vec!["call", "(", ")"]);
+    }
+
+    #[test]
+    fn shifts_split_into_single_angles() {
+        let t = texts("Vec<Vec<u8>>");
+        assert_eq!(t.iter().filter(|s| s.as_str() == ">").count(), 2);
+    }
+}

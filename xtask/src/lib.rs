@@ -29,9 +29,16 @@
 pub mod allowlist;
 pub mod baseline;
 pub mod benchcheck;
+pub mod callgraph;
+pub mod floatlint;
+pub mod items;
 pub mod json;
+pub mod lexer;
 pub mod lints;
+pub mod locks;
 pub mod metricsdoc;
+pub mod reach;
+pub mod report;
 pub mod scanner;
 
 use std::collections::BTreeMap;
@@ -44,6 +51,10 @@ use scanner::ScannedFile;
 pub const ALLOWLIST_PATH: &str = "xtask/lint-allow.txt";
 /// Relative path of the panic-freedom ratchet file.
 pub const BASELINE_PATH: &str = "xtask/panic-baseline.txt";
+/// Relative path of the panic-reachability ratchet file.
+pub const REACH_BASELINE_PATH: &str = "xtask/panic-reach-baseline.txt";
+/// Where `cargo xtask lint` writes the machine-readable report.
+pub const REPORT_PATH: &str = "target/analysis-report.json";
 
 /// Directory names never descended into during the workspace walk.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".cargo"];
@@ -61,6 +72,14 @@ pub struct LintOutcome {
     pub unsafe_inventory: Vec<UnsafeSite>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Functions in the call graph (library code of classified crates).
+    pub functions: usize,
+    /// Resolved call edges in the graph.
+    pub call_edges: usize,
+    /// Per-entry-point panic-reachability verdicts.
+    pub reach: reach::ReachReport,
+    /// The lock-order graph and any cycles.
+    pub locks: locks::LockReport,
 }
 
 impl LintOutcome {
@@ -81,18 +100,23 @@ pub fn lint_sources(
     sources: &[(String, String)],
     allowlist_text: &str,
     baseline_text: &str,
+    reach_baseline_text: &str,
 ) -> Result<LintOutcome, String> {
     let allow = allowlist::parse(allowlist_text)?;
     let base = baseline::parse(baseline_text)?;
+    let reach_base = reach::parse_baseline(reach_baseline_text)?;
 
     let mut raw_diags = Vec::new();
     let mut outcome = LintOutcome::default();
+    let mut lib_files = Vec::new();
+    let mut lib_classes = Vec::new();
     for (path, text) in sources {
         let Some(class) = lints::classify(path) else { continue };
         let file = ScannedFile::new(path.clone(), text.clone());
         outcome.files_scanned += 1;
         lints::check_determinism(&file, &class, &mut raw_diags);
         lints::check_unsafe(&file, &class, &mut raw_diags);
+        floatlint::check(&file, &class, &mut raw_diags);
         if class.kind == FileKind::Library && PANIC_LINT_CRATES.contains(&class.crate_name.as_str())
         {
             let sites = lints::count_panic_sites(&file);
@@ -105,10 +129,24 @@ pub fn lint_sources(
         {
             outcome.unsafe_inventory.extend(lints::unsafe_sites(&file));
         }
+        if class.kind == FileKind::Library {
+            lib_files.push(file);
+            lib_classes.push(class);
+        }
     }
 
+    // The workspace analyses: call graph, panic reachability, lock order.
+    let ws = callgraph::Workspace::build(lib_files, lib_classes);
+    outcome.functions = ws.fns.len();
+    outcome.call_edges = ws.edge_count();
+    outcome.reach = reach::analyze(&ws);
+    outcome.locks = locks::analyze(&ws, &mut raw_diags);
+
     let (mut kept, suppressed) = allowlist::apply(raw_diags, &allow);
+    // Ratchet diagnostics bypass the allowlist: baselines are the only
+    // sanctioned exception mechanism for them.
     kept.extend(baseline::check(&outcome.panic_sites, &base));
+    kept.extend(reach::check(&outcome.reach, &reach_base));
     kept.sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
     outcome.violations = kept;
     outcome.suppressed = suppressed;
@@ -178,11 +216,13 @@ pub fn run_workspace_lint(root: &Path) -> Result<LintOutcome, String> {
     let sources = collect_sources(root)?;
     let allow_text = read_optional(&root.join(ALLOWLIST_PATH))?;
     let baseline_text = read_optional(&root.join(BASELINE_PATH))?;
-    lint_sources(&sources, &allow_text, &baseline_text)
+    let reach_baseline_text = read_optional(&root.join(REACH_BASELINE_PATH))?;
+    lint_sources(&sources, &allow_text, &baseline_text, &reach_baseline_text)
 }
 
-/// Rewrites the baseline from the current panic-site counts, returning the
-/// rendered text that was written.
+/// Rewrites both ratchet baselines (per-file panic counts and
+/// panic-reaching entry points) from the current outcome, returning the
+/// rendered panic-baseline text.
 ///
 /// # Errors
 ///
@@ -193,6 +233,10 @@ pub fn update_baseline(root: &Path, outcome: &LintOutcome) -> Result<String, Str
     let text = baseline::render(&counts);
     let path = root.join(BASELINE_PATH);
     std::fs::write(&path, &text).map_err(|e| format!("write {}: {e}", path.display()))?;
+    let reach_text = reach::render_baseline(&outcome.reach);
+    let reach_path = root.join(REACH_BASELINE_PATH);
+    std::fs::write(&reach_path, &reach_text)
+        .map_err(|e| format!("write {}: {e}", reach_path.display()))?;
     Ok(text)
 }
 
@@ -250,6 +294,17 @@ pub fn format_report(outcome: &LintOutcome, verbose: bool) -> String {
         panic_total,
         outcome.panic_sites.len(),
     ));
+    out.push_str(&format!(
+        "analysis: {} function(s), {} call edge(s); {} of {} entry point(s) reach a panic; \
+         {} lock(s), {} ordering edge(s), {} cycle(s)\n",
+        outcome.functions,
+        outcome.call_edges,
+        outcome.reach.reaching().len(),
+        outcome.reach.entries.len(),
+        outcome.locks.locks.len(),
+        outcome.locks.edges.len(),
+        outcome.locks.cycles.len(),
+    ));
     out
 }
 
@@ -264,14 +319,14 @@ mod tests {
             "crates/fdm/src/x.rs".to_string(),
             "fn f() -> Result<(), ()> { Ok(()) }\n".to_string(),
         )];
-        let outcome = lint_sources(&clean, "", "").unwrap();
+        let outcome = lint_sources(&clean, "", "", "").unwrap();
         assert!(outcome.is_clean(), "{:?}", outcome.violations);
 
         let dirty = vec![(
             "crates/fdm/src/x.rs".to_string(),
             "fn f() { let _ = std::time::Instant::now(); }\n".to_string(),
         )];
-        let outcome = lint_sources(&dirty, "", "").unwrap();
+        let outcome = lint_sources(&dirty, "", "", "").unwrap();
         assert_eq!(outcome.violations.len(), 1);
         assert_eq!(outcome.violations[0].lint, lint::DETERMINISM_TIME);
     }
@@ -282,7 +337,7 @@ mod tests {
             ("vendor/rand/src/lib.rs".to_string(), "fn f() { x.unwrap(); unsafe {} }".into()),
             ("xtask/tests/fixtures/bad.rs".to_string(), "fn f() { panic!(); }".into()),
         ];
-        let outcome = lint_sources(&sources, "", "").unwrap();
+        let outcome = lint_sources(&sources, "", "", "").unwrap();
         assert!(outcome.is_clean());
         assert_eq!(outcome.files_scanned, 0);
     }
@@ -294,7 +349,7 @@ mod tests {
             "#![allow(unused)]\n// SAFETY: sound because reasons.\nfn f(p: *const u8) { let _ = unsafe { p.read() }; }\n"
                 .to_string(),
         )];
-        let outcome = lint_sources(&sources, "", "").unwrap();
+        let outcome = lint_sources(&sources, "", "", "").unwrap();
         assert!(outcome.is_clean(), "{:?}", outcome.violations);
         assert_eq!(outcome.unsafe_inventory.len(), 1);
         assert!(outcome.unsafe_inventory[0].documented);

@@ -51,6 +51,41 @@ pub mod lint {
     /// Baseline entry for a file that no longer exists or now has fewer
     /// sites (must be re-ratcheted down).
     pub const BASELINE_STALE: &str = "baseline-stale";
+    /// Public entry point that newly reaches a panic site (call-graph
+    /// ratchet over `xtask/panic-reach-baseline.txt`).
+    pub const PANIC_REACH: &str = "panic-reach";
+    /// Reach-baseline entry for an entry point that no longer reaches a
+    /// panic (improvement must be locked in).
+    pub const REACH_BASELINE_STALE: &str = "reach-baseline-stale";
+    /// Two mutexes acquirable in conflicting orders along the call graph.
+    pub const LOCK_ORDER: &str = "lock-order";
+    /// `==`/`!=` with a floating-point operand in result-producing code.
+    pub const FLOAT_EQ: &str = "float-eq";
+    /// `partial_cmp(..).unwrap()`/`.expect(..)` — panics on NaN and makes
+    /// sort keys panic-capable.
+    pub const FLOAT_CMP_UNWRAP: &str = "float-cmp-unwrap";
+    /// Lossy `as` cast on a floating-point value in result-producing code.
+    pub const FLOAT_AS_LOSSY: &str = "float-as-lossy";
+
+    /// Every lint id the engine can emit — allowlist entries naming
+    /// anything else are typos and rejected at parse time.
+    pub const ALL: &[&str] = &[
+        DETERMINISM_TIME,
+        DETERMINISM_SPAWN,
+        DETERMINISM_HASH,
+        PANIC_FREEDOM,
+        UNSAFE_DENY,
+        UNSAFE_FORBIDDEN,
+        UNSAFE_UNDOCUMENTED,
+        ALLOWLIST_STALE,
+        BASELINE_STALE,
+        PANIC_REACH,
+        REACH_BASELINE_STALE,
+        LOCK_ORDER,
+        FLOAT_EQ,
+        FLOAT_CMP_UNWRAP,
+        FLOAT_AS_LOSSY,
+    ];
 }
 
 /// One lint finding at a source location.
@@ -211,6 +246,9 @@ pub fn check_determinism(file: &ScannedFile, class: &FileClass, out: &mut Vec<Di
 pub struct PanicSite {
     /// 1-based line.
     pub line: usize,
+    /// Byte offset of the matched token — lets the reachability pass
+    /// attribute the site to the enclosing function body.
+    pub offset: usize,
     /// What was matched (`unwrap`, `expect`, `panic!`, …).
     pub what: String,
 }
@@ -238,7 +276,11 @@ pub fn count_panic_sites(file: &ScannedFile) -> Vec<PanicSite> {
             if method == "expect" && expect_documents_invariant(file, after) {
                 continue;
             }
-            sites.push(PanicSite { line: file.line_of(off), what: format!(".{method}()") });
+            sites.push(PanicSite {
+                line: file.line_of(off),
+                offset: off,
+                what: format!(".{method}()"),
+            });
         }
     }
     for mac in ["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"]
@@ -250,7 +292,7 @@ pub fn count_panic_sites(file: &ScannedFile) -> Vec<PanicSite> {
             if file.masked.get(off + mac.len()) != Some(&b'!') {
                 continue;
             }
-            sites.push(PanicSite { line: file.line_of(off), what: format!("{mac}!") });
+            sites.push(PanicSite { line: file.line_of(off), offset: off, what: format!("{mac}!") });
         }
     }
     sites.sort_by_key(|s| s.line);

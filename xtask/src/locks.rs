@@ -1,0 +1,457 @@
+//! Lock-order analysis: a may-hold-while-acquiring graph over the
+//! `Mutex` fields of the concurrent crates, with cycle detection.
+//!
+//! Each `Mutex`-typed struct field gets a stable identity
+//! (`crate::Struct.field`). An acquisition is a `.lock()` call whose
+//! receiver chain types to such a field, or a call to a guard-returning
+//! wrapper (`fn … -> MutexGuard<…>`), which acquires the wrapper's own
+//! lock set at the call site. A guard bound with `let` is held to the end
+//! of its enclosing block (truncated at an explicit `drop(guard)`); an
+//! unbound temporary is held to the end of its statement. While a lock is
+//! held, every later acquisition in the region — direct, or transitively
+//! through any called function — adds a `held → acquired` edge. A cycle
+//! in that graph is a potential deadlock and fails as
+//! [`lint::LOCK_ORDER`]; argued false positives go in the allowlist.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::Workspace;
+use crate::lexer::{lex, Tok};
+use crate::lints::{lint, Diagnostic, FileKind};
+
+/// Crates whose mutexes participate in the analysis: the serving
+/// front-end, the thread pool, and the telemetry registry/sink.
+pub const LOCK_CRATES: &[&str] = &["serve", "parallel", "telemetry"];
+
+/// One `held → acquired` observation, with its witness site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock held at the point of acquisition.
+    pub held: String,
+    /// Lock being acquired.
+    pub acquired: String,
+    /// Qualified name of the function where this happens.
+    pub holder: String,
+    /// Workspace-relative file of the acquisition.
+    pub path: String,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+}
+
+/// Everything the pass learned, for the JSON report.
+#[derive(Debug, Clone, Default)]
+pub struct LockReport {
+    /// Every `Mutex` field identity discovered, sorted.
+    pub locks: Vec<String>,
+    /// Deduplicated ordering observations.
+    pub edges: Vec<LockEdge>,
+    /// Lock-id cycles (each sorted, the set deduplicated).
+    pub cycles: Vec<Vec<String>>,
+}
+
+/// One acquisition inside a function body.
+#[derive(Debug, Clone)]
+struct Acq {
+    /// Locks taken here (one for a direct `.lock()`, the wrapper's set
+    /// for a guard-returning call).
+    locks: Vec<String>,
+    /// Byte offset of the acquiring call.
+    offset: usize,
+    /// Byte offset where the guard is provably dead.
+    hold_end: usize,
+}
+
+/// Runs the pass, appending a diagnostic per cycle.
+pub fn analyze(ws: &Workspace, out: &mut Vec<Diagnostic>) -> LockReport {
+    let in_scope: Vec<bool> = (0..ws.fns.len())
+        .map(|id| {
+            let f = &ws.fns[id];
+            let class = &ws.classes[f.file];
+            !f.is_test
+                && class.kind == FileKind::Library
+                && LOCK_CRATES.contains(&class.crate_name.as_str())
+        })
+        .collect();
+
+    // Pass A: direct mutex-field acquisitions per function.
+    let mut direct: Vec<Vec<Acq>> = vec![Vec::new(); ws.fns.len()];
+    let mut all_locks = BTreeSet::new();
+    for id in 0..ws.fns.len() {
+        if !in_scope[id] {
+            continue;
+        }
+        for site in &ws.calls[id] {
+            if site.name != "lock" {
+                continue;
+            }
+            let crate::callgraph::CallKind::Method(chain) = &site.kind else { continue };
+            let Some((sid, field, ty)) = ws.chain_final_field(id, chain) else { continue };
+            if !ty.contains("Mutex<") {
+                continue;
+            }
+            let s = &ws.structs[sid];
+            let lock = format!("{}::{}.{}", s.crate_name, s.name, field);
+            all_locks.insert(lock.clone());
+            direct[id].push(Acq { locks: vec![lock], offset: site.offset, hold_end: 0 });
+        }
+    }
+
+    // Guard-returning wrappers acquire their direct set at the caller.
+    let wrapper_locks: BTreeMap<usize, Vec<String>> = (0..ws.fns.len())
+        .filter(|&id| {
+            in_scope[id] && ws.fns[id].ret.contains("MutexGuard") && !direct[id].is_empty()
+        })
+        .map(|id| {
+            let mut locks: Vec<String> =
+                direct[id].iter().flat_map(|a| a.locks.iter().cloned()).collect();
+            locks.sort();
+            locks.dedup();
+            (id, locks)
+        })
+        .collect();
+
+    // Pass B: full acquisition lists with hold regions.
+    let mut acqs: Vec<Vec<Acq>> = vec![Vec::new(); ws.fns.len()];
+    for id in 0..ws.fns.len() {
+        if !in_scope[id] {
+            continue;
+        }
+        let mut list = direct[id].clone();
+        for site in &ws.calls[id] {
+            let locks: Vec<String> = site
+                .targets
+                .iter()
+                .filter_map(|t| wrapper_locks.get(t))
+                .flat_map(|ls| ls.iter().cloned())
+                .collect();
+            if !locks.is_empty() {
+                list.push(Acq { locks, offset: site.offset, hold_end: 0 });
+            }
+        }
+        if list.is_empty() {
+            continue;
+        }
+        let f = &ws.fns[id];
+        let file = &ws.files[f.file];
+        let toks = lex(&file.masked[f.body.0..f.body.1]);
+        let texts: Vec<&str> = toks
+            .iter()
+            .map(|t| {
+                std::str::from_utf8(&file.masked[f.body.0 + t.start..f.body.0 + t.end])
+                    .unwrap_or("")
+            })
+            .collect();
+        for acq in &mut list {
+            acq.hold_end = hold_end(&toks, &texts, f.body, acq.offset);
+        }
+        list.sort_by_key(|a| a.offset);
+        acqs[id] = list;
+    }
+
+    // Transitive lock sets along call edges, to fixpoint.
+    let mut trans: Vec<BTreeSet<String>> = acqs
+        .iter()
+        .map(|list| list.iter().flat_map(|a| a.locks.iter().cloned()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..ws.fns.len() {
+            for &callee in &ws.edges[id] {
+                let add: Vec<String> =
+                    trans[callee].iter().filter(|l| !trans[id].contains(*l)).cloned().collect();
+                if !add.is_empty() {
+                    trans[id].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Held-while-acquiring edges.
+    let mut edges = BTreeSet::new();
+    for id in 0..ws.fns.len() {
+        if acqs[id].is_empty() {
+            continue;
+        }
+        let f = &ws.fns[id];
+        let file = &ws.files[f.file];
+        for a in &acqs[id] {
+            for b in &acqs[id] {
+                if b.offset > a.offset && b.offset < a.hold_end {
+                    for held in &a.locks {
+                        for acquired in &b.locks {
+                            edges.insert(LockEdge {
+                                held: held.clone(),
+                                acquired: acquired.clone(),
+                                holder: f.qualified(),
+                                path: file.path.clone(),
+                                line: file.line_of(b.offset),
+                            });
+                        }
+                    }
+                }
+            }
+            for site in &ws.calls[id] {
+                if site.offset <= a.offset || site.offset >= a.hold_end {
+                    continue;
+                }
+                for &t in &site.targets {
+                    for acquired in &trans[t] {
+                        for held in &a.locks {
+                            edges.insert(LockEdge {
+                                held: held.clone(),
+                                acquired: acquired.clone(),
+                                holder: f.qualified(),
+                                path: file.path.clone(),
+                                line: file.line_of(site.offset),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let edges: Vec<LockEdge> = edges.into_iter().collect();
+
+    let cycles = find_cycles(&edges);
+    for cycle in &cycles {
+        let witness = edges
+            .iter()
+            .find(|e| cycle.contains(&e.held) && cycle.contains(&e.acquired))
+            .expect("invariant: every reported cycle is built from at least one edge");
+        let mut loop_text = cycle.join(" -> ");
+        loop_text.push_str(" -> ");
+        loop_text.push_str(&cycle[0]);
+        out.push(Diagnostic {
+            lint: lint::LOCK_ORDER,
+            path: witness.path.clone(),
+            line: witness.line,
+            message: format!(
+                "lock-order cycle {loop_text} (e.g. `{}` acquires {} while holding {}): \
+                 pick one acquisition order or drop the guard first",
+                witness.holder, witness.acquired, witness.held
+            ),
+        });
+    }
+
+    LockReport { locks: all_locks.into_iter().collect(), edges, cycles }
+}
+
+/// Where the guard taken at `offset` dies: end of the enclosing block for
+/// a `let`-bound guard (truncated at `drop(name)`), end of the statement
+/// for a temporary. `body` is the byte span the tokens were lexed from.
+fn hold_end(toks: &[Tok], texts: &[&str], body: (usize, usize), offset: usize) -> usize {
+    let rel = offset - body.0;
+    let Some(site) = toks.iter().position(|t| t.start == rel) else { return offset };
+
+    // Walk back over the receiver chain (`ident .` pairs) to the start of
+    // the expression, then decide whether a `let` binds it.
+    let mut expr = site;
+    while expr >= 2 && texts[expr - 1] == "." {
+        expr -= 2;
+    }
+    let mut stmt = expr;
+    while stmt > 0 && !matches!(texts[stmt - 1], ";" | "{" | "}") {
+        stmt -= 1;
+    }
+    let bound = (texts[stmt] == "let").then(|| {
+        let name_idx = if texts.get(stmt + 1) == Some(&"mut") { stmt + 2 } else { stmt + 1 };
+        texts.get(name_idx).copied().unwrap_or("")
+    });
+
+    match bound {
+        Some(name) => {
+            // To the end of the enclosing block, or an explicit drop.
+            let mut depth = 0i32;
+            for (i, t) in texts.iter().enumerate().skip(site + 1) {
+                match *t {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return body.0 + toks[i].start;
+                        }
+                    }
+                    "drop"
+                        if depth == 0
+                            && texts.get(i + 1) == Some(&"(")
+                            && texts.get(i + 2) == Some(&name) =>
+                    {
+                        return body.0 + toks[i].start;
+                    }
+                    _ => {}
+                }
+            }
+            body.1
+        }
+        None => {
+            // A temporary: to the `;` closing this statement.
+            let mut depth = 0i32;
+            for (i, t) in texts.iter().enumerate().skip(site + 1) {
+                match *t {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return body.0 + toks[i].start;
+                        }
+                    }
+                    ";" if depth == 0 => return body.0 + toks[i].start,
+                    _ => {}
+                }
+            }
+            body.1
+        }
+    }
+}
+
+/// Finds cycles in the lock graph: for every edge `a → b`, a path back
+/// `b ⇝ a` closes a cycle. Cycles are reported as their sorted node sets,
+/// deduplicated; a self-edge is a one-node cycle (std mutexes are not
+/// reentrant).
+fn find_cycles(edges: &[LockEdge]) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.held.as_str()).or_default().insert(e.acquired.as_str());
+    }
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for e in edges {
+        if e.held == e.acquired {
+            cycles.insert(vec![e.held.clone()]);
+            continue;
+        }
+        // BFS from `acquired` back to `held`.
+        let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(e.acquired.as_str());
+        let mut found = false;
+        while let Some(node) = queue.pop_front() {
+            if node == e.held {
+                found = true;
+                break;
+            }
+            for &next in adj.get(node).into_iter().flatten() {
+                if next != e.acquired.as_str() && !prev.contains_key(next) {
+                    prev.insert(next, node);
+                    queue.push_back(next);
+                }
+            }
+        }
+        if found {
+            let mut members = vec![e.acquired.clone()];
+            let mut cur = e.held.as_str();
+            while cur != e.acquired {
+                members.push(cur.to_string());
+                cur = prev.get(cur).copied().unwrap_or(e.acquired.as_str());
+            }
+            members.sort();
+            members.dedup();
+            cycles.insert(members);
+        }
+    }
+    cycles.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::{classify, FileClass};
+    use crate::scanner::ScannedFile;
+
+    fn run(sources: &[(&str, &str)]) -> (LockReport, Vec<Diagnostic>) {
+        let files: Vec<ScannedFile> =
+            sources.iter().map(|(p, s)| ScannedFile::new(*p, *s)).collect();
+        let classes: Vec<FileClass> = sources.iter().map(|(p, _)| classify(p).unwrap()).collect();
+        let ws = Workspace::build(files, classes);
+        let mut diags = Vec::new();
+        let report = analyze(&ws, &mut diags);
+        (report, diags)
+    }
+
+    const TWO_LOCKS: &str =
+        "struct A { m: Mutex<u32> }\nstruct B { n: Mutex<u32> }\nstruct S { a: A, b: B }\n";
+
+    #[test]
+    fn consistent_order_produces_edges_but_no_cycle() {
+        let src = format!(
+            "{TWO_LOCKS}impl S {{\n  fn one(&self) {{ let g = self.a.m.lock(); let h = self.b.n.lock(); }}\n  fn two(&self) {{ let g = self.a.m.lock(); let h = self.b.n.lock(); }}\n}}\n"
+        );
+        let (report, diags) = run(&[("crates/serve/src/lib.rs", src.as_str())]);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(report.locks, vec!["serve::A.m", "serve::B.n"]);
+        assert!(report.edges.iter().all(|e| e.held == "serve::A.m" && e.acquired == "serve::B.n"));
+        assert!(report.cycles.is_empty());
+    }
+
+    #[test]
+    fn seeded_deadlock_cycle_is_caught() {
+        let src = format!(
+            "{TWO_LOCKS}impl S {{\n  fn ab(&self) {{ let g = self.a.m.lock(); let h = self.b.n.lock(); }}\n  fn ba(&self) {{ let h = self.b.n.lock(); let g = self.a.m.lock(); }}\n}}\n"
+        );
+        let (report, diags) = run(&[("crates/serve/src/lib.rs", src.as_str())]);
+        assert_eq!(report.cycles, vec![vec!["serve::A.m".to_string(), "serve::B.n".to_string()]]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, lint::LOCK_ORDER);
+        assert!(diags[0].message.contains("lock-order cycle"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn cross_function_cycle_through_calls_is_caught() {
+        let src = format!(
+            "{TWO_LOCKS}impl S {{\n  fn ab(&self) {{ let g = self.a.m.lock(); self.take_b(); }}\n  fn take_b(&self) {{ let h = self.b.n.lock(); }}\n  fn ba(&self) {{ let h = self.b.n.lock(); self.take_a(); }}\n  fn take_a(&self) {{ let g = self.a.m.lock(); }}\n}}\n"
+        );
+        let (report, diags) = run(&[("crates/serve/src/lib.rs", src.as_str())]);
+        assert_eq!(report.cycles.len(), 1, "{:?}", report.edges);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn drop_and_block_scoping_end_the_hold_region() {
+        // `ab` drops the first guard before the second lock; `scoped`
+        // confines the guard to an inner block. Neither orders A before B.
+        let src = format!(
+            "{TWO_LOCKS}impl S {{\n  fn ab(&self) {{ let g = self.a.m.lock(); drop(g); let h = self.b.n.lock(); }}\n  fn scoped(&self) {{ {{ let g = self.a.m.lock(); }} let h = self.b.n.lock(); }}\n  fn ba(&self) {{ let h = self.b.n.lock(); let g = self.a.m.lock(); }}\n}}\n"
+        );
+        let (report, diags) = run(&[("crates/serve/src/lib.rs", src.as_str())]);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(report.cycles.is_empty(), "{:?}", report.edges);
+    }
+
+    #[test]
+    fn temporaries_hold_only_to_the_statement_end() {
+        let src = format!(
+            "{TWO_LOCKS}impl S {{\n  fn ab(&self) {{ *self.a.m.lock() += 1; let h = self.b.n.lock(); }}\n  fn ba(&self) {{ let h = self.b.n.lock(); drop(h); *self.a.m.lock() += 1; }}\n}}\n"
+        );
+        let (report, diags) = run(&[("crates/serve/src/lib.rs", src.as_str())]);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(report.cycles.is_empty(), "{:?}", report.edges);
+    }
+
+    #[test]
+    fn relocking_the_same_mutex_is_a_self_deadlock() {
+        let src = "struct A { m: Mutex<u32> }\nimpl A {\n  fn re(&self) { let g = self.m.lock(); let h = self.m.lock(); }\n}\n";
+        let (report, diags) = run(&[("crates/parallel/src/lib.rs", src)]);
+        assert_eq!(report.cycles, vec![vec!["parallel::A.m".to_string()]]);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn guard_returning_wrappers_charge_the_caller() {
+        let src = "struct Inner { v: u32 }\nstruct Q { inner: Mutex<Inner> }\nstruct B { n: Mutex<u32> }\nstruct S { q: Q, b: B }\nimpl Q { fn lock_inner(&self) -> MutexGuard<Inner> { self.inner.lock() } }\nimpl S {\n  fn ab(&self) { let g = self.q.lock_inner(); let h = self.b.n.lock(); }\n  fn ba(&self) { let h = self.b.n.lock(); let g = self.q.lock_inner(); }\n}\n";
+        let (report, diags) = run(&[("crates/serve/src/lib.rs", src)]);
+        assert_eq!(report.cycles.len(), 1, "{:?}", report.edges);
+        assert!(report.cycles[0].contains(&"serve::Q.inner".to_string()), "{:?}", report.cycles);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let src = "struct A { m: Mutex<u32> }\nimpl A { fn re(&self) { let g = self.m.lock(); let h = self.m.lock(); } }\n";
+        let (report, diags) = run(&[("crates/linalg/src/lib.rs", src)]);
+        assert!(report.locks.is_empty());
+        assert!(diags.is_empty());
+    }
+}

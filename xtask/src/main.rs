@@ -2,10 +2,11 @@
 //! `cargo xtask` — workspace automation. Two subcommands:
 //!
 //! ```text
-//! cargo xtask lint                   # run all lint families, exit 1 on violations
-//! cargo xtask lint --update-baseline # re-ratchet the panic baseline downward
+//! cargo xtask lint                   # run all lint families and analysis passes
+//! cargo xtask lint --update-baseline # re-ratchet the panic + reach baselines downward
 //! cargo xtask lint --unsafe-report   # print the unsafe-site inventory
 //! cargo xtask lint --verbose         # also show allowlist-suppressed findings
+//! cargo xtask lint --time-budget-secs N # fail if the analysis itself took >= N seconds
 //!
 //! cargo xtask benchcheck                    # gate fresh BENCH_*.json against the baseline
 //! cargo xtask benchcheck --dir target/bench # manifests live elsewhere
@@ -19,7 +20,7 @@
 
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose]\n       cargo xtask benchcheck [--dir DIR] [--update-baseline]\n       cargo xtask metrics-doc";
+const USAGE: &str = "usage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose] [--time-budget-secs N]\n       cargo xtask benchcheck [--dir DIR] [--update-baseline]\n       cargo xtask metrics-doc";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -135,11 +136,20 @@ fn lint(flags: &[String]) -> ExitCode {
     let mut update_baseline = false;
     let mut unsafe_report = false;
     let mut verbose = false;
-    for flag in flags {
+    let mut time_budget_secs: Option<u64> = None;
+    let mut iter = flags.iter();
+    while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--update-baseline" => update_baseline = true,
             "--unsafe-report" => unsafe_report = true,
             "--verbose" => verbose = true,
+            "--time-budget-secs" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => time_budget_secs = Some(secs),
+                None => {
+                    eprintln!("xtask lint: --time-budget-secs expects a number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("xtask lint: unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -147,6 +157,7 @@ fn lint(flags: &[String]) -> ExitCode {
         }
     }
 
+    let started = std::time::Instant::now();
     let root = xtask::workspace_root();
     let outcome = match xtask::run_workspace_lint(&root) {
         Ok(outcome) => outcome,
@@ -155,6 +166,32 @@ fn lint(flags: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let duration = started.elapsed();
+
+    // Emit the machine-readable report for CI regardless of the verdict.
+    let report_path = root.join(xtask::REPORT_PATH);
+    let duration_ms = u64::try_from(duration.as_millis()).unwrap_or(u64::MAX);
+    let rendered = xtask::report::render(&outcome, duration_ms);
+    if let Some(dir) = report_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(err) = std::fs::write(&report_path, rendered) {
+        eprintln!("xtask lint: cannot write {}: {err}", report_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    // The runtime budget keeps analysis growth from slowing the CI gate
+    // unnoticed; it gates the analysis itself, not subprocesses.
+    if let Some(budget) = time_budget_secs {
+        if duration.as_secs() >= budget {
+            eprintln!(
+                "xtask lint: analysis took {:.1}s, over the {budget}s budget — profile the \
+                 passes or raise the budget deliberately in CI",
+                duration.as_secs_f64()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     if unsafe_report {
         print!("{}", xtask::format_unsafe_report(&outcome.unsafe_inventory));
@@ -168,7 +205,11 @@ fn lint(flags: &[String]) -> ExitCode {
     if update_baseline {
         match xtask::update_baseline(&root, &outcome) {
             Ok(_) => {
-                eprintln!("xtask lint: baseline rewritten at {}", xtask::BASELINE_PATH);
+                eprintln!(
+                    "xtask lint: baselines rewritten at {} and {}",
+                    xtask::BASELINE_PATH,
+                    xtask::REACH_BASELINE_PATH
+                );
                 // Re-run against the fresh baseline so the exit code
                 // reflects the post-update state.
                 return match xtask::run_workspace_lint(&root) {

@@ -1,0 +1,277 @@
+//! Panic-reachability: which public entry points can transitively hit a
+//! panic-capable site.
+//!
+//! Seeds are the sites [`crate::lints::count_panic_sites`] already
+//! inventories (so `expect("invariant: …")` and `debug_assert!` stay
+//! exempt), attributed to their enclosing functions; reachability is a
+//! reverse BFS over the conservative call graph. The verdict per public
+//! entry point of the serving-facing crates is ratcheted in
+//! `xtask/panic-reach-baseline.txt`: the set of panic-reaching entries can
+//! only shrink. A new entry in the set fails as [`lint::PANIC_REACH`]; an
+//! entry that stopped reaching panics fails as
+//! [`lint::REACH_BASELINE_STALE`] until `--update-baseline` locks the
+//! improvement in.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::Workspace;
+use crate::lints::{self, lint, Diagnostic, FileKind};
+
+/// Crates whose panic sites seed the reachability analysis: the ratcheted
+/// library crates plus the thread pool (whose panic-propagation sites are
+/// deliberate but still count as reachable panics for callers).
+pub const REACH_PANIC_CRATES: &[&str] =
+    &["linalg", "fdm", "nn", "autodiff", "core", "serve", "parallel"];
+
+/// Crates whose `pub` functions count as analyzed entry points — the
+/// serving stack a shard operator actually calls into.
+pub const ENTRY_CRATES: &[&str] = &["serve", "core", "parallel"];
+
+/// The reachability verdict for one public entry point.
+#[derive(Debug, Clone)]
+pub struct EntryVerdict {
+    /// Qualified name, e.g. `serve::frontend::Frontend::submit`.
+    pub qualified: String,
+    /// Workspace-relative file declaring the entry.
+    pub path: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// Whether a panic site is transitively reachable.
+    pub reaches_panic: bool,
+    /// A shortest witness path (qualified names, entry first, panicking
+    /// function last); empty when `reaches_panic` is false.
+    pub example_path: Vec<String>,
+    /// The witness panic site (`path:line what`), when one exists.
+    pub example_site: String,
+}
+
+/// The full reachability report.
+#[derive(Debug, Clone, Default)]
+pub struct ReachReport {
+    /// Every entry point, sorted by qualified name.
+    pub entries: Vec<EntryVerdict>,
+}
+
+impl ReachReport {
+    /// Qualified names of entries that reach a panic.
+    pub fn reaching(&self) -> BTreeSet<String> {
+        self.entries.iter().filter(|e| e.reaches_panic).map(|e| e.qualified.clone()).collect()
+    }
+}
+
+/// Runs the pass over a built workspace.
+pub fn analyze(ws: &Workspace) -> ReachReport {
+    // Attribute panic sites to their enclosing functions.
+    let mut seed_site: BTreeMap<usize, String> = BTreeMap::new();
+    for (file_idx, (file, class)) in ws.files.iter().zip(&ws.classes).enumerate() {
+        if class.kind != FileKind::Library
+            || !REACH_PANIC_CRATES.contains(&class.crate_name.as_str())
+        {
+            continue;
+        }
+        for site in lints::count_panic_sites(file) {
+            let owner = ws.fns.iter().position(|f| {
+                f.file == file_idx
+                    && !f.is_test
+                    && f.body.0 <= site.offset
+                    && site.offset < f.body.1
+            });
+            if let Some(id) = owner {
+                seed_site
+                    .entry(id)
+                    .or_insert_with(|| format!("{}:{} {}", file.path, site.line, site.what));
+            }
+        }
+    }
+    let seeds: BTreeSet<usize> = seed_site.keys().copied().collect();
+    let hit = ws.reaches(&seeds);
+
+    let mut entries = Vec::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        let class = &ws.classes[f.file];
+        if !f.is_pub
+            || f.is_test
+            || class.kind != FileKind::Library
+            || !ENTRY_CRATES.contains(&class.crate_name.as_str())
+        {
+            continue;
+        }
+        let file = &ws.files[f.file];
+        let mut verdict = EntryVerdict {
+            qualified: f.qualified(),
+            path: file.path.clone(),
+            line: file.line_of(f.sig.0),
+            reaches_panic: hit[id],
+            example_path: Vec::new(),
+            example_site: String::new(),
+        };
+        if hit[id] {
+            if let Some(path) = ws.path_to(id, &seeds) {
+                verdict.example_site =
+                    path.last().and_then(|last| seed_site.get(last)).cloned().unwrap_or_default();
+                verdict.example_path =
+                    path.into_iter().map(|fid| ws.fns[fid].qualified()).collect();
+            }
+        }
+        entries.push(verdict);
+    }
+    entries.sort_by(|a, b| a.qualified.cmp(&b.qualified));
+    entries.dedup_by(|a, b| a.qualified == b.qualified);
+    ReachReport { entries }
+}
+
+/// Parses the reach baseline: one qualified entry name per line, `#`
+/// comments and blanks ignored.
+///
+/// # Errors
+///
+/// Returns a message naming a malformed (whitespace-containing) line.
+pub fn parse_baseline(text: &str) -> Result<BTreeSet<String>, String> {
+    let mut set = BTreeSet::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.contains(char::is_whitespace) {
+            return Err(format!(
+                "reach baseline line {}: expected one qualified entry name, got {line:?}",
+                idx + 1
+            ));
+        }
+        set.insert(line.to_string());
+    }
+    Ok(set)
+}
+
+/// Renders the checked-in baseline from the current report.
+pub fn render_baseline(report: &ReachReport) -> String {
+    let mut out = String::from(
+        "# Panic-reachability ratchet: public entry points of deepoheat-serve/core/parallel\n\
+         # from which a panic-capable site is transitively reachable along the conservative\n\
+         # call graph. The set may only shrink. Regenerate with\n\
+         # `cargo xtask lint --update-baseline` after cutting a path; a new entry here\n\
+         # fails `cargo xtask lint` as panic-reach.\n",
+    );
+    for name in report.reaching() {
+        out.push_str(name.as_str());
+        out.push('\n');
+    }
+    out
+}
+
+/// Ratchets the current report against the baseline. These diagnostics
+/// bypass the allowlist, like the per-file panic ratchet.
+pub fn check(report: &ReachReport, baseline: &BTreeSet<String>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for entry in &report.entries {
+        if entry.reaches_panic && !baseline.contains(&entry.qualified) {
+            out.push(Diagnostic {
+                lint: lint::PANIC_REACH,
+                path: entry.path.clone(),
+                line: entry.line,
+                message: format!(
+                    "public entry `{}` newly reaches a panic site ({}) via {} — cut the path \
+                     (typed error or `expect(\"invariant: …\")`) or re-ratchet deliberately",
+                    entry.qualified,
+                    entry.example_site,
+                    entry.example_path.join(" -> "),
+                ),
+            });
+        }
+    }
+    let current = report.reaching();
+    let known: BTreeSet<&String> = report.entries.iter().map(|e| &e.qualified).collect();
+    for name in baseline {
+        if !current.contains(name) {
+            let why = if known.contains(name) {
+                "no longer reaches a panic"
+            } else {
+                "is gone or no longer public"
+            };
+            out.push(Diagnostic {
+                lint: lint::REACH_BASELINE_STALE,
+                path: crate::REACH_BASELINE_PATH.to_string(),
+                line: 0,
+                message: format!(
+                    "baseline entry `{name}` {why}: run `cargo xtask lint --update-baseline` \
+                     to lock the improvement in"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::{classify, FileClass};
+    use crate::scanner::ScannedFile;
+
+    fn workspace(sources: &[(&str, &str)]) -> Workspace {
+        let files: Vec<ScannedFile> =
+            sources.iter().map(|(p, s)| ScannedFile::new(*p, *s)).collect();
+        let classes: Vec<FileClass> = sources.iter().map(|(p, _)| classify(p).unwrap()).collect();
+        Workspace::build(files, classes)
+    }
+
+    #[test]
+    fn entry_reaching_a_panic_is_flagged_with_a_witness_path() {
+        let ws = workspace(&[
+            ("crates/serve/src/lib.rs", "pub fn submit() { deepoheat_core::eval::run(); }\n"),
+            ("crates/core/src/eval.rs", "pub fn run() { helper(); }\nfn helper() { let v: Option<u32> = None; v.unwrap(); }\n"),
+        ]);
+        let report = analyze(&ws);
+        let submit = report.entries.iter().find(|e| e.qualified == "serve::submit").unwrap();
+        assert!(submit.reaches_panic);
+        assert_eq!(
+            submit.example_path,
+            vec!["serve::submit", "core::eval::run", "core::eval::helper"]
+        );
+        assert!(submit.example_site.contains(".unwrap()"), "{}", submit.example_site);
+    }
+
+    #[test]
+    fn invariant_expects_do_not_seed_reachability() {
+        let ws = workspace(&[(
+            "crates/serve/src/lib.rs",
+            "pub fn ok(v: Option<u32>) -> u32 { v.expect(\"invariant: checked by caller\") }\n",
+        )]);
+        let report = analyze(&ws);
+        assert!(report.entries.iter().all(|e| !e.reaches_panic), "{:?}", report.entries);
+    }
+
+    #[test]
+    fn ratchet_flags_new_entries_and_stale_baseline_lines() {
+        let ws = workspace(&[(
+            "crates/serve/src/lib.rs",
+            "pub fn hot() { panic!(\"boom\"); }\npub fn cold() {}\n",
+        )]);
+        let report = analyze(&ws);
+
+        // Matching baseline: silent.
+        assert!(check(&report, &parse_baseline("serve::hot\n").unwrap()).is_empty());
+
+        // Empty baseline: the reaching entry is a new violation.
+        let diags = check(&report, &BTreeSet::new());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, lint::PANIC_REACH);
+        assert!(diags[0].message.contains("serve::hot"), "{}", diags[0].message);
+
+        // Baseline with a no-longer-reaching entry: stale.
+        let stale = parse_baseline("serve::hot\nserve::cold\n").unwrap();
+        let diags = check(&report, &stale);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, lint::REACH_BASELINE_STALE);
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let ws = workspace(&[("crates/serve/src/lib.rs", "pub fn hot() { panic!(\"x\"); }\n")]);
+        let report = analyze(&ws);
+        let text = render_baseline(&report);
+        assert_eq!(parse_baseline(&text).unwrap(), report.reaching());
+        assert!(parse_baseline("two words\n").is_err());
+    }
+}

@@ -132,7 +132,11 @@ pub fn mask_source(src: &[u8]) -> Vec<u8> {
             }
             State::Str => {
                 if b == b'\\' && i + 1 < src.len() {
-                    out.extend_from_slice(b"  ");
+                    // An escaped byte may be a newline (string line
+                    // continuation) — preserve it so line numbers stay
+                    // aligned downstream.
+                    out.push(b' ');
+                    out.push(if src[i + 1] == b'\n' { b'\n' } else { b' ' });
                     i += 2;
                 } else if b == b'"' {
                     state = State::Code;
@@ -155,7 +159,8 @@ pub fn mask_source(src: &[u8]) -> Vec<u8> {
             }
             State::Char => {
                 if b == b'\\' && i + 1 < src.len() {
-                    out.extend_from_slice(b"  ");
+                    out.push(b' ');
+                    out.push(if src[i + 1] == b'\n' { b'\n' } else { b' ' });
                     i += 2;
                 } else if b == b'\'' {
                     state = State::Code;
@@ -339,6 +344,21 @@ mod tests {
         let f = ScannedFile::new("a.rs", src);
         assert!(f.in_test_code(src.find("y.unwrap").unwrap()));
         assert!(!f.in_test_code(src.find("fn lib").unwrap()));
+    }
+
+    #[test]
+    fn escaped_newlines_in_strings_preserve_line_numbers() {
+        // A `\`-newline line continuation must keep its newline in the
+        // masked output, or every later line number shifts by one.
+        let src = "let s = \"a \\\n   b\";\nfn f() {}\n";
+        let m = mask_source(src.as_bytes());
+        assert_eq!(m.len(), src.len());
+        assert_eq!(
+            m.iter().filter(|&&b| b == b'\n').count(),
+            src.bytes().filter(|&b| b == b'\n').count()
+        );
+        let f = ScannedFile::new("a.rs", src);
+        assert_eq!(f.line_of(src.find("fn f").unwrap()), 3);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Fixture-driven tests of the analysis engine's middle layers: the toy
+//! crate in `tests/fixtures/call_graph_toy.rs` goes in, exact call edges
+//! and reachability verdicts come out.
+
+use std::collections::BTreeSet;
+
+use xtask::callgraph::Workspace;
+use xtask::lints::classify;
+use xtask::scanner::ScannedFile;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {path}: {e}"))
+}
+
+fn toy_workspace(at_path: &str) -> Workspace {
+    let file = ScannedFile::new(at_path, fixture("call_graph_toy.rs"));
+    let class = classify(at_path).expect("classifiable path");
+    Workspace::build(vec![file], vec![class])
+}
+
+fn edges(ws: &Workspace, from: &str) -> Vec<String> {
+    let id = ws.fn_by_qualified(from).unwrap_or_else(|| panic!("no fn {from}"));
+    ws.edges[id].iter().map(|&t| ws.fns[t].qualified()).collect()
+}
+
+#[test]
+fn toy_crate_produces_exactly_the_expected_edges() {
+    let ws = toy_workspace("crates/core/src/pool.rs");
+    // 5 functions, 3 edges — nothing spurious, nothing missed.
+    assert_eq!(ws.fns.len(), 5);
+    assert_eq!(ws.edge_count(), 3);
+    // `self.queue` types to `Queue` through the struct field, so `run`
+    // resolves to exactly `Queue::deepest` — not every `deepest`.
+    assert_eq!(edges(&ws, "core::pool::Pool::run"), vec!["core::pool::Queue::deepest"]);
+    assert_eq!(edges(&ws, "core::pool::Queue::deepest"), vec!["core::pool::boom"]);
+    assert_eq!(edges(&ws, "core::pool::Pool::idle"), vec!["core::pool::quiet"]);
+    assert!(edges(&ws, "core::pool::boom").is_empty());
+}
+
+#[test]
+fn reachability_verdicts_follow_the_call_chain() {
+    let ws = toy_workspace("crates/core/src/pool.rs");
+    let boom = ws.fn_by_qualified("core::pool::boom").expect("boom exists");
+    let seeds: BTreeSet<usize> = [boom].into_iter().collect();
+    let reach = ws.reaches(&seeds);
+
+    let verdict = |name: &str| reach[ws.fn_by_qualified(name).expect("fn exists")];
+    assert!(verdict("core::pool::Pool::run"), "run -> deepest -> boom");
+    assert!(verdict("core::pool::Queue::deepest"));
+    assert!(!verdict("core::pool::Pool::idle"), "idle only calls quiet");
+    assert!(!verdict("core::pool::quiet"));
+
+    // And the witness path is the shortest chain.
+    let run = ws.fn_by_qualified("core::pool::Pool::run").expect("run exists");
+    let path = ws.path_to(run, &seeds).expect("path exists");
+    let names: Vec<String> = path.iter().map(|&id| ws.fns[id].qualified()).collect();
+    assert_eq!(
+        names,
+        vec!["core::pool::Pool::run", "core::pool::Queue::deepest", "core::pool::boom"]
+    );
+}

@@ -1,0 +1,35 @@
+//! Fixture: a toy crate with one typed method chain, one free call, and
+//! one panic leaf, for exact-edge call-graph assertions. Never compiled.
+
+pub struct Pool {
+    queue: Queue,
+}
+
+pub struct Queue {
+    depth: u64,
+}
+
+impl Queue {
+    fn deepest(&self) -> u64 {
+        boom(self.depth)
+    }
+}
+
+impl Pool {
+    pub fn run(&self) -> u64 {
+        self.queue.deepest()
+    }
+
+    pub fn idle(&self) -> u64 {
+        quiet()
+    }
+}
+
+fn boom(d: u64) -> u64 {
+    assert!(d > 0, "depth");
+    d
+}
+
+fn quiet() -> u64 {
+    0
+}

@@ -1,0 +1,13 @@
+//! Fixture: one specimen of each float-determinism lint. Never compiled.
+
+pub fn exact_compare(residual: f64) -> bool {
+    residual == 0.0
+}
+
+pub fn nan_capable_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn lossy_narrowing(x: f64) -> (f32, usize) {
+    (x as f32, x as usize)
+}

@@ -1,0 +1,25 @@
+//! Fixture: a classic two-lock deadlock — `forward` takes `a` then `b`,
+//! `backward` takes `b` then `a`. Never compiled. Poison recovery keeps
+//! the fixture free of panic-capable sites so only the lock-order pass
+//! fires.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Shared {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        *gb - *ga
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a public entry point whose panic is buried one call deep,
+//! next to a provably panic-free entry. Never compiled.
+
+pub fn entry_point(v: Option<u32>) -> u32 {
+    deep_helper(v)
+}
+
+fn deep_helper(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn safe_entry() -> u32 {
+    7
+}

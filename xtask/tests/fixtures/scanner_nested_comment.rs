@@ -1,0 +1,14 @@
+//! Fixture: violating code straddling a nested block comment. Never
+//! compiled. The comment below nests two deep, contains quote characters
+//! and a decoy `*/` inside the doubled nesting level, plus text that looks
+//! like violations — none of it may count.
+
+/* outer level " unbalanced quote
+   /* inner level: std::time::Instant::now() and x.unwrap() are text,
+      and this decoy terminator "*/ only pops the inner level,
+   panic!("decoy") */
+
+pub fn after_the_comment() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

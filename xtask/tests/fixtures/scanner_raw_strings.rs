@@ -1,0 +1,21 @@
+//! Fixture: panic-looking text sealed inside raw strings. Never compiled.
+//! The hash-fenced literals below contain `unwrap()`, `panic!`, quote
+//! and hash tricks, and a multi-line body; only the real call at the end
+//! may be counted — and on the right line.
+
+pub fn decoys() -> (&'static str, &'static str, &'static str) {
+    let a = r"plain raw: x.unwrap() and panic!(no)";
+    let b = r#"one hash: "quoted" then x.unwrap()"#;
+    let c = r##"hash trick: "# not the end, panic!("still text") "##;
+    (a, b, c)
+}
+
+pub fn multiline() -> &'static str {
+    r#"line one
+line two: x.unwrap() is text
+line three"#
+}
+
+pub fn the_real_site(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
