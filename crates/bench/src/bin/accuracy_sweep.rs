@@ -1,0 +1,220 @@
+#![deny(unsafe_code)]
+//! End-to-end accuracy sweep feeding the CI accuracy gate: trains the
+//! §V.A power-map surrogate, solves a seeded family of tile power maps
+//! with the batched block-CG reference solver (`solve_batch`), and
+//! reports surrogate-vs-reference error quantiles at both serving
+//! precisions plus the batched-solver speedup, all as gauges in
+//! `BENCH_accuracy.json` for `cargo xtask accuracycheck`.
+//!
+//! ```text
+//! cargo run --release -p deepoheat-bench --bin accuracy_sweep -- \
+//!     [--quick] [--iterations N] [--maps N] [--seed S]
+//! ```
+//!
+//! The sweep is deterministic end to end: seeded training, a seeded map
+//! family, and the workspace's bit-identical-at-any-pool-width solver
+//! contract (verified here by re-solving the batch on 1- and 4-thread
+//! pools and comparing bits) mean every gauge is reproducible, so the
+//! committed tolerance bands in `xtask/accuracy-baseline.json` can stay
+//! tight.
+
+use std::time::Instant;
+
+use deepoheat::experiments::{PowerMapExperiment, PowerMapExperimentConfig};
+use deepoheat::metrics::FieldErrors;
+use deepoheat_bench::{init_telemetry, run_or_exit, secs, Args, BenchError};
+use deepoheat_fdm::{BatchSolveOptions, Face, FluxMap, HeatProblem};
+use deepoheat_grf::TilePowerMap;
+use deepoheat_linalg::Matrix;
+use deepoheat_parallel as parallel;
+use deepoheat_serve::{InferenceEngine, Precision, ServeOptions};
+use deepoheat_telemetry as telemetry;
+
+fn main() {
+    run_or_exit("accuracy", run);
+}
+
+/// Fixed 3 × 3 arrangement of 5 × 5-tile heater blocks on a 20-tile
+/// grid. Every map in the family powers the same blocks with different
+/// unit powers, the Celsius-style design-space sweep the batched solver
+/// is built for: the family's solutions span a 9-dimensional space, so
+/// the recycled subspace converges after the first sub-batches.
+const BLOCK_ORIGINS: [(usize, usize); 9] =
+    [(1, 1), (1, 8), (1, 15), (8, 1), (8, 8), (8, 15), (15, 1), (15, 8), (15, 15)];
+const BLOCK_SIDE: usize = 4;
+const TILE_SIDE: usize = 20;
+
+/// Seeded family of `n` tile power maps interpolated onto the
+/// `grid_side` DeepOHeat grid, unit powers in `[0.25, 1.5)`.
+fn seeded_family(n: usize, grid_side: usize, seed: u64) -> Result<Vec<Matrix>, BenchError> {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut unit = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        0.25 + ((state >> 33) as f64 / (1u64 << 33) as f64) * 1.25
+    };
+    let mut family = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut map = TilePowerMap::new(TILE_SIDE, TILE_SIDE);
+        for (r, c) in BLOCK_ORIGINS {
+            map.add_block(r, c, BLOCK_SIDE, BLOCK_SIDE, unit())?;
+        }
+        family.push(map.to_grid(grid_side));
+    }
+    Ok(family)
+}
+
+/// Nearest-rank percentile of an unsorted sample (percent in `[0, 100]`).
+fn percentile(samples: &[f64], pct: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() - 1) as f64 * pct / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Solves the family with the batched reference solver, returning the
+/// per-map temperature fields in flat node order.
+fn reference_batch(
+    problem: &HeatProblem,
+    flux_maps: &[FluxMap],
+    options: &BatchSolveOptions,
+) -> Result<Vec<Vec<f64>>, BenchError> {
+    let outcome = problem.solve_batch(Face::ZMax, flux_maps, options)?;
+    if outcome.report.degraded > 0 {
+        return Err(format!(
+            "reference batch left {} column(s) degraded; ground truth would be unreliable",
+            outcome.report.degraded
+        )
+        .into());
+    }
+    Ok(outcome.solutions.into_iter().map(deepoheat_fdm::Solution::into_temperatures).collect())
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = Args::from_env();
+    let bench_telemetry = init_telemetry("accuracy", &args);
+    let quick = args.flag("quick");
+    let iterations = args.get_usize("iterations", if quick { 150 } else { 1500 })?;
+    let n_maps = args.get_usize("maps", 64)?;
+    let seed = args.get_usize("seed", 0)? as u64;
+    if n_maps == 0 {
+        return Err("--maps must be positive".into());
+    }
+
+    let mut config = PowerMapExperimentConfig { seed, ..Default::default() };
+    if quick {
+        config.branch_hidden = vec![48; 2];
+        config.trunk_hidden = vec![32; 2];
+        config.latent_dim = 32;
+    }
+    let grid_side = config.nx;
+    let n_sensors = config.nx * config.ny;
+
+    println!("== accuracy sweep: surrogate vs batched reference solver ==");
+    println!("maps: {n_maps}, training iterations: {iterations}, seed: {seed}");
+
+    // --- 1 · train the surrogate -------------------------------------------
+    let t0 = Instant::now();
+    let mut experiment = PowerMapExperiment::new(config)?;
+    let train_span = telemetry::span("bench.accuracy.train");
+    experiment.run(iterations, (iterations / 5).max(1), |r| {
+        eprintln!("  iter {:>5}  loss {:.4e}  lr {:.2e}", r.iteration, r.loss, r.learning_rate);
+    })?;
+    drop(train_span);
+    println!("trained in {}", secs(t0.elapsed()));
+
+    // --- 2 · batched reference solve (ground truth + speedup gauge) --------
+    let family = seeded_family(n_maps, grid_side, seed)?;
+    let chip = experiment.chip().clone();
+    let problem = chip.heat_problem()?;
+    let flux_maps: Vec<FluxMap> =
+        family.iter().map(|map| FluxMap::Field(chip.units_to_flux(map))).collect();
+    let batch_options = BatchSolveOptions { measure_serial: true, ..BatchSolveOptions::default() };
+    let t1 = Instant::now();
+    let outcome = problem.solve_batch(Face::ZMax, &flux_maps, &batch_options)?;
+    let report = outcome.report;
+    if report.degraded > 0 {
+        return Err(format!(
+            "reference batch left {} column(s) degraded; ground truth would be unreliable",
+            report.degraded
+        )
+        .into());
+    }
+    let reference: Vec<Vec<f64>> =
+        outcome.solutions.into_iter().map(deepoheat_fdm::Solution::into_temperatures).collect();
+    let speedup = report.serial_speedup.unwrap_or(0.0);
+    println!(
+        "reference batch: {} maps in {} ({} block iteration(s), recycle hit ratio {:.2}, \
+         speedup {speedup:.2}x vs per-RHS CG)",
+        n_maps,
+        secs(t1.elapsed()),
+        report.block_iterations,
+        report.recycle_hit_ratio,
+    );
+    telemetry::gauge("accuracy.batch.speedup", speedup);
+
+    // --- 3 · pool-width bit-identity of the batched solver -----------------
+    let plain_options = BatchSolveOptions::default();
+    let one = parallel::ThreadPool::new(1);
+    let narrow = one.install(|| reference_batch(&problem, &flux_maps, &plain_options))?;
+    let four = parallel::ThreadPool::new(4);
+    let wide = four.install(|| reference_batch(&problem, &flux_maps, &plain_options))?;
+    for (i, (a, b)) in narrow.iter().zip(&wide).enumerate() {
+        if a.iter().map(|v| v.to_bits()).ne(b.iter().map(|v| v.to_bits())) {
+            return Err(
+                format!("map {i}: batch solve differs between 1- and 4-thread pools").into()
+            );
+        }
+    }
+    telemetry::gauge("accuracy.batch.pool_width_bit_identical", 1.0);
+    println!("pool-width check: 1-thread and 4-thread batch solves are bit-identical");
+
+    // --- 4 · surrogate error quantiles at both precisions ------------------
+    let predicted64 = experiment.predict_fields(&family)?;
+    let serve32 = ServeOptions { precision: Precision::F32, ..ServeOptions::default() };
+    let mut engine = InferenceEngine::new(experiment.model().clone(), serve32)?;
+    let input = Matrix::from_fn(family.len(), n_sensors, |i, j| family[i].as_slice()[j]);
+    let predicted32 = engine.predict(&[&input], experiment.eval_coords())?;
+    engine.shutdown();
+
+    let mut errors64 = Vec::with_capacity(n_maps);
+    let mut errors32 = Vec::with_capacity(n_maps);
+    let mut divergence: f64 = 0.0;
+    for (i, truth) in reference.iter().enumerate() {
+        errors64.push(FieldErrors::compare(&predicted64[i], truth)?);
+        errors32.push(FieldErrors::compare(predicted32.row(i), truth)?);
+        let scale = predicted64[i].iter().fold(1.0f64, |s, v| s.max(v.abs()));
+        for (a, b) in predicted64[i].iter().zip(predicted32.row(i)) {
+            divergence = divergence.max((a - b).abs() / scale);
+        }
+    }
+
+    let gauge_quantiles = |prefix: &str, errors: &[FieldErrors]| {
+        let mape: Vec<f64> = errors.iter().map(|e| e.mape).collect();
+        let pape: Vec<f64> = errors.iter().map(|e| e.pape).collect();
+        let quantiles = [
+            (format!("{prefix}mape.p50"), percentile(&mape, 50.0)),
+            (format!("{prefix}mape.p99"), percentile(&mape, 99.0)),
+            (format!("{prefix}pape.p50"), percentile(&pape, 50.0)),
+            (format!("{prefix}pape.p99"), percentile(&pape, 99.0)),
+        ];
+        telemetry::gauge(&format!("{prefix}mape.p50"), quantiles[0].1);
+        telemetry::gauge(&format!("{prefix}mape.p99"), quantiles[1].1);
+        telemetry::gauge(&format!("{prefix}pape.p50"), quantiles[2].1);
+        telemetry::gauge(&format!("{prefix}pape.p99"), quantiles[3].1);
+        quantiles
+    };
+    let q64 = gauge_quantiles("accuracy.", &errors64);
+    let q32 = gauge_quantiles("accuracy.f32.", &errors32);
+    telemetry::gauge("accuracy.f32.divergence.max", divergence);
+    telemetry::gauge("accuracy.maps", n_maps as f64);
+
+    println!("\n{:<12} {:>12} {:>12}", "", "f64", "f32");
+    for (row64, row32) in q64.iter().zip(&q32) {
+        let label = row64.0.trim_start_matches("accuracy.");
+        println!("{label:<12} {:>11.4}% {:>11.4}%", row64.1, row32.1);
+    }
+    println!("f32 divergence from f64: {divergence:.2e} (relative)");
+    println!("\nmanifest: BENCH_accuracy.json");
+    bench_telemetry.finish();
+    Ok(())
+}

@@ -40,6 +40,7 @@
 //! ```
 
 mod analytic;
+mod batch;
 mod boundary;
 mod error;
 mod grid;
@@ -48,6 +49,7 @@ mod solution;
 mod transient;
 
 pub use analytic::{slab_conduction_profile, SlabAnalytic};
+pub use batch::{BatchOutcome, BatchReport, BatchSolveOptions};
 pub use boundary::{BoundaryCondition, Face, FluxMap};
 pub use error::FdmError;
 pub use grid::StructuredGrid;

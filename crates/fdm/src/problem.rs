@@ -1,5 +1,7 @@
+use std::cell::{Cell, OnceCell};
+
 use deepoheat_linalg::{
-    conjugate_gradient_attempt, CgAttempt, CgOptions, CgTrace, CooMatrix, CsrMatrix,
+    conjugate_gradient_attempt, norm2, CgAttempt, CgOptions, CgTrace, CooMatrix, CsrMatrix,
     IncompleteCholesky, JacobiPreconditioner, Preconditioner, SsorPreconditioner,
 };
 use deepoheat_parallel as parallel;
@@ -277,7 +279,7 @@ impl HeatProblem {
 
     /// Iterates all `(node index, face-local a, face-local b)` triples of a
     /// face.
-    fn face_nodes(&self, face: Face) -> Vec<(usize, usize, usize)> {
+    pub(crate) fn face_nodes(&self, face: Face) -> Vec<(usize, usize, usize)> {
         let g = &self.grid;
         let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
         let mut out = Vec::new();
@@ -311,7 +313,7 @@ impl HeatProblem {
     }
 
     /// Boundary patch area owned by a face-local vertex `(a, b)`.
-    fn patch_area(&self, face: Face, a: usize, b: usize) -> f64 {
+    pub(crate) fn patch_area(&self, face: Face, a: usize, b: usize) -> f64 {
         let g = &self.grid;
         match face.normal_axis() {
             0 => StructuredGrid::face_patch_area(a, g.ny(), g.dy(), b, g.nz(), g.dz()),
@@ -484,7 +486,8 @@ impl HeatProblem {
             return Ok(Solution::from_parts(*g, temps, 0, 0.0, None, false));
         }
         let solve_span = telemetry::span("fdm.solve");
-        let cg = cg_ladder(&matrix, &rhs, &options)?;
+        let pre_cache = PreconditionerCache::new(&matrix, options.ssor_omega)?;
+        let cg = cg_ladder(&matrix, &rhs, None, &pre_cache, &options)?;
         drop(solve_span);
         telemetry::gauge("fdm.cg.iterations", cg.iterations as f64);
         telemetry::gauge("fdm.cg.relative_residual", cg.relative_residual);
@@ -552,6 +555,77 @@ fn harmonic_mean(a: f64, b: f64) -> f64 {
     2.0 * a * b / (a + b)
 }
 
+/// Preconditioners for one assembled operator, built once and shared by
+/// every [`cg_ladder`] attempt against that operator — a retried rung or a
+/// whole batch of right-hand sides reuses the same factorisations instead
+/// of re-assembling them per attempt.
+///
+/// SSOR (the first two rungs) is built eagerly; Jacobi and IC(0) are built
+/// lazily the first time their rung is reached and cached from then on.
+pub(crate) struct PreconditionerCache<'a> {
+    matrix: &'a CsrMatrix,
+    ssor: SsorPreconditioner,
+    jacobi: OnceCell<Option<JacobiPreconditioner>>,
+    ic0: OnceCell<Option<IncompleteCholesky>>,
+    /// How many preconditioner constructions have happened — test
+    /// instrumentation for the no-reassembly regression guard.
+    constructions: Cell<usize>,
+}
+
+impl<'a> PreconditionerCache<'a> {
+    /// Builds the cache (and the SSOR preconditioner) for `matrix`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`FdmError`] if SSOR construction rejects
+    /// the matrix (zero/negative diagonal) or `ssor_omega`.
+    pub fn new(matrix: &'a CsrMatrix, ssor_omega: f64) -> Result<Self, FdmError> {
+        let ssor = SsorPreconditioner::new(matrix, ssor_omega)?;
+        Ok(PreconditionerCache {
+            matrix,
+            ssor,
+            jacobi: OnceCell::new(),
+            ic0: OnceCell::new(),
+            constructions: Cell::new(1),
+        })
+    }
+
+    /// The eagerly built SSOR preconditioner.
+    pub fn ssor(&self) -> &SsorPreconditioner {
+        &self.ssor
+    }
+
+    /// The Jacobi preconditioner, built on first use; `None` if the
+    /// matrix has a non-positive diagonal.
+    pub fn jacobi(&self) -> Option<&JacobiPreconditioner> {
+        self.jacobi
+            .get_or_init(|| {
+                self.constructions.set(self.constructions.get() + 1);
+                JacobiPreconditioner::new(self.matrix).ok()
+            })
+            .as_ref()
+    }
+
+    /// The IC(0) preconditioner, built on first use; `None` on incomplete
+    /// factorisation breakdown.
+    pub fn ic0(&self) -> Option<&IncompleteCholesky> {
+        self.ic0
+            .get_or_init(|| {
+                self.constructions.set(self.constructions.get() + 1);
+                IncompleteCholesky::new(self.matrix).ok()
+            })
+            .as_ref()
+    }
+
+    /// Total preconditioner constructions so far (SSOR counts as one).
+    /// Retried attempts and additional right-hand sides must not grow
+    /// this beyond the number of distinct preconditioner kinds touched.
+    #[cfg(test)]
+    pub fn constructions(&self) -> usize {
+        self.constructions.get()
+    }
+}
+
 /// Result of [`cg_ladder`]: the accepted iterate plus diagnostics.
 pub(crate) struct LadderOutcome {
     pub solution: Vec<f64>,
@@ -584,6 +658,8 @@ pub(crate) struct LadderOutcome {
 pub(crate) fn cg_ladder(
     matrix: &CsrMatrix,
     rhs: &[f64],
+    x0: Option<&[f64]>,
+    pre_cache: &PreconditionerCache<'_>,
     options: &SolveOptions,
 ) -> Result<LadderOutcome, FdmError> {
     let cg_options = CgOptions {
@@ -591,37 +667,37 @@ pub(crate) fn cg_ladder(
         tolerance: options.tolerance,
         record_trace: options.record_cg_trace,
     };
-    let ssor = SsorPreconditioner::new(matrix, options.ssor_omega)?;
 
     let mut injections_left = options.inject_cg_failures;
     let mut total_iterations = 0usize;
     let mut merged_trace: Option<CgTrace> = None;
-    // Best iterate seen so far and its true relative residual.
-    let mut best: Option<(Vec<f64>, f64)> = None;
+    // Best iterate seen so far and its true relative residual. A caller
+    // warm start (e.g. a block-CG iterate being polished) seeds it so the
+    // first rung continues from there instead of the zero vector.
+    let mut best: Option<(Vec<f64>, f64)> = match x0 {
+        Some(x) => {
+            let mut r = matrix.spmv(x)?;
+            for (ri, &bi) in r.iter_mut().zip(rhs) {
+                *ri = bi - *ri;
+            }
+            let b_norm = norm2(rhs);
+            let res = if b_norm > 0.0 { norm2(&r) / b_norm } else { 0.0 };
+            Some((x.to_vec(), res))
+        }
+        None => None,
+    };
 
-    // (label, preconditioner factory) pairs; rung 0 and 1 share SSOR.
-    type PreconditionerFactory<'a> = Box<dyn Fn() -> Option<Box<dyn Preconditioner>> + 'a>;
-    let rungs: [(&str, PreconditionerFactory); 4] = [
-        ("ssor", Box::new(|| Some(Box::new(ssor.clone()) as Box<dyn Preconditioner>))),
-        ("ssor_restart", Box::new(|| Some(Box::new(ssor.clone()) as Box<dyn Preconditioner>))),
-        (
-            "jacobi",
-            Box::new(|| {
-                JacobiPreconditioner::new(matrix)
-                    .ok()
-                    .map(|p| Box::new(p) as Box<dyn Preconditioner>)
-            }),
-        ),
-        (
-            "ic0",
-            Box::new(|| {
-                IncompleteCholesky::new(matrix).ok().map(|p| Box::new(p) as Box<dyn Preconditioner>)
-            }),
-        ),
-    ];
-
-    for (rung_index, (label, make_pre)) in rungs.iter().enumerate() {
-        let Some(pre) = make_pre() else {
+    let rungs: [&str; 4] = ["ssor", "ssor_restart", "jacobi", "ic0"];
+    for (rung_index, label) in rungs.iter().enumerate() {
+        // Preconditioners come from the per-operator cache: rungs 0 and 1
+        // share the eagerly built SSOR, the others are built lazily once
+        // and reused across retries and batched right-hand sides.
+        let pre: Option<&dyn Preconditioner> = match rung_index {
+            0 | 1 => Some(pre_cache.ssor()),
+            2 => pre_cache.jacobi().map(|p| p as &dyn Preconditioner),
+            _ => pre_cache.ic0().map(|p| p as &dyn Preconditioner),
+        };
+        let Some(pre) = pre else {
             // Preconditioner construction failed (e.g. IC(0) breakdown):
             // this rung is unavailable, move on.
             telemetry::counter("fdm.cg.fallback.rung_unavailable.count", 1);
@@ -634,12 +710,12 @@ pub(crate) fn cg_ladder(
                 &[("rung", (*label).into()), ("index", rung_index.into())],
             );
         }
-        let x0 = best.as_ref().map(|(x, _)| x.as_slice());
+        let start = best.as_ref().map(|(x, _)| x.as_slice());
         // One span per rung attempt: in the trace tree, a solve that
         // escalated shows as fdm.solve → N fdm.cg.attempt children.
         let attempt_span = telemetry::span("fdm.cg.attempt");
         let mut attempt: CgAttempt =
-            conjugate_gradient_attempt(matrix, rhs, x0, &pre.as_ref(), cg_options)?;
+            conjugate_gradient_attempt(matrix, rhs, start, &pre, cg_options)?;
         drop(attempt_span);
         total_iterations += attempt.iterations;
         if let Some(t) = attempt.trace.take() {
@@ -976,6 +1052,45 @@ mod tests {
         for (a, b) in recovered.temperatures().iter().zip(clean.temperatures()) {
             assert!((a - b).abs() < 1e-6, "recovered {a} vs clean {b}");
         }
+    }
+
+    #[test]
+    fn retried_solve_does_not_reassemble_preconditioners() {
+        // Escalating through every rung must reuse the cached
+        // preconditioners: one SSOR (shared by rungs 0 and 1), one Jacobi,
+        // one IC(0) — three constructions total, not one per attempt.
+        let problem = convective_chip();
+        let assembly = problem.assemble();
+        let cache = PreconditionerCache::new(&assembly.matrix, 1.5).unwrap();
+        assert_eq!(cache.constructions(), 1, "only SSOR is built eagerly");
+
+        let options = SolveOptions { inject_cg_failures: 4, ..Default::default() };
+        let first = cg_ladder(&assembly.matrix, &assembly.rhs, None, &cache, &options).unwrap();
+        assert!(first.degraded, "all four rungs must have run");
+        assert_eq!(cache.constructions(), 3, "ssor + jacobi + ic0, each built once");
+
+        // A second solve against the same operator — the batched-RHS shape
+        // — constructs nothing further.
+        let second = cg_ladder(&assembly.matrix, &assembly.rhs, None, &cache, &options).unwrap();
+        assert!(second.degraded);
+        assert_eq!(cache.constructions(), 3, "retry/batch reuse must not rebuild");
+    }
+
+    #[test]
+    fn ladder_warm_start_seeds_the_first_rung() {
+        // Seeding the ladder with an already-converged iterate must be
+        // accepted on the spot (modulo one cheap confirming attempt).
+        let problem = convective_chip();
+        let assembly = problem.assemble();
+        let cache = PreconditionerCache::new(&assembly.matrix, 1.5).unwrap();
+        let options = SolveOptions::default();
+        let cold = cg_ladder(&assembly.matrix, &assembly.rhs, None, &cache, &options).unwrap();
+        let warm =
+            cg_ladder(&assembly.matrix, &assembly.rhs, Some(&cold.solution), &cache, &options)
+                .unwrap();
+        assert!(!warm.degraded);
+        assert!(warm.iterations <= 2, "warm restart took {} iterations", warm.iterations);
+        assert!(warm.relative_residual <= options.tolerance);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! # Ok::<(), deepoheat_linalg::LinalgError>(())
 //! ```
 
+mod block_cg;
 mod cg;
 mod cholesky;
 mod error;
@@ -35,6 +36,9 @@ mod matrix32;
 mod sparse;
 mod vector;
 
+pub use block_cg::{
+    block_cg, BlockCgColumn, BlockCgOptions, BlockCgOutcome, BlockCgTrace, RecycleSpace,
+};
 pub use cg::{
     conjugate_gradient, conjugate_gradient_attempt, CgAttempt, CgOptions, CgOutcome, CgTrace,
     IdentityPreconditioner, JacobiPreconditioner, Preconditioner, SsorPreconditioner,

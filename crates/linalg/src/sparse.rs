@@ -1,6 +1,6 @@
 use deepoheat_parallel as parallel;
 
-use crate::LinalgError;
+use crate::{LinalgError, Matrix};
 
 /// Fixed row-chunk size for the pooled sparse matrix–vector product.
 /// Depends only on this constant and the matrix's row count — never on the
@@ -254,6 +254,80 @@ impl CsrMatrix {
         Ok(())
     }
 
+    /// Sparse matrix–multi-vector product `Y = A Xᵀ` in row-per-vector
+    /// form: `x` holds `k` input vectors (one per row, `k × self.cols()`),
+    /// `y` receives the `k` products (`k × self.rows()`).
+    ///
+    /// Each output element accumulates in the same stored-nonzero order as
+    /// [`CsrMatrix::spmv_into`], so row `r` of `y` is **bitwise identical**
+    /// to `spmv_into(x.row(r), …)` — but `A`'s values and indices stream
+    /// through memory once per block instead of once per vector, which is
+    /// where batched block-Krylov solves get their wall-clock win.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.cols() != self.cols()`
+    /// or `y`'s shape is not `(x.rows(), self.rows())`.
+    pub fn spmm_into(&self, x: &Matrix, y: &mut Matrix) -> Result<(), LinalgError> {
+        if x.cols() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmm",
+                lhs: self.shape(),
+                rhs: x.shape(),
+            });
+        }
+        if y.shape() != (x.rows(), self.rows) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmm",
+                lhs: self.shape(),
+                rhs: y.shape(),
+            });
+        }
+        let k = x.rows();
+        if k == 0 {
+            return Ok(());
+        }
+        let xs = x.as_slice();
+        let n = self.cols;
+        // Chunk-local buffers hold the output column-block transposed
+        // (`[local_row * k + vector]`) and merge in chunk order, so the
+        // result is reproducible at any pool width, exactly like `spmv`.
+        let chunks = parallel::par_map_chunks(self.rows, SPMV_ROW_CHUNK, |range| {
+            let mut buf = vec![0.0; range.len() * k];
+            for (dr, r) in range.enumerate() {
+                let acc = &mut buf[dr * k..(dr + 1) * k];
+                for nz in self.row_ptr[r]..self.row_ptr[r + 1] {
+                    let v = self.values[nz];
+                    let c = self.col_idx[nz];
+                    for (rr, a) in acc.iter_mut().enumerate() {
+                        *a += v * xs[rr * n + c];
+                    }
+                }
+            }
+            buf
+        });
+        for (ci, buf) in chunks.into_iter().enumerate() {
+            let base = ci * SPMV_ROW_CHUNK;
+            for (dr, acc) in buf.chunks_exact(k).enumerate() {
+                for (rr, &v) in acc.iter().enumerate() {
+                    y[(rr, base + dr)] = v;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating variant of [`CsrMatrix::spmm_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.cols() != self.cols()`.
+    pub fn spmm(&self, x: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut y = Matrix::zeros(x.rows(), self.rows);
+        self.spmm_into(x, &mut y)?;
+        Ok(y)
+    }
+
     /// Extracts the main diagonal (missing entries are `0.0`).
     pub fn diagonal(&self) -> Vec<f64> {
         (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
@@ -351,6 +425,36 @@ mod tests {
         assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()); // non-monotone
         assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]).is_err()); // col oob
         assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn spmm_matches_spmv_bitwise_per_row() {
+        let a = sample_csr();
+        let x = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[-0.5, 0.25, 4.0],
+            &[0.0, 0.0, 0.0],
+            &[1e-300, -2.5, 1e3],
+        ])
+        .unwrap();
+        let y = a.spmm(&x).unwrap();
+        assert_eq!(y.shape(), (4, 3));
+        for r in 0..4 {
+            let serial = a.spmv(x.row(r)).unwrap();
+            for (got, want) in y.row(r).iter().zip(&serial) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_rejects_bad_shapes_and_accepts_empty_blocks() {
+        let a = sample_csr();
+        assert!(a.spmm(&Matrix::zeros(2, 4)).is_err());
+        let mut wrong = Matrix::zeros(3, 3);
+        assert!(a.spmm_into(&Matrix::zeros(2, 3), &mut wrong).is_err());
+        let empty = a.spmm(&Matrix::zeros(0, 3)).unwrap();
+        assert_eq!(empty.shape(), (0, 3));
     }
 
     #[test]

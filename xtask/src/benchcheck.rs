@@ -24,6 +24,18 @@ use crate::json::{self, Json};
 /// Relative path of the committed bench baseline.
 pub const BENCH_BASELINE_PATH: &str = "xtask/bench-baseline.json";
 
+/// Relative path of the committed accuracy baseline (the `accuracycheck`
+/// gate over `BENCH_accuracy.json`).
+pub const ACCURACY_BASELINE_PATH: &str = "xtask/accuracy-baseline.json";
+
+/// Header comment re-emitted into `xtask/bench-baseline.json` on
+/// `--update-baseline`.
+pub const BENCH_BASELINE_COMMENT: &str = "Perf-regression gate reference values. Regenerate with: cargo run --release -p deepoheat-bench --bin perf_baseline -- --quick && cargo run --release -p deepoheat-bench --bin serve_throughput -- --quick && cargo xtask benchcheck --update-baseline. Only machine-robust gauges (ratios, deterministic rates) belong here.";
+
+/// Header comment re-emitted into `xtask/accuracy-baseline.json` on
+/// `--update-baseline`.
+pub const ACCURACY_BASELINE_COMMENT: &str = "Accuracy-gate reference values for the surrogate-vs-reference sweep. Regenerate with: cargo run --release -p deepoheat-bench --bin accuracy_sweep -- --quick && cargo xtask accuracycheck --update-baseline. The sweep is seeded and bit-identical across pool widths, so these bands only need to absorb cross-platform libm drift and wall-clock noise on the speedup ratio.";
+
 /// Which direction of drift counts as a regression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
@@ -85,51 +97,61 @@ impl Check {
     }
 }
 
-/// Parses the baseline document.
+/// Parses the bench baseline document (errors cite
+/// [`BENCH_BASELINE_PATH`]).
 ///
 /// # Errors
 ///
 /// Returns a message for malformed JSON or missing/ill-typed fields.
 pub fn parse_baseline(text: &str) -> Result<Vec<Check>, String> {
-    let doc = json::parse(text).map_err(|e| format!("{BENCH_BASELINE_PATH}: {e}"))?;
+    parse_baseline_at(BENCH_BASELINE_PATH, text)
+}
+
+/// Parses a baseline document, citing `label` (normally the file's
+/// relative path) in every diagnostic.
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON or missing/ill-typed fields.
+pub fn parse_baseline_at(label: &str, text: &str) -> Result<Vec<Check>, String> {
+    let doc = json::parse(text).map_err(|e| format!("{label}: {e}"))?;
     let checks = doc
         .get("checks")
         .and_then(Json::as_arr)
-        .ok_or_else(|| format!("{BENCH_BASELINE_PATH}: missing `checks` array"))?;
+        .ok_or_else(|| format!("{label}: missing `checks` array"))?;
     let mut out = Vec::with_capacity(checks.len());
     for (i, check) in checks.iter().enumerate() {
         let field = |key: &str| {
-            check
-                .get(key)
-                .ok_or_else(|| format!("{BENCH_BASELINE_PATH}: check {i}: missing `{key}`"))
+            check.get(key).ok_or_else(|| format!("{label}: check {i}: missing `{key}`"))
         };
         let str_field = |key: &str| {
-            field(key)?.as_str().map(str::to_string).ok_or_else(|| {
-                format!("{BENCH_BASELINE_PATH}: check {i}: `{key}` must be a string")
-            })
+            field(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{label}: check {i}: `{key}` must be a string"))
         };
         let num_field = |key: &str| {
-            field(key)?.as_f64().ok_or_else(|| {
-                format!("{BENCH_BASELINE_PATH}: check {i}: `{key}` must be a number")
-            })
+            field(key)?
+                .as_f64()
+                .ok_or_else(|| format!("{label}: check {i}: `{key}` must be a number"))
         };
         let tolerance = num_field("tolerance")?;
         if !(0.0..1.0).contains(&tolerance) {
             return Err(format!(
-                "{BENCH_BASELINE_PATH}: check {i}: tolerance must be in [0, 1), got {tolerance}"
+                "{label}: check {i}: tolerance must be in [0, 1), got {tolerance}"
             ));
         }
         out.push(Check {
             manifest: str_field("manifest")?,
             gauge: str_field("gauge")?,
             direction: Direction::parse(&str_field("direction")?)
-                .map_err(|e| format!("{BENCH_BASELINE_PATH}: check {i}: {e}"))?,
+                .map_err(|e| format!("{label}: check {i}: {e}"))?,
             baseline: num_field("baseline")?,
             tolerance,
         });
     }
     if out.is_empty() {
-        return Err(format!("{BENCH_BASELINE_PATH}: `checks` is empty — nothing to gate"));
+        return Err(format!("{label}: `checks` is empty — nothing to gate"));
     }
     Ok(out)
 }
@@ -185,8 +207,14 @@ pub fn run_checks(dir: &Path, checks: &[Check]) -> Vec<CheckResult> {
         .collect()
 }
 
-/// Renders the delta table.
+/// Renders the delta table with the `benchcheck` gate name.
 pub fn format_table(results: &[CheckResult]) -> String {
+    format_table_for("benchcheck", results)
+}
+
+/// Renders the delta table, labelling the summary line with `name`
+/// (`benchcheck` or `accuracycheck`).
+pub fn format_table_for(name: &str, results: &[CheckResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -223,12 +251,11 @@ pub fn format_table(results: &[CheckResult]) -> String {
     }
     let failed = results.iter().filter(|r| !r.ok).count();
     if failed == 0 {
-        let _ =
-            writeln!(out, "\nbenchcheck: all {} tracked gauges within tolerance", results.len());
+        let _ = writeln!(out, "\n{name}: all {} tracked gauges within tolerance", results.len());
     } else {
         let _ = writeln!(
             out,
-            "\nbenchcheck: {failed} of {} tracked gauges regressed (or could not be read)",
+            "\n{name}: {failed} of {} tracked gauges regressed (or could not be read)",
             results.len()
         );
     }
@@ -243,17 +270,31 @@ pub fn format_table(results: &[CheckResult]) -> String {
 /// Returns a message when any fresh value is unavailable — an updated
 /// baseline must cover every tracked gauge.
 pub fn render_updated_baseline(results: &[CheckResult]) -> Result<String, String> {
-    let mut out = String::from(
-        "{\n  \"comment\": \"Perf-regression gate reference values. Regenerate with: cargo run --release -p deepoheat-bench --bin perf_baseline -- --quick && cargo run --release -p deepoheat-bench --bin serve_throughput -- --quick && cargo xtask benchcheck --update-baseline. Only machine-robust gauges (ratios, deterministic rates) belong here.\",\n  \"checks\": [\n",
-    );
+    render_updated_baseline_with_comment(results, BENCH_BASELINE_COMMENT)
+}
+
+/// [`render_updated_baseline`] with an explicit header comment, for
+/// baselines other than the bench one.
+///
+/// # Errors
+///
+/// Returns a message when any fresh value is unavailable.
+pub fn render_updated_baseline_with_comment(
+    results: &[CheckResult],
+    comment: &str,
+) -> Result<String, String> {
+    let mut out = format!("{{\n  \"comment\": \"{comment}\",\n  \"checks\": [\n");
     for (i, r) in results.iter().enumerate() {
         let value = r
             .value
             .as_ref()
             .map_err(|e| format!("cannot update baseline for `{}`: {e}", r.check.gauge))?;
+        // `{}` keeps the shortest round-trip representation: `{:.4}`
+        // would flatten sub-1e-4 gauges (e.g. f32-divergence maxima) to
+        // 0.0000 and make their bands vacuous.
         let _ = write!(
             out,
-            "    {{\"manifest\": \"{}\", \"gauge\": \"{}\", \"direction\": \"{}\", \"baseline\": {:.4}, \"tolerance\": {}}}",
+            "    {{\"manifest\": \"{}\", \"gauge\": \"{}\", \"direction\": \"{}\", \"baseline\": {}, \"tolerance\": {}}}",
             r.check.manifest,
             r.check.gauge,
             r.check.direction.as_str(),
@@ -341,6 +382,30 @@ mod tests {
         let results = run_checks(&dir, &checks);
         assert!(results.iter().all(|r| !r.ok));
         assert!(format_table(&results).contains("not found"));
+    }
+
+    #[test]
+    fn tiny_baselines_survive_update_round_trips() {
+        // The f32-divergence gauge sits near 1e-7; a fixed-precision
+        // renderer would flatten it to 0 and make its band vacuous.
+        let check = Check {
+            manifest: "BENCH_accuracy.json".into(),
+            gauge: "accuracy.f32.divergence.max".into(),
+            direction: Direction::LowerIsBetter,
+            baseline: 0.0,
+            tolerance: 0.9,
+        };
+        let results = vec![CheckResult { check, value: Ok(7.61e-8), ok: true }];
+        let text = render_updated_baseline_with_comment(&results, ACCURACY_BASELINE_COMMENT)
+            .expect("renderable");
+        let reparsed = parse_baseline_at(ACCURACY_BASELINE_PATH, &text).expect("parseable");
+        assert!((reparsed[0].baseline - 7.61e-8).abs() < 1e-15, "{}", reparsed[0].baseline);
+    }
+
+    #[test]
+    fn parse_errors_cite_the_requested_label() {
+        let err = parse_baseline_at("xtask/custom.json", "{}").unwrap_err();
+        assert!(err.contains("xtask/custom.json"), "{err}");
     }
 
     #[test]

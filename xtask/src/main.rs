@@ -12,6 +12,10 @@
 //! cargo xtask benchcheck --dir target/bench # manifests live elsewhere
 //! cargo xtask benchcheck --update-baseline  # re-record baseline values from fresh manifests
 //!
+//! cargo xtask accuracycheck                 # gate BENCH_accuracy.json against the accuracy baseline
+//! cargo xtask accuracycheck --dir DIR       # manifest lives elsewhere
+//! cargo xtask accuracycheck --update-baseline # re-record accuracy baseline from a fresh manifest
+//!
 //! cargo xtask metrics-doc            # diff emitted metric names against TELEMETRY.md
 //! ```
 //!
@@ -20,13 +24,37 @@
 
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose] [--time-budget-secs N]\n       cargo xtask benchcheck [--dir DIR] [--update-baseline]\n       cargo xtask metrics-doc";
+const USAGE: &str = "usage: cargo xtask lint [--update-baseline] [--unsafe-report] [--verbose] [--time-budget-secs N]\n       cargo xtask benchcheck [--dir DIR] [--update-baseline]\n       cargo xtask accuracycheck [--dir DIR] [--update-baseline]\n       cargo xtask metrics-doc";
+
+/// One manifest-vs-baseline gate: `benchcheck` and `accuracycheck` are
+/// the same machinery pointed at different committed baselines.
+struct Gate {
+    /// Subcommand name, used in diagnostics.
+    name: &'static str,
+    /// Workspace-relative path of the committed baseline.
+    baseline_path: &'static str,
+    /// Header comment re-emitted on `--update-baseline`.
+    comment: &'static str,
+}
+
+const BENCH_GATE: Gate = Gate {
+    name: "benchcheck",
+    baseline_path: xtask::benchcheck::BENCH_BASELINE_PATH,
+    comment: xtask::benchcheck::BENCH_BASELINE_COMMENT,
+};
+
+const ACCURACY_GATE: Gate = Gate {
+    name: "accuracycheck",
+    baseline_path: xtask::benchcheck::ACCURACY_BASELINE_PATH,
+    comment: xtask::benchcheck::ACCURACY_BASELINE_COMMENT,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
-        Some("benchcheck") => benchcheck(&args[1..]),
+        Some("benchcheck") => gatecheck(&BENCH_GATE, &args[1..]),
+        Some("accuracycheck") => gatecheck(&ACCURACY_GATE, &args[1..]),
         Some("metrics-doc") => metrics_doc(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown subcommand `{other}`\n\n{USAGE}");
@@ -72,7 +100,8 @@ fn metrics_doc(flags: &[String]) -> ExitCode {
     }
 }
 
-fn benchcheck(flags: &[String]) -> ExitCode {
+fn gatecheck(gate: &Gate, flags: &[String]) -> ExitCode {
+    let name = gate.name;
     let mut update_baseline = false;
     let mut dir = std::path::PathBuf::from(".");
     let mut iter = flags.iter();
@@ -82,44 +111,45 @@ fn benchcheck(flags: &[String]) -> ExitCode {
             "--dir" => match iter.next() {
                 Some(d) => dir = std::path::PathBuf::from(d),
                 None => {
-                    eprintln!("xtask benchcheck: --dir expects a path");
+                    eprintln!("xtask {name}: --dir expects a path");
                     return ExitCode::FAILURE;
                 }
             },
             other => {
-                eprintln!("xtask benchcheck: unknown flag `{other}`");
+                eprintln!("xtask {name}: unknown flag `{other}`");
                 return ExitCode::FAILURE;
             }
         }
     }
 
     let root = xtask::workspace_root();
-    let baseline_path = root.join(xtask::benchcheck::BENCH_BASELINE_PATH);
+    let baseline_path = root.join(gate.baseline_path);
     let checks = match std::fs::read_to_string(&baseline_path)
         .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))
-        .and_then(|text| xtask::benchcheck::parse_baseline(&text))
+        .and_then(|text| xtask::benchcheck::parse_baseline_at(gate.baseline_path, &text))
     {
         Ok(checks) => checks,
         Err(err) => {
-            eprintln!("xtask benchcheck: {err}");
+            eprintln!("xtask {name}: {err}");
             return ExitCode::FAILURE;
         }
     };
 
     let results = xtask::benchcheck::run_checks(&dir, &checks);
-    print!("{}", xtask::benchcheck::format_table(&results));
+    print!("{}", xtask::benchcheck::format_table_for(name, &results));
 
     if update_baseline {
-        return match xtask::benchcheck::render_updated_baseline(&results).and_then(|text| {
-            std::fs::write(&baseline_path, text)
-                .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))
-        }) {
+        return match xtask::benchcheck::render_updated_baseline_with_comment(&results, gate.comment)
+            .and_then(|text| {
+                std::fs::write(&baseline_path, text)
+                    .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))
+            }) {
             Ok(()) => {
-                eprintln!("xtask benchcheck: baseline rewritten at {}", baseline_path.display());
+                eprintln!("xtask {name}: baseline rewritten at {}", baseline_path.display());
                 ExitCode::SUCCESS
             }
             Err(err) => {
-                eprintln!("xtask benchcheck: {err}");
+                eprintln!("xtask {name}: {err}");
                 ExitCode::FAILURE
             }
         };

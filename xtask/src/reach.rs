@@ -24,8 +24,10 @@ pub const REACH_PANIC_CRATES: &[&str] =
     &["linalg", "fdm", "nn", "autodiff", "core", "serve", "parallel"];
 
 /// Crates whose `pub` functions count as analyzed entry points — the
-/// serving stack a shard operator actually calls into.
-pub const ENTRY_CRATES: &[&str] = &["serve", "core", "parallel"];
+/// serving stack a shard operator actually calls into, plus the FDM
+/// reference solver now that CI's accuracy gate drives `solve_batch`
+/// directly.
+pub const ENTRY_CRATES: &[&str] = &["serve", "core", "parallel", "fdm"];
 
 /// The reachability verdict for one public entry point.
 #[derive(Debug, Clone)]
@@ -147,7 +149,7 @@ pub fn parse_baseline(text: &str) -> Result<BTreeSet<String>, String> {
 /// Renders the checked-in baseline from the current report.
 pub fn render_baseline(report: &ReachReport) -> String {
     let mut out = String::from(
-        "# Panic-reachability ratchet: public entry points of deepoheat-serve/core/parallel\n\
+        "# Panic-reachability ratchet: public entry points of deepoheat-serve/core/parallel/fdm\n\
          # from which a panic-capable site is transitively reachable along the conservative\n\
          # call graph. The set may only shrink. Regenerate with\n\
          # `cargo xtask lint --update-baseline` after cutting a path; a new entry here\n\
